@@ -1,0 +1,83 @@
+"""Shared infrastructure for the benchmark harnesses.
+
+Every paper table and figure has one ``test_*`` module here.  Each module
+
+1. regenerates the table/figure data with this library (scaled down from the
+   paper's multi-million-vertex GPU runs; the *shape* of the results is the
+   reproduction target, see EXPERIMENTS.md),
+2. writes the rendered rows to ``benchmarks/results/<name>.txt`` (and TSV
+   series where a figure needs them), and
+3. times the representative kernels with pytest-benchmark.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — linear size multiplier for the suite generators
+  (default 1.0, i.e. N ≈ 2-5·10³ per matrix; the paper-scale matrices would
+  need a GPU).
+* ``REPRO_BENCH_FULL=1`` — run all 22 suite matrices instead of the
+  representative 11-matrix subset.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.graphs import small_suite, suite_names
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_suite() -> list[str]:
+    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+        return suite_names()
+    return small_suite()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _assemble_report():
+    """After the benchmark session, stitch all artifacts into REPORT.md."""
+    yield
+    if RESULTS_DIR.is_dir() and any(RESULTS_DIR.glob("*.txt")):
+        from repro.analysis import build_report
+
+        path = build_report(RESULTS_DIR)
+        print(f"\n[bench] aggregated report: {path}")
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Write one reproduced table/figure and echo it to stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def matrices():
+    """All benchmark matrices, built once per session.
+
+    With ``REPRO_SUITESPARSE_DIR`` set, real collection matrices (Matrix
+    Market files) are preferred over the synthetic analogues.
+    """
+    from repro.graphs import load_or_build
+
+    scale = bench_scale()
+    out = {}
+    for name in bench_suite():
+        matrix, external = load_or_build(name, scale=scale)
+        if external:
+            print(f"[bench] {name}: using external SuiteSparse matrix")
+        out[name] = matrix
+    return out

@@ -1,0 +1,110 @@
+"""Figure 3 — edge-proposition kernel performance vs plain SpMV.
+
+The paper's roofline argument: the proposition kernel does strictly more
+work than ``d = Ax + d`` on the same CSR structure, so the plain SpMV is its
+performance ceiling; reaching 30-50% of that roofline proves efficiency.
+
+We reproduce both panels:
+
+* relative kernel runtime (each kernel normalised to the slowest, per
+  matrix) for the plain SpMV and the proposition with n = 1..4;
+* achieved throughput, from the Table 2 traffic model over measured
+  wall-clock (plus the hardware-calibrated modeled GB/s for reference).
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import render_table, series_to_tsv
+from repro.core.charge import vertex_charges
+from repro.core.factor import propose_edges
+from repro.core.structures import NO_PARTNER
+from repro.device import CostModel, proposition_traffic, spmv_traffic
+from repro.sparse import prepare_graph, spmv
+
+from .conftest import bench_suite, emit
+
+
+def _time(fn, repeats=3):
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_fig3_proposition_vs_spmv(results_dir, matrices, benchmark):
+    import scipy.sparse as sp
+
+    cost = CostModel()
+    headers = ["matrix", "vendor spmv", "spmv", "n=1", "n=2", "n=3", "n=4",
+               "GB/s spmv", "GB/s n=2", "roofline frac n=2"]
+    rows = []
+    series = {}
+    fractions = []
+    vendor_ratios = []
+    for name in bench_suite():
+        a = matrices[name]
+        g = prepare_graph(a)
+        n_vertices, nnz = g.n_rows, g.nnz
+        x = np.zeros(n_vertices)
+        d = np.zeros(n_vertices)
+        t_spmv = _time(lambda: spmv(g, x, d))
+        # vendor-library stand-in (the paper compares against cuSPARSE):
+        # scipy's compiled CSR matvec on the same matrix
+        g_sp = sp.csr_matrix((g.data, g.indices, g.indptr), shape=g.shape)
+        t_vendor = _time(lambda: g_sp @ x)
+        vendor_ratios.append(t_spmv / t_vendor)
+        times = [t_vendor, t_spmv]
+        tp_spmv = spmv_traffic(n_vertices, nnz) / t_spmv / 1e9
+        tp_n2 = None
+        t_n2 = None
+        for n in (1, 2, 3, 4):
+            # k > 0 semantics: a partially confirmed factor is the input
+            confirmed = np.full((n_vertices, n), NO_PARTNER, dtype=np.int64)
+            seed_cols, _, _ = propose_edges(g, confirmed, n)
+            confirmed[:, :1] = seed_cols[:, :1]
+            charges = vertex_charges(n_vertices, 1)
+            t_prop = _time(lambda: propose_edges(g, confirmed, n, charges=charges))
+            times.append(t_prop)
+            if n == 2:
+                traffic = proposition_traffic(n, n_vertices, nnz, k=1).bytes_total
+                tp_n2 = traffic / t_prop / 1e9
+                t_n2 = t_prop
+        longest = max(times)
+        rel = [t / longest for t in times]
+        rows.append([name, *rel, tp_spmv, tp_n2, (t_spmv / t_n2)])
+        series[name] = rel[1:]  # [spmv, n1..n4] for the shape checks
+        fractions.append(t_spmv / t_n2)
+
+    emit(
+        results_dir,
+        "fig3_proposition_perf",
+        render_table(
+            headers, rows,
+            title="Figure 3: edge proposition vs plain SpMV (times relative to slowest kernel)",
+        ),
+    )
+    series_to_tsv(results_dir / "fig3_relative_times.tsv", series)
+
+    # shape assertions: SpMV is the fastest kernel; proposition costs grow
+    # with n; the n=2 proposition achieves a nonzero fraction of the SpMV
+    # roofline.  (The paper's CUDA kernel reaches 30-50%; the NumPy device
+    # pays a global sort per proposition, so its fraction is smaller —
+    # recorded as a substrate difference in EXPERIMENTS.md.)
+    for name, rel in series.items():
+        assert rel[0] == min(rel), name
+        assert rel[4] == max(rel) or rel[3] <= rel[4] * 1.2, name
+    assert float(np.median(fractions)) > 0.01
+    # our generic SRCSR-style SpMV should be within an order of magnitude of
+    # the compiled vendor stand-in (the paper: "similar performance to the
+    # specialized cuSPARSE assembly optimized code")
+    assert float(np.median(vendor_ratios)) < 20.0
+
+    # pytest-benchmark record for the n=2 kernel on the reference matrix
+    g = prepare_graph(matrices["aniso2"])
+    confirmed = np.full((g.n_rows, 2), NO_PARTNER, dtype=np.int64)
+    charges = vertex_charges(g.n_rows, 1)
+    benchmark(propose_edges, g, confirmed, 2, charges=charges)

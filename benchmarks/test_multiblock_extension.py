@@ -1,0 +1,55 @@
+"""Extension bench: block-size sweep of the recursive block preconditioner.
+
+depth = 0 is the scalar tridiagonal preconditioner, depth = 1 the paper's
+AlgTriBlockPrecond, larger depths its recursive generalisation.  The sweep
+shows the coverage/iteration trade-off as blocks widen.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.solvers import AlgTriMultiBlockPrecond, AlgTriScalPrecond, bicgstab
+
+from .conftest import emit
+
+MATRICES = ("aniso2", "atmosmodl", "af_shell8")
+DEPTHS = (1, 2, 3)
+
+
+def test_block_depth_sweep(results_dir, matrices, benchmark):
+    headers = ["matrix", "precond", "block", "coverage", "iterations"]
+    rows = []
+    per_matrix = {}
+    for name in MATRICES:
+        a = matrices[name]
+        n = a.n_rows
+        x_t = np.sin(16.0 * np.pi * np.arange(n) / n)
+        b = a.matvec(x_t)
+        preconds = [("scalar", AlgTriScalPrecond(a), 1)]
+        preconds += [
+            (f"depth={d}", AlgTriMultiBlockPrecond(a, depth=d), 2**d) for d in DEPTHS
+        ]
+        stats = []
+        for label, p, block in preconds:
+            res = bicgstab(a, b, preconditioner=p, tol=1e-9, max_iterations=4000)
+            assert res.converged, (name, label)
+            rows.append([name, label, block, p.coverage, res.history.n_iterations])
+            stats.append((block, p.coverage, res.history.n_iterations))
+        per_matrix[name] = stats
+
+    emit(
+        results_dir,
+        "extension_multiblock",
+        render_table(headers, rows, title="Extension: recursive block preconditioner depth sweep"),
+    )
+
+    for name, stats in per_matrix.items():
+        coverages = [c for _, c, _ in stats]
+        iters = [i for _, _, i in stats]
+        # wider blocks capture (weakly) more weight and never blow up the
+        # iteration count
+        assert coverages[-1] >= coverages[0] - 0.05, name
+        assert iters[-1] <= 2 * iters[0] + 10, name
+
+    a = matrices["aniso2"]
+    benchmark.pedantic(lambda: AlgTriMultiBlockPrecond(a, depth=2), rounds=1, iterations=1)

@@ -1,0 +1,75 @@
+"""Extension bench: single vs double precision.
+
+Section 5 of the paper: *"the experiments were done in single-precision as
+the RTX 2080 Ti only has a few double-precision units"*, while Figure 4
+deliberately runs in double precision to expose the convergence floors.
+This bench quantifies both effects on our substrate: the tridiagonal solve's
+accuracy floor and runtime per precision, and the factor computation's
+precision-independence (a combinatorial result).
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import ParallelFactorConfig, parallel_factor
+from repro.solvers import pcr_solve
+from repro.sparse import prepare_graph
+
+from .conftest import bench_suite, emit
+
+
+def _tridiag_for(n, rng):
+    dl = -rng.uniform(0.1, 1.0, n)
+    du = -rng.uniform(0.1, 1.0, n)
+    dl[0] = du[-1] = 0.0
+    d = np.abs(dl) + np.abs(du) + 0.5
+    x_true = rng.standard_normal(n)
+    b = d * x_true
+    b[1:] += dl[1:] * x_true[:-1]
+    b[:-1] += du[:-1] * x_true[1:]
+    return dl, d, du, b, x_true
+
+
+def test_precision_floor_and_factor_invariance(results_dir, matrices, benchmark):
+    rng = np.random.default_rng(0)
+    rows = []
+    for n in (1024, 8192, 65536):
+        dl, d, du, b, x_true = _tridiag_for(n, rng)
+        t0 = time.perf_counter()
+        x64 = pcr_solve(dl, d, du, b)
+        t64 = time.perf_counter() - t0
+        args32 = [a.astype(np.float32) for a in (dl, d, du, b)]
+        t0 = time.perf_counter()
+        x32 = pcr_solve(*args32)
+        t32 = time.perf_counter() - t0
+        err64 = float(np.abs(x64 - x_true).max())
+        err32 = float(np.abs(x32.astype(np.float64) - x_true).max())
+        rows.append([n, f"{err64:.1e}", f"{err32:.1e}", t64 * 1e3, t32 * 1e3])
+        assert err64 < 1e-9
+        assert err32 < 1e-1
+        assert err32 > err64
+
+    emit(
+        results_dir,
+        "extension_precision",
+        render_table(
+            ["N", "max err (fp64)", "max err (fp32)", "t64 (ms)", "t32 (ms)"],
+            rows,
+            title="Extension: PCR tridiagonal solve, double vs single precision",
+        ),
+    )
+
+    # the [0,n]-factor is combinatorial: identical in both precisions on a
+    # matrix with exactly representable weights
+    a64 = matrices["aniso2"]
+    a32 = a64.astype(np.float32)
+    cfg = ParallelFactorConfig(n=2, max_iterations=5)
+    f64 = parallel_factor(prepare_graph(a64), cfg).factor
+    f32 = parallel_factor(prepare_graph(a32), cfg).factor
+    assert f64 == f32
+
+    dl, d, du, b, _ = _tridiag_for(65536, rng)
+    args32 = [a.astype(np.float32) for a in (dl, d, du, b)]
+    benchmark(pcr_solve, *args32)

@@ -1,0 +1,65 @@
+"""Table 1 — the top-n accumulator trace for vertex 4 of Figure 1.
+
+Regenerates the printed accumulator states (with and without charging) and
+benchmarks the top-n reduction kernel that implements them.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.graphs import TABLE1_ROW, table1_adjacency
+from repro.graphs.paper_example import TABLE1_CHARGES
+from repro.sparse import top_n_per_row
+from repro.sparse.topn import top_n_per_row_insertion
+
+from .conftest import bench_scale, emit
+
+
+def _trace(eligible):
+    """Replay the left-to-right insertion and record the accumulator."""
+    indptr, indices, values = table1_adjacency()
+    states = []
+    for upto in range(1, len(TABLE1_ROW) + 1):
+        sub_indptr = np.array([0, upto])
+        cols, vals, _ = top_n_per_row_insertion(
+            sub_indptr, indices[:upto], values[:upto], 2,
+            eligible=None if eligible is None else eligible[:upto],
+        )
+        states.append(
+            [f"({vals[0, k]:.1f},{cols[0, k] if cols[0, k] >= 0 else '_'})" for k in (0, 1)]
+        )
+    return states
+
+
+def test_table1_trace(results_dir, benchmark):
+    charged_eligible = np.array(
+        [TABLE1_CHARGES[j] != TABLE1_CHARGES[4] for _, j in TABLE1_ROW]
+    )
+    plain = _trace(None)
+    charged = _trace(charged_eligible)
+
+    headers = ["accumulator"] + [f"({w:.1f},{j})" for w, j in TABLE1_ROW]
+    rows = [
+        ["without charging (hi)"] + [s[0] for s in plain],
+        ["without charging (lo)"] + [s[1] for s in plain],
+        ["charge"] + ["+" if TABLE1_CHARGES[j] else "-" for _, j in TABLE1_ROW],
+        ["with charging (hi)"] + [s[0] for s in charged],
+        ["with charging (lo)"] + [s[1] for s in charged],
+    ]
+    emit(
+        results_dir,
+        "table1_accumulator",
+        render_table(headers, rows, title="Table 1: edge proposition for vertex 4 (-)"),
+    )
+
+    # paper values: final accumulators
+    assert plain[-1] == ["(0.9,6)", "(0.5,9)"]
+    assert charged[-1] == ["(0.5,9)", "(0.4,7)"]
+
+    # benchmark the vectorized top-n kernel at benchmark scale
+    from repro.graphs import build_matrix
+    from repro.sparse import prepare_graph
+
+    g = prepare_graph(build_matrix("aniso2", scale=bench_scale()))
+    result = benchmark(top_n_per_row, g.indptr, g.indices, g.data, 2)
+    assert result[2].sum() > 0

@@ -1,0 +1,55 @@
+"""Table 3 — the test-matrix inventory.
+
+Prints our synthetic analogues next to the paper's matrices: symmetry, N,
+nnz and mean degree.  Sizes are scaled down (laptop vs GPU); symmetry and the
+degree regime must match.
+"""
+
+from repro.analysis import render_table
+from repro.graphs import SUITE
+
+from .conftest import bench_suite, emit
+
+
+def test_table3_inventory(results_dir, matrices, benchmark):
+    rows = []
+    for name in bench_suite():
+        a = matrices[name]
+        entry = SUITE[name]
+        paper = entry.paper
+        rows.append(
+            [
+                name,
+                entry.symmetric,
+                a.n_rows,
+                a.nnz,
+                round(a.mean_degree, 2),
+                paper["n"],
+                paper["nnz"],
+                paper["mean_degree"],
+            ]
+        )
+    emit(
+        results_dir,
+        "table3_suite",
+        render_table(
+            ["matrix", "sym", "N", "nnz", "deg", "N (paper)", "nnz (paper)", "deg (paper)"],
+            rows,
+            title="Table 3: test matrices (synthetic analogues vs paper)",
+        ),
+    )
+
+    # symmetry flags must match the paper exactly; degree within a factor 2
+    for name in bench_suite():
+        a = matrices[name]
+        entry = SUITE[name]
+        assert a.is_symmetric(tol=1e-12) == entry.symmetric, name
+        ratio = a.mean_degree / entry.paper["mean_degree"]
+        assert 0.5 < ratio < 2.0, (name, ratio)
+
+    # benchmark: matrix construction cost of the largest generator
+    from repro.graphs import build_matrix
+
+    from .conftest import bench_scale
+
+    benchmark(build_matrix, "aniso1", bench_scale())

@@ -1,0 +1,80 @@
+"""Table 4 — [0,2]-factor weight coverage per charging configuration.
+
+For each matrix and each configuration (m, k_m) ∈ {(1,0), (5,0), (5,1)}:
+c_π(5) (coverage after 5 proposition rounds), c_π(M_max) and M_max (the
+round at which the factor became maximal), against the sequential greedy
+baseline — the paper's Table 4, with the paper's own numbers alongside.
+"""
+
+import os
+
+from repro.analysis import render_table
+from repro.core import ParallelFactorConfig, coverage, greedy_factor, parallel_factor
+from repro.graphs import SUITE
+from repro.sparse import prepare_graph
+
+from .conftest import bench_suite, emit
+
+CONFIGS = ((1, 0), (5, 0), (5, 1))
+#: Iteration cap for the M_max search (the paper observed up to 1252).
+MAX_M = int(os.environ.get("REPRO_BENCH_MAXM", "120"))
+
+
+def _run_config(graph, a, m, k_m):
+    res = parallel_factor(
+        graph,
+        ParallelFactorConfig(n=2, max_iterations=MAX_M, m=m, k_m=k_m),
+        coverage_matrix=a,
+    )
+    hist = res.coverage_history
+    c5 = hist[min(4, len(hist) - 1)]
+    c_max = hist[-1]
+    m_max = res.m_max if res.converged else f">{MAX_M}"
+    return c5, c_max, m_max
+
+
+def test_table4_coverage(results_dir, matrices, benchmark):
+    headers = ["matrix"]
+    for m, k_m in CONFIGS:
+        headers += [f"c5({m},{k_m})", f"cmax({m},{k_m})", f"Mmax({m},{k_m})"]
+    headers += ["seq", "c5(5,0) paper", "seq paper"]
+
+    rows = []
+    shape_checks = []
+    for name in bench_suite():
+        a = matrices[name]
+        graph = prepare_graph(a)
+        row = [name]
+        measured = {}
+        for m, k_m in CONFIGS:
+            c5, c_max, m_max = _run_config(graph, a, m, k_m)
+            measured[(m, k_m)] = (c5, c_max)
+            row += [c5, c_max, m_max]
+        seq = coverage(a, greedy_factor(graph, 2))
+        paper = SUITE[name].paper
+        row += [seq, paper["table4"][(5, 0)][0], paper["greedy2"]]
+        rows.append(row)
+        shape_checks.append((name, measured, seq, paper))
+
+    emit(
+        results_dir,
+        "table4_coverage",
+        render_table(headers, rows, title="Table 4: [0,2]-factor coverage per configuration"),
+    )
+
+    for name, measured, seq, paper in shape_checks:
+        c5_default, _ = measured[(5, 0)]
+        # the default configuration lands near the greedy baseline (the
+        # paper's reason for choosing it)
+        assert c5_default >= seq - 0.12, (name, c5_default, seq)
+        # and near the paper's own number for the analogous matrix
+        assert abs(c5_default - paper["table4"][(5, 0)][0]) < 0.15, name
+
+    # benchmark one representative configuration run
+    a = matrices["aniso2"]
+    graph = prepare_graph(a)
+    benchmark.pedantic(
+        lambda: parallel_factor(graph, ParallelFactorConfig(n=2, max_iterations=5)),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,79 @@
+"""Table 5 — [0,n]-factor coverages for n = 1..4, parallel vs sequential,
+plus c_id and the 2x2 block-tridiagonal coverage for m = 1 and m = 5.
+"""
+
+from repro.analysis import render_table
+from repro.core import (
+    ParallelFactorConfig,
+    coverage,
+    greedy_factor,
+    identity_coverage,
+    parallel_factor,
+)
+from repro.graphs import SUITE
+from repro.solvers import AlgTriBlockPrecond
+from repro.sparse import prepare_graph
+
+from .conftest import bench_suite, emit
+
+
+def test_table5_factors(results_dir, matrices, benchmark):
+    headers = ["matrix", "c_id"]
+    for n in (1, 2, 3, 4):
+        headers += [f"n{n} PAR", f"n{n} SEQ"]
+    headers += ["block m=1", "block m=5", "c_id paper", "n2 PAR paper"]
+
+    rows = []
+    checks = []
+    for name in bench_suite():
+        a = matrices[name]
+        graph = prepare_graph(a)
+        paper = SUITE[name].paper
+        c_id = identity_coverage(a)
+        row = [name, c_id]
+        par = {}
+        for n in (1, 2, 3, 4):
+            res = parallel_factor(
+                graph, ParallelFactorConfig(n=n, max_iterations=5, m=5, k_m=0)
+            )
+            c_par = coverage(a, res.factor)
+            c_seq = coverage(a, greedy_factor(graph, n))
+            par[n] = (c_par, c_seq)
+            row += [c_par, c_seq]
+        block = {}
+        for m in (1, 5):
+            p = AlgTriBlockPrecond(a, ParallelFactorConfig(n=1, max_iterations=5, m=m, k_m=0))
+            block[m] = p.coverage
+            row.append(p.coverage)
+        row += [paper["c_id"], paper["par"][2]]
+        rows.append(row)
+        checks.append((name, c_id, par, block, paper))
+
+    emit(
+        results_dir,
+        "table5_factors",
+        render_table(headers, rows, title="Table 5: [0,n]-factor coverages (M=5, m=5, k_m=0)"),
+    )
+
+    for name, c_id, par, block, paper in checks:
+        # parallel close to sequential (paper: max gap 0.04, at n=1 on
+        # ATMOSMODM; matchings on uniform strong chains are the hard case
+        # for the parallel algorithm, so n=1 gets the widest whisker)
+        for n in (1, 2, 3, 4):
+            c_par, c_seq = par[n]
+            gap = 0.15 if n == 1 else 0.1
+            assert c_par >= c_seq - gap, (name, n, c_par, c_seq)
+        # monotone in n for the sequential algorithm
+        assert par[1][1] <= par[2][1] + 1e-9 <= par[3][1] + 2e-9 <= par[4][1] + 3e-9
+        # coverage ordering vs natural order matches the paper's story for
+        # the hidden-direction matrices
+        if paper["par"][2] - paper["c_id"] > 0.3:
+            assert par[2][0] > c_id + 0.15, name
+
+    # benchmark a representative n=4 factor computation
+    graph = prepare_graph(matrices["aniso2"])
+    benchmark.pedantic(
+        lambda: parallel_factor(graph, ParallelFactorConfig(n=4, max_iterations=5)),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Directional coarsening with [0,1]-factors (algebraic multigrid flavour).
+
+The introduction lists *directional coarsening in algebraic multigrid* among
+the applications of linear forests with strong edges.  This driver uses
+:mod:`repro.apps.coarsening` to coarsen the anisotropic ANISO1 problem along
+its strongest couplings and shows that the aggregates align with the strong
+(horizontal) direction — semicoarsening discovered purely algebraically —
+then solves the system with the full matching-based AMG V-cycle
+(:class:`repro.solvers.MatchingAMGPrecond`).
+
+    python examples/multigrid_coarsening.py [grid] [levels]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps import directional_coarsening, orientation_histogram
+from repro.graphs import aniso1
+from repro.solvers import JacobiPrecond, MatchingAMGPrecond, bicgstab
+
+
+def main(grid: int = 32, levels: int = 3) -> None:
+    a = aniso1(grid)
+    print(f"ANISO1 on a {grid}x{grid} grid (strong coupling: horizontal, -1.0)")
+
+    hierarchy = directional_coarsening(a, levels=levels)
+    for depth, lvl in enumerate(hierarchy):
+        line = f"level {depth}: {lvl.n_fine:5d} -> {lvl.n_coarse:5d} vertices"
+        if depth == 0:
+            hist = orientation_histogram(lvl.coarse, grid)
+            pairs = hist["horizontal"] + hist["vertical"] + hist["diagonal"]
+            frac = hist["horizontal"] / max(pairs, 1)
+            line += (
+                f" | pairs: {hist['horizontal']} horizontal, "
+                f"{hist['vertical']} vertical, {hist['diagonal']} diagonal, "
+                f"{hist['singleton']} singletons "
+                f"({100 * frac:.0f}% follow the strong direction)"
+            )
+        print(line)
+
+    print("\nthe matching tracks the strong direction without any geometric")
+    print("information -- the algebraic analogue of semicoarsening.\n")
+
+    n = a.n_rows
+    x_t = np.sin(16 * np.pi * np.arange(n) / n)
+    b = a.matvec(x_t)
+    for precond in (JacobiPrecond(a), MatchingAMGPrecond(a)):
+        res = bicgstab(a, b, preconditioner=precond, tol=1e-9, max_iterations=3000)
+        print(f"BiCGStab + {precond.name:20s}: "
+              f"{res.history.n_iterations} iterations "
+              f"(converged={res.converged})")
+
+
+if __name__ == "__main__":
+    grid = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    levels = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    main(grid, levels)

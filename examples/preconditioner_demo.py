@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The Section 6 application: algebraic tridiagonal preconditioners.
+
+Solves the paper's test problem (right-hand side built from
+x_t[i] = sin(16*pi*i/N)) on the ANISO2 model matrix with BiCGStab under all
+four preconditioners of Figure 4 and prints the convergence comparison.
+
+    python examples/preconditioner_demo.py [grid_size]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.graphs import aniso2
+from repro.solvers import (
+    AlgTriBlockPrecond,
+    AlgTriScalPrecond,
+    JacobiPrecond,
+    TriScalPrecond,
+    bicgstab,
+)
+
+
+def main(grid: int = 48) -> None:
+    a = aniso2(grid)
+    n = a.n_rows
+    print(f"ANISO2 on a {grid}x{grid} grid: N={n}, nnz={a.nnz}")
+    print("the strong -1.0 couplings run along grid anti-diagonals, invisible")
+    print("to the natural row-major ordering -- the ideal preconditioner must")
+    print("*find* them, which is exactly what the linear forest does.\n")
+
+    x_t = np.sin(16.0 * np.pi * np.arange(n) / n)
+    b = a.matvec(x_t)
+
+    rows = []
+    for cls in (JacobiPrecond, TriScalPrecond, AlgTriScalPrecond, AlgTriBlockPrecond):
+        t0 = time.perf_counter()
+        precond = cls(a)
+        setup = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        res = bicgstab(
+            a, b, preconditioner=precond, tol=1e-10, max_iterations=2000,
+            true_solution=x_t,
+        )
+        solve = time.perf_counter() - t0
+        h = res.history
+        rows.append(
+            [
+                precond.name,
+                precond.coverage,
+                h.n_iterations,
+                f"{h.final_residual:.1e}",
+                f"{h.final_forward_error:.1e}",
+                f"{setup * 1e3:.1f}",
+                f"{solve * 1e3:.1f}",
+            ]
+        )
+
+    print(
+        render_table(
+            ["preconditioner", "coverage", "iters", "rel.res", "FRE",
+             "setup (ms)", "solve (ms)"],
+            rows,
+            title="BiCGStab convergence (cf. paper Figure 4, ANISO2 panel)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 48)

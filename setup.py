@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment used for development lacks the ``wheel`` package, so
+PEP 660 editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` falls back to ``setup.py develop`` through this shim.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Reporting helpers for the benchmark harnesses (tables and figure series)."""
+
+from .ascii_plot import ascii_line_plot
+from .figures import boxplot_stats, series_to_tsv
+from .forest_stats import ForestStatistics, forest_statistics
+from .report import build_report
+from .tables import format_value, render_table, write_tsv
+
+__all__ = [
+    "ForestStatistics",
+    "ascii_line_plot",
+    "boxplot_stats",
+    "build_report",
+    "forest_statistics",
+    "format_value",
+    "render_table",
+    "series_to_tsv",
+    "write_tsv",
+]

@@ -1,0 +1,73 @@
+"""Terminal line plots for the figure benchmarks.
+
+No plotting dependency is available offline, so convergence curves
+(Figure 4) are rendered as ASCII: one character column per sample bucket,
+one letter per series, log-scale y-axis for residual histories.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_line_plot"]
+
+_MARKERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _finite_log(value: float, floor: float) -> float:
+    return math.log10(max(value, floor))
+
+
+def ascii_line_plot(
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    logy: bool = True,
+    floor: float = 1e-16,
+    title: str | None = None,
+) -> str:
+    """Render named series into a character grid.
+
+    Each series gets a letter marker; x is the sample index scaled to the
+    longest series; y is (log-)value.  Returns the plot plus a legend.
+    """
+    series = {k: list(v) for k, v in series.items() if len(v) > 0}
+    if not series:
+        return "(no data)"
+    transform = (lambda v: _finite_log(v, floor)) if logy else (lambda v: float(v))
+    all_vals = [transform(v) for vs in series.values() for v in vs]
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+    max_len = max(len(v) for v in series.values())
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for k, v in enumerate(values):
+            x = 0 if max_len == 1 else round(k * (width - 1) / (max_len - 1))
+            t = (transform(v) - lo) / (hi - lo)
+            y = height - 1 - round(t * (height - 1))
+            grid[y][x] = marker
+
+    unit = "log10" if logy else "value"
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:8.2f}"
+    bot_label = f"{lo:8.2f}"
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = top_label
+        elif row_idx == height - 1:
+            prefix = bot_label
+        else:
+            prefix = " " * 8
+        lines.append(f"{prefix} |{''.join(row)}|")
+    lines.append(" " * 8 + "+" + "-" * width + "+")
+    lines.append(" " * 10 + f"x: 0 .. {max_len - 1} (iterations), y: {unit}")
+    for idx, name in enumerate(series):
+        lines.append(f"          {_MARKERS[idx % len(_MARKERS)]} = {name}")
+    return "\n".join(lines)

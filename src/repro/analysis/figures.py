@@ -1,0 +1,40 @@
+"""Figure-series helpers: summary statistics and TSV export.
+
+The benchmarks regenerate the paper's figures as *data series* (plus summary
+statistics printed to the terminal); no plotting library is required.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["boxplot_stats", "series_to_tsv"]
+
+
+def boxplot_stats(samples: Sequence[float]) -> dict[str, float]:
+    """The five-number summary used by the Figure 5 throughput boxplots."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("boxplot_stats requires at least one sample")
+    q1, med, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return {
+        "min": float(arr.min()),
+        "q1": float(q1),
+        "median": float(med),
+        "q3": float(q3),
+        "max": float(arr.max()),
+    }
+
+
+def series_to_tsv(path, series: Mapping[str, Sequence[float]]) -> None:
+    """Write named, possibly unequal-length series as TSV columns."""
+    names = list(series)
+    columns = [list(series[n]) for n in names]
+    length = max((len(c) for c in columns), default=0)
+    lines = ["\t".join(names)]
+    for i in range(length):
+        lines.append("\t".join(str(c[i]) if i < len(c) else "" for c in columns))
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,54 @@
+"""Plain-text table rendering for the reproduced paper tables."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["format_value", "render_table", "write_tsv"]
+
+
+def format_value(value, *, digits: int = 2) -> str:
+    """Render one cell: floats with fixed digits, ints plainly, None as '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "y" if value else "n"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    digits: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospaced table (first column left-aligned)."""
+    str_rows = [[format_value(c, digits=digits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def write_tsv(path, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Write rows as a tab-separated file (repr-precision floats)."""
+    out = ["\t".join(str(h) for h in headers)]
+    out += ["\t".join("" if c is None else str(c) for c in row) for row in rows]
+    Path(path).write_text("\n".join(out) + "\n")

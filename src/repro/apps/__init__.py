@@ -1,0 +1,24 @@
+"""Application-level helpers built on the public API.
+
+The paper's introduction motivates linear forests with concrete
+applications; the two that make sense without external systems live here as
+tested library code (the scripts in ``examples/`` are thin drivers over
+these):
+
+* :mod:`~repro.apps.superstring` — shortest-superstring approximation via
+  maximal path sets (the DNA-sequencing motivation).
+* :mod:`~repro.apps.coarsening` — directional graph coarsening with
+  [0,1]-factors (the algebraic-multigrid motivation).
+"""
+
+from .coarsening import CoarseningLevel, directional_coarsening, orientation_histogram
+from .superstring import OverlapGraph, assemble_superstring, build_overlap_graph
+
+__all__ = [
+    "CoarseningLevel",
+    "OverlapGraph",
+    "assemble_superstring",
+    "build_overlap_graph",
+    "directional_coarsening",
+    "orientation_histogram",
+]

@@ -1,0 +1,230 @@
+"""Command-line interface.
+
+Four subcommands, all operating on Matrix Market files:
+
+* ``extract`` — run the full linear-forest pipeline and report coverage,
+  paths, the timing breakdown, and optionally the permutation/band files;
+* ``factor`` — compute a [0,n]-factor (parallel or greedy) and report its
+  weight coverage;
+* ``solve`` — solve ``A x = b`` with BiCGStab under one of the four
+  preconditioners of the paper (right-hand side from the paper's test
+  problem when none is given);
+* ``generate`` — write one of the bundled synthetic suite matrices to a
+  Matrix Market file.
+
+Examples::
+
+    python -m repro extract matrix.mtx --perm-out perm.txt
+    python -m repro factor matrix.mtx -n 3 --greedy
+    python -m repro solve matrix.mtx --preconditioner algtriscal
+    python -m repro generate aniso2 --scale 0.5 -o aniso2.mtx
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import (
+    ParallelFactorConfig,
+    coverage,
+    extract_linear_forest,
+    greedy_factor,
+    identity_coverage,
+    parallel_factor,
+)
+from .graphs import SUITE, build_matrix
+from .solvers import (
+    AlgTriBlockPrecond,
+    AlgTriScalPrecond,
+    IdentityPrecond,
+    JacobiPrecond,
+    TriScalPrecond,
+    bicgstab,
+)
+from .sparse import prepare_graph, read_matrix_market, write_matrix_market
+
+__all__ = ["main"]
+
+_PRECONDITIONERS = {
+    "none": IdentityPrecond,
+    "jacobi": JacobiPrecond,
+    "triscal": TriScalPrecond,
+    "algtriscal": AlgTriScalPrecond,
+    "algtriblock": AlgTriBlockPrecond,
+}
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--iterations", "-M", type=int, default=5,
+                        help="proposition rounds M (default 5)")
+    parser.add_argument("--m", type=int, default=5,
+                        help="charging period m (default 5)")
+    parser.add_argument("--k-m", type=int, default=0,
+                        help="un-charged round offset k_m (default 0)")
+    parser.add_argument("--p", type=float, default=0.5,
+                        help="positive-charge probability (default 0.5)")
+    parser.add_argument("--seed", type=int, default=0, help="charge seed")
+
+
+def _config_from(args, n: int) -> ParallelFactorConfig:
+    return ParallelFactorConfig(
+        n=n, max_iterations=args.iterations, m=args.m, k_m=args.k_m,
+        p=args.p, seed=args.seed,
+    )
+
+
+def _cmd_extract(args) -> int:
+    a = read_matrix_market(args.matrix)
+    result = extract_linear_forest(a, _config_from(args, 2))
+    print(f"matrix: N={a.n_rows}, nnz={a.nnz}")
+    print(f"c_id (natural order):   {identity_coverage(a):.4f}")
+    print(f"linear-forest coverage: {result.coverage:.4f}")
+    from .analysis import forest_statistics
+
+    stats = forest_statistics(a, result.forest, result.paths)
+    print(f"paths: {stats.summary()}")
+    print(f"cycles broken: {result.broken.n_cycles}")
+    for phase, frac in result.timings.fractions().items():
+        print(f"  {phase}: {100 * frac:.1f}%")
+    if args.perm_out:
+        np.savetxt(args.perm_out, result.perm, fmt="%d")
+        print(f"permutation written to {args.perm_out}")
+    if args.bands_out:
+        tri = result.tridiagonal
+        np.savetxt(args.bands_out, np.c_[tri.dl, tri.d, tri.du])
+        print(f"tridiagonal bands (dl, d, du) written to {args.bands_out}")
+    return 0
+
+
+def _cmd_factor(args) -> int:
+    a = read_matrix_market(args.matrix)
+    graph = prepare_graph(a)
+    if args.greedy:
+        factor = greedy_factor(graph, args.n)
+        label = "greedy (Algorithm 1)"
+    else:
+        res = parallel_factor(graph, _config_from(args, args.n))
+        factor = res.factor
+        label = f"parallel (Algorithm 2), {res.iterations} rounds" + (
+            f", maximal after {res.m_max}" if res.m_max else ""
+        )
+    print(f"[0,{args.n}]-factor via {label}")
+    print(f"edges: {factor.edge_count}  coverage: {coverage(a, factor):.4f}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    a = read_matrix_market(args.matrix)
+    n = a.n_rows
+    if args.rhs:
+        b = np.loadtxt(args.rhs)
+        x_t = None
+    else:
+        x_t = np.sin(16.0 * np.pi * np.arange(n) / n)
+        b = a.matvec(x_t)
+        print("rhs built from the paper's test problem x_t[i] = sin(16*pi*i/N)")
+    precond = _PRECONDITIONERS[args.preconditioner](a)
+    res = bicgstab(
+        a, b, preconditioner=precond, tol=args.tol,
+        max_iterations=args.max_solver_iterations, true_solution=x_t,
+    )
+    h = res.history
+    print(f"preconditioner: {precond.name} (coverage {precond.coverage:.3f})")
+    print(f"converged: {res.converged} after {h.n_iterations} iterations")
+    print(f"final relative residual: {h.final_residual:.3e}")
+    if h.final_forward_error is not None:
+        print(f"final forward relative error: {h.final_forward_error:.3e}")
+    if args.solution_out:
+        np.savetxt(args.solution_out, res.x)
+        print(f"solution written to {args.solution_out}")
+    return 0 if res.converged else 1
+
+
+def _cmd_transversal(args) -> int:
+    from .sparse import maximum_transversal, transversal_scaling
+
+    a = read_matrix_market(args.matrix)
+    t = maximum_transversal(a)
+    diag = np.abs(a.gather(np.arange(a.n_rows), t.col_of_row))
+    print(f"maximum product transversal of N={a.n_rows}: "
+          f"log10 diagonal product = {np.log10(diag).sum():.3f}")
+    print(f"smallest matched |entry|: {diag.min():.3e}")
+    if args.perm_out:
+        np.savetxt(args.perm_out, t.col_of_row, fmt="%d")
+        print(f"column permutation written to {args.perm_out}")
+    if args.scaling_out:
+        dr, dc = transversal_scaling(a, t)
+        np.savetxt(args.scaling_out, np.c_[dr, dc])
+        print(f"row/column scalings written to {args.scaling_out}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    a = build_matrix(args.name, scale=args.scale)
+    symmetry = "symmetric" if a.is_symmetric(tol=0.0) else "general"
+    write_matrix_market(a, args.output, symmetry=symmetry)
+    print(f"{args.name}: N={a.n_rows}, nnz={a.nnz} -> {args.output} ({symmetry})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Linear-forest extraction from weighted graphs "
+                    "(Klein & Strzodka, ICPP 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("extract", help="extract a linear forest + tridiagonal system")
+    p.add_argument("matrix", help="Matrix Market file")
+    p.add_argument("--perm-out", help="write the permutation here")
+    p.add_argument("--bands-out", help="write the tridiagonal bands here")
+    _add_config_args(p)
+    p.set_defaults(func=_cmd_extract)
+
+    p = sub.add_parser("factor", help="compute a [0,n]-factor")
+    p.add_argument("matrix", help="Matrix Market file")
+    p.add_argument("-n", type=int, default=2, help="degree bound (default 2)")
+    p.add_argument("--greedy", action="store_true", help="use sequential Algorithm 1")
+    _add_config_args(p)
+    p.set_defaults(func=_cmd_factor)
+
+    p = sub.add_parser("solve", help="BiCGStab with an algebraic preconditioner")
+    p.add_argument("matrix", help="Matrix Market file")
+    p.add_argument("--preconditioner", choices=sorted(_PRECONDITIONERS),
+                   default="algtriscal")
+    p.add_argument("--rhs", help="right-hand side file (one value per line)")
+    p.add_argument("--tol", type=float, default=1e-8)
+    p.add_argument("--max-solver-iterations", type=int, default=2000)
+    p.add_argument("--solution-out", help="write the solution here")
+    _add_config_args(p)
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser(
+        "transversal",
+        help="maximum product transversal (permute large entries to the diagonal)",
+    )
+    p.add_argument("matrix", help="Matrix Market file")
+    p.add_argument("--perm-out", help="write the column permutation here")
+    p.add_argument("--scaling-out", help="write MC64 row/col scalings here")
+    p.set_defaults(func=_cmd_transversal)
+
+    p = sub.add_parser("generate", help="write a bundled suite matrix")
+    p.add_argument("name", choices=sorted(SUITE))
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""The paper's primary contribution: [0,n]-factors and linear forests.
+
+Layout (paper section in parentheses):
+
+* :mod:`~repro.core.structures` — the :class:`Factor` representation (§3.1).
+* :mod:`~repro.core.charge` — MD5-style vertex charging (§3.2, §4.1).
+* :mod:`~repro.core.greedy` — sequential greedy [0,n]-factor, Algorithm 1.
+* :mod:`~repro.core.factor` — parallel [0,n]-factor, Algorithm 2 (§3.2, §4.1).
+* :mod:`~repro.core.coverage` — weight-coverage metrics, Equations 3–5.
+* :mod:`~repro.core.scan` — the bidirectional scan engine, Algorithm 3 (§4.2).
+* :mod:`~repro.core.cycles` — cycle identification and weakest-edge breaking
+  (§3.3 step 1).
+* :mod:`~repro.core.paths` — path ids and positions (§3.3 step 2).
+* :mod:`~repro.core.permutation` — tridiagonalising permutation (§3.3 step 3).
+* :mod:`~repro.core.extraction` — coefficient extraction (§3.3 step 4, §4.3).
+* :mod:`~repro.core.pipeline` — the end-to-end linear-forest extraction with
+  the Figure 6 timing breakdown.
+* :mod:`~repro.core.sequential_forest` — the sequential CPU reference used as
+  the Figure 5 baseline.
+"""
+
+from .boruvka import SpanningForest, boruvka_forest
+from .charge import vertex_charges
+from .coloring import color_graph, is_valid_coloring
+from .coverage import coverage, factor_weight, graph_weight, identity_coverage
+from .cycles import break_cycles, detect_cycles
+from .extraction import TridiagonalSystem, extract_tridiagonal
+from .factor import ParallelFactorConfig, ParallelFactorResult, parallel_factor
+from .greedy import greedy_factor
+from .paths import PathInfo, identify_paths
+from .permutation import forest_permutation, is_tridiagonal_under
+from .pipeline import LinearForestResult, extract_linear_forest
+from .rcm import band_weight_fraction, bandwidth, rcm_ordering
+from .scan import AddOperator, BidirectionalScan, MinEdgeOperator
+from .sequential_forest import sequential_linear_forest
+from .serialization import (
+    load_factor,
+    load_forest_ordering,
+    save_factor,
+    save_forest_ordering,
+)
+from .structures import Factor
+
+__all__ = [
+    "AddOperator",
+    "BidirectionalScan",
+    "Factor",
+    "LinearForestResult",
+    "MinEdgeOperator",
+    "ParallelFactorConfig",
+    "ParallelFactorResult",
+    "PathInfo",
+    "SpanningForest",
+    "TridiagonalSystem",
+    "band_weight_fraction",
+    "bandwidth",
+    "boruvka_forest",
+    "break_cycles",
+    "color_graph",
+    "is_valid_coloring",
+    "coverage",
+    "detect_cycles",
+    "extract_linear_forest",
+    "extract_tridiagonal",
+    "factor_weight",
+    "forest_permutation",
+    "graph_weight",
+    "greedy_factor",
+    "identify_paths",
+    "identity_coverage",
+    "is_tridiagonal_under",
+    "load_factor",
+    "load_forest_ordering",
+    "parallel_factor",
+    "rcm_ordering",
+    "save_factor",
+    "save_forest_ordering",
+    "sequential_linear_forest",
+    "vertex_charges",
+]

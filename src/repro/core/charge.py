@@ -1,0 +1,81 @@
+"""Vertex charging (Section 3.2 / 4.1 of the paper).
+
+Before an edge-proposition round, every vertex is charged **positive** with
+probability ``p`` or **negative** with probability ``1 - p`` and may only
+propose to vertices of the opposite charge.  The charge must be a pure
+function of the vertex id and the iteration index ``k`` (each simulated
+thread recomputes it independently), so the paper — following Auer &
+Bisseling's GPU graph matching — derives it from a part of the MD5 algorithm.
+
+:func:`vertex_charges` reproduces that construction with a vectorized MD5
+quarter-round: the nonlinear MD5 mixing function, addition of MD5 sine-table
+constants, and left-rotations, applied to (vertex id, k, seed).  Only the
+statistical properties matter for Algorithm 2 — determinism, an approximately
+``p``-biased marginal, and decorrelation across ``k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["vertex_charges", "charge_hash"]
+
+# The first four entries of the MD5 sine table T[i] = floor(2^32 |sin(i+1)|).
+_MD5_T = (0xD76AA478, 0xE8C7B756, 0x242070DB, 0xC1BDCEEE)
+# MD5 chaining-variable initial values.
+_MD5_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+_ROTATIONS = (7, 12, 17, 22)
+
+
+def _rotl32(x: np.ndarray, r: int) -> np.ndarray:
+    return (x << np.uint32(r)) | (x >> np.uint32(32 - r))
+
+
+def _md5_f(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """The round-1 MD5 nonlinear function F(x,y,z) = (x & y) | (~x & z)."""
+    return (x & y) | (~x & z)
+
+
+def charge_hash(ids: np.ndarray, k: int, seed: int = 0) -> np.ndarray:
+    """A 32-bit hash of (vertex id, iteration k, seed), MD5-round style."""
+    with np.errstate(over="ignore"):
+        m = np.asarray(ids, dtype=np.uint32)
+        a = np.full_like(m, _MD5_INIT[0])
+        b = np.full_like(m, _MD5_INIT[1])
+        c = np.full_like(m, _MD5_INIT[2])
+        d = np.full_like(m, _MD5_INIT[3])
+        words = (
+            m,
+            np.uint32(k & 0xFFFFFFFF),
+            np.uint32(seed & 0xFFFFFFFF),
+            m ^ np.uint32((k * 0x9E3779B9) & 0xFFFFFFFF),
+        )
+        for i in range(4):
+            a, d, c, b = (
+                d,
+                c,
+                b,
+                b + _rotl32(a + _md5_f(b, c, d) + words[i] + np.uint32(_MD5_T[i]), _ROTATIONS[i]),
+            )
+        return (a + b + c + d).astype(np.uint32)
+
+
+def vertex_charges(
+    n_vertices: int,
+    k: int,
+    *,
+    p: float = 0.5,
+    seed: int = 0,
+) -> np.ndarray:
+    """Charges for all vertices at iteration ``k``.
+
+    Returns a boolean array, ``True`` = positive(+).  ``p`` is the positive
+    probability; the paper uses ``p = 0.5`` (the rounded optimum from Auer &
+    Bisseling's matching study).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    ids = np.arange(n_vertices, dtype=np.uint32)
+    h = charge_hash(ids, k, seed)
+    threshold = np.uint64(int(p * float(2**32)))
+    return h.astype(np.uint64) < threshold

@@ -1,0 +1,90 @@
+"""Cycle identification and weakest-edge breaking (Section 3.3, step 1).
+
+A [0,2]-factor decomposes into disjoint paths and cycles.  To turn it into a
+linear forest, every cycle is broken by removing its *weakest* edge, keeping
+the factor weight ω_π as large as possible.  Both the detection (a lane that
+is still positive after ⌈log₂N⌉ scan steps never reached a path end) and the
+per-cycle minimum (the :class:`~repro.core.scan.MinEdgeOperator` payload) run
+on the bidirectional scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.device import Device
+from ..errors import ScanError
+from ..sparse.csr import CSRMatrix
+from .scan import BidirectionalScan, MinEdgeOperator, NullOperator
+from .structures import Factor
+
+__all__ = ["BrokenCycles", "break_cycles", "detect_cycles"]
+
+
+def detect_cycles(factor: Factor, *, device: Device | None = None) -> np.ndarray:
+    """Boolean mask of vertices that lie on a cycle of the [0,2]-factor."""
+    scan = BidirectionalScan(factor, device=device)
+    return scan.run(NullOperator()).cycle_mask
+
+
+@dataclass(frozen=True)
+class BrokenCycles:
+    """Result of :func:`break_cycles`."""
+
+    forest: Factor
+    removed_u: np.ndarray
+    removed_v: np.ndarray
+    cycle_mask: np.ndarray
+
+    @property
+    def n_cycles(self) -> int:
+        return int(self.removed_u.size)
+
+
+def break_cycles(
+    factor: Factor,
+    graph: CSRMatrix,
+    *,
+    device: Device | None = None,
+) -> BrokenCycles:
+    """Remove the weakest edge of every cycle of a [0,2]-factor.
+
+    ``graph`` supplies the edge weights (the prepared adjacency A').  All
+    vertices of a cycle agree on its weakest edge because edges are ordered
+    by the unique triple (|weight|, min id, max id); each cycle therefore
+    loses exactly one edge, and the result is a linear forest.
+    """
+    scan = BidirectionalScan(factor, device=device)
+    result = scan.run(MinEdgeOperator(), graph)
+    cycle_mask = result.cycle_mask
+    if not bool(cycle_mask.any()):
+        return BrokenCycles(
+            forest=factor,
+            removed_u=np.empty(0, dtype=np.int64),
+            removed_v=np.empty(0, dtype=np.int64),
+            cycle_mask=cycle_mask,
+        )
+    w = result.payload["w"]
+    u = result.payload["u"]
+    v = result.payload["v"]
+    # per cycle vertex: lexicographic min over the two lanes
+    lane1_smaller = (w[:, 1] < w[:, 0]) | (
+        (w[:, 1] == w[:, 0]) & ((u[:, 1] < u[:, 0]) | ((u[:, 1] == u[:, 0]) & (v[:, 1] < v[:, 0])))
+    )
+    lane = lane1_smaller.astype(np.int64)
+    rows = np.arange(factor.n_vertices, dtype=np.int64)
+    min_u = u[rows, lane]
+    min_v = v[rows, lane]
+    cyc = np.flatnonzero(cycle_mask)
+    if bool(np.isinf(w[cyc, lane[cyc]]).any()):
+        raise ScanError("cycle vertex without a resolved weakest edge")
+    pairs = np.stack([min_u[cyc], min_v[cyc]], axis=1)
+    pairs = np.unique(pairs, axis=0)
+    removed_u = pairs[:, 0]
+    removed_v = pairs[:, 1]
+    forest = factor.remove_edges(removed_u, removed_v)
+    return BrokenCycles(
+        forest=forest, removed_u=removed_u, removed_v=removed_v, cycle_mask=cycle_mask
+    )

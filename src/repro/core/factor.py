@@ -1,0 +1,257 @@
+"""Parallel [0,n]-factor computation — Algorithm 2 of the paper.
+
+Each iteration ``k`` runs three kernel launches:
+
+1. **charge** — assign every vertex a ± charge (skipped when
+   ``k mod m == k_m``, the un-charged rounds that also host the maximality
+   check).
+2. **propose** — every vertex proposes up to ``n - |π(v)|`` additional edges,
+   choosing its strongest eligible neighbours.  Eligible are neighbours that
+   are not already full (|π'(w)| = n), not already confirmed partners, and —
+   on charged rounds — of opposite charge.  This is the generalized SpMV of
+   Section 4.1: the ⊗ functor computes eligibility-masked |weights| (with the
+   indirect lookup into the confirmed-edges vector ``x``), the ⊕ reduction is
+   the top-n accumulator of Table 1 (:func:`repro.sparse.topn.top_n_per_row`).
+3. **mutualize** — keep only mutually proposed edges (Alg. 2 line 27); the
+   survivors join the confirmed set.
+
+If an un-charged round proposes nothing, the factor is maximal and the
+algorithm returns ``M_max = k + 1`` (Alg. 2 lines 23-24).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import INDEX_DTYPE, require
+from ..device.device import Device, default_device
+from ..errors import FactorError, ShapeError
+from ..sparse.csr import CSRMatrix
+from ..sparse.topn import top_n_per_row
+from .charge import vertex_charges
+from .coverage import coverage as coverage_of
+from .structures import NO_PARTNER, Factor
+
+__all__ = [
+    "ParallelFactorConfig",
+    "ParallelFactorResult",
+    "parallel_factor",
+    "propose_edges",
+]
+
+
+@dataclass(frozen=True)
+class ParallelFactorConfig:
+    """Parameters of Algorithm 2.
+
+    Attributes
+    ----------
+    n:
+        Degree bound of the factor (the paper evaluates n = 1..4).
+    max_iterations:
+        ``M`` — the upper limit on proposition rounds.  The paper's default
+        configuration is ``M = 5``.
+    m, k_m:
+        Charging schedule: charging is *disabled* on iterations with
+        ``k mod m == k_m``.  ``(m, k_m) = (1, 0)`` disables charging entirely;
+        the paper's default is ``(5, 0)``.
+    p:
+        Probability of a positive charge (paper: 0.5).
+    seed:
+        Extra entropy fed into the charge hash.
+    """
+
+    n: int = 2
+    max_iterations: int = 5
+    m: int = 5
+    k_m: int = 0
+    p: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.n >= 1, f"n must be >= 1, got {self.n}", ShapeError)
+        require(self.max_iterations >= 1, "max_iterations must be >= 1", ShapeError)
+        require(self.m >= 1, f"m must be >= 1, got {self.m}", ShapeError)
+        require(0 <= self.k_m < self.m, f"k_m must be in [0, m), got {self.k_m}", ShapeError)
+
+    def charging_enabled(self, k: int) -> bool:
+        """Whether vertex charging is active on iteration ``k``."""
+        return k % self.m != self.k_m
+
+
+@dataclass
+class ParallelFactorResult:
+    """Outcome of :func:`parallel_factor`."""
+
+    factor: Factor
+    iterations: int
+    m_max: int | None
+    converged: bool
+    coverage_history: list[float] = field(default_factory=list)
+    proposals_per_iteration: list[int] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float | None:
+        """Final coverage, when history tracking was enabled."""
+        return self.coverage_history[-1] if self.coverage_history else None
+
+
+def propose_edges(
+    graph: CSRMatrix,
+    confirmed: np.ndarray,
+    n: int,
+    *,
+    charges: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One edge-proposition kernel launch (Alg. 2 lines 14-22).
+
+    Parameters
+    ----------
+    graph:
+        The prepared (symmetric, non-negative, zero-diagonal) adjacency A'.
+    confirmed:
+        ``(N, n)`` confirmed-partner array π' (``-1`` padded) — the indirect
+        lookup vector ``x`` of the generalized SpMV.
+    charges:
+        Per-vertex charges for this round, or ``None`` on un-charged rounds.
+
+    Returns ``(prop_cols, prop_vals, prop_counts)`` — the per-vertex proposal
+    slots, their weights (written when ``n == 2`` for the later cycle scan,
+    see Table 2; here always returned) and the number of proposals per vertex.
+    """
+    n_vertices = graph.n_rows
+    if confirmed.shape != (n_vertices, n):
+        raise ShapeError(f"confirmed must have shape {(n_vertices, n)}")
+    rows_nnz = graph.nnz_rows
+    cols = graph.indices
+    degree = (confirmed != NO_PARTNER).sum(axis=1).astype(INDEX_DTYPE)
+    eligible = degree[cols] < n
+    eligible &= cols != rows_nnz
+    if charges is not None:
+        eligible &= charges[rows_nnz] != charges[cols]
+    # exclude neighbours that are already confirmed partners of the row
+    eligible &= ~(confirmed[rows_nnz] == cols[:, None]).any(axis=1)
+    capacity = n - degree
+    return top_n_per_row(
+        graph.indptr,
+        cols,
+        graph.data,
+        n,
+        eligible=eligible,
+        capacity=capacity,
+    )
+
+
+def _confirm_mutual(
+    confirmed: np.ndarray,
+    degree: np.ndarray,
+    prop_cols: np.ndarray,
+) -> int:
+    """Keep mutually proposed edges (Alg. 2 line 27); returns #new entries."""
+    valid = prop_cols != NO_PARTNER
+    v_idx, slots = np.nonzero(valid)
+    if v_idx.size == 0:
+        return 0
+    w = prop_cols[v_idx, slots]
+    mutual = (prop_cols[w] == v_idx[:, None]).any(axis=1)
+    new_v = v_idx[mutual]
+    new_w = w[mutual]
+    if new_v.size == 0:
+        return 0
+    # new_v is sorted (row-major nonzero); occurrence rank gives the slot
+    occ = np.arange(new_v.size, dtype=INDEX_DTYPE) - np.searchsorted(new_v, new_v, side="left")
+    confirmed[new_v, degree[new_v] + occ] = new_w
+    return int(new_v.size)
+
+
+def parallel_factor(
+    graph: CSRMatrix,
+    config: ParallelFactorConfig | None = None,
+    *,
+    device: Device | None = None,
+    coverage_matrix: CSRMatrix | None = None,
+) -> ParallelFactorResult:
+    """Run Algorithm 2 on a prepared graph.
+
+    Parameters
+    ----------
+    graph:
+        Output of :func:`repro.sparse.build.prepare_graph` — symmetric,
+        non-negative weights, empty diagonal.
+    config:
+        Algorithm parameters; defaults to the paper's default configuration
+        (n = 2, M = 5, m = 5, k_m = 0, p = 0.5).
+    device:
+        Device used for kernel-launch accounting.
+    coverage_matrix:
+        When given, the coverage history c_π(k) is tracked against this
+        (original) matrix after every iteration — this is how Table 4 reports
+        c_π(5) and c_π(M_max) per configuration.
+    """
+    config = config or ParallelFactorConfig()
+    device = device or default_device()
+    n_vertices = graph.n_rows
+    n = config.n
+    if graph.n_rows != graph.n_cols:
+        raise ShapeError("graph adjacency must be square")
+    if graph.nnz and bool((graph.data < 0).any()):
+        raise FactorError("graph weights must be non-negative; run prepare_graph first")
+
+    confirmed = np.full((n_vertices, n), NO_PARTNER, dtype=INDEX_DTYPE)
+    coverage_history: list[float] = []
+    proposals_history: list[int] = []
+    m_max: int | None = None
+    converged = False
+    iterations = 0
+
+    # the proposition's sort key depends only on the graph: hoist it out of
+    # the rounds (see repro.core.proposer)
+    from .proposer import PreparedProposer
+
+    proposer = PreparedProposer(graph)
+
+    for k in range(config.max_iterations):
+        charging = config.charging_enabled(k)
+        charges = None
+        if charging:
+            with device.launch(f"charge[k={k}]", writes=()):
+                charges = vertex_charges(n_vertices, k, p=config.p, seed=config.seed)
+
+        with device.launch(
+            f"propose[k={k}]",
+            reads=(graph.data, graph.indices, graph.indptr, confirmed),
+        ):
+            prop_cols, _prop_vals, prop_counts = proposer.propose(
+                confirmed, n, charges=charges
+            )
+        total_proposals = int(prop_counts.sum())
+        proposals_history.append(total_proposals)
+        iterations = k + 1
+
+        if total_proposals == 0 and not charging:
+            # |π(V)| = |π'(V)| on an un-charged round: the factor is maximal
+            m_max = k + 1
+            converged = True
+            if coverage_matrix is not None:
+                coverage_history.append(
+                    coverage_of(coverage_matrix, Factor(confirmed))
+                )
+            break
+
+        degree = (confirmed != NO_PARTNER).sum(axis=1).astype(INDEX_DTYPE)
+        with device.launch(f"mutualize[k={k}]", reads=(prop_cols,), writes=(confirmed,)):
+            _confirm_mutual(confirmed, degree, prop_cols)
+
+        if coverage_matrix is not None:
+            coverage_history.append(coverage_of(coverage_matrix, Factor(confirmed)))
+
+    return ParallelFactorResult(
+        factor=Factor(confirmed),
+        iterations=iterations,
+        m_max=m_max,
+        converged=converged,
+        coverage_history=coverage_history,
+        proposals_per_iteration=proposals_history,
+    )

@@ -1,0 +1,78 @@
+"""Path ids and positions (Section 3.3, step 2 — Algorithm 3).
+
+For an *acyclic* [0,2]-factor (a linear forest), the bidirectional scan with
+the addition payload determines, for every vertex, both path ends and the
+distance to each.  The paper's convention: *"We define the path ID as the
+minimum ID of the vertices at the path ends, and this defines also the
+orientation: the vertex at the path end with the smaller ID is at position 1,
+its neighbor at position 2, etc."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..device.device import Device
+from ..errors import ScanError
+from .scan import AddOperator, BidirectionalScan, decode_end
+from .structures import Factor
+
+__all__ = ["PathInfo", "identify_paths"]
+
+
+@dataclass(frozen=True)
+class PathInfo:
+    """Per-vertex path id and 1-based position within the path."""
+
+    path_id: np.ndarray
+    position: np.ndarray
+
+    @property
+    def n_vertices(self) -> int:
+        return int(self.path_id.size)
+
+    @cached_property
+    def path_ids(self) -> np.ndarray:
+        """Sorted unique path ids (each is the minimum end id of its path)."""
+        return np.unique(self.path_id)
+
+    @property
+    def n_paths(self) -> int:
+        return int(self.path_ids.size)
+
+    def path_sizes(self) -> np.ndarray:
+        """Number of vertices of each path, aligned with :attr:`path_ids`."""
+        return np.unique(self.path_id, return_counts=True)[1]
+
+    def vertices_of(self, path_id: int) -> np.ndarray:
+        """Vertices of one path, ordered by position."""
+        members = np.flatnonzero(self.path_id == path_id)
+        return members[np.argsort(self.position[members], kind="stable")]
+
+
+def identify_paths(
+    forest: Factor,
+    *,
+    device: Device | None = None,
+) -> PathInfo:
+    """Run the position scan on a linear forest.
+
+    Raises :class:`~repro.errors.ScanError` when the factor still contains a
+    cycle — run :func:`repro.core.cycles.break_cycles` first.
+    """
+    scan = BidirectionalScan(forest, device=device)
+    result = scan.run(AddOperator())
+    if bool(result.cycle_mask.any()):
+        n_bad = int(result.cycle_mask.sum())
+        raise ScanError(
+            f"{n_bad} vertices lie on cycles; identify_paths requires a linear forest"
+        )
+    ends = decode_end(result.q)  # (N, 2) end vertex ids per lane
+    r = result.payload["r"]
+    # Alg. 3 lines 30-32: choose the lane pointing at the smaller end id.
+    lane = np.argmin(ends, axis=1)
+    rows = np.arange(forest.n_vertices, dtype=np.int64)
+    return PathInfo(path_id=ends[rows, lane], position=r[rows, lane])

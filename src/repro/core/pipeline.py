@@ -1,0 +1,112 @@
+"""End-to-end linear-forest extraction with the Figure 6 timing breakdown.
+
+The four steps of Section 3.3 — [0,2]-factor, cycle breaking, path
+identification, permutation + coefficient extraction — orchestrated into one
+call.  Phase wall-clock times are recorded under the same labels as the
+paper's Figure 6 time breakdown ("[0,2]-factor computation", "bidirectional
+scans", "coefficient extraction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.device import Device, default_device
+from ..device.profiler import TimingBreakdown
+from ..sparse.build import prepare_graph
+from ..sparse.csr import CSRMatrix
+from .coverage import coverage as coverage_of
+from .cycles import BrokenCycles, break_cycles
+from .extraction import TridiagonalSystem, extract_tridiagonal
+from .factor import ParallelFactorConfig, ParallelFactorResult, parallel_factor
+from .paths import PathInfo, identify_paths
+from .permutation import forest_permutation
+from .structures import Factor
+
+__all__ = ["LinearForestResult", "extract_linear_forest"]
+
+PHASE_FACTOR = "[0,2]-factor"
+PHASE_SCANS = "bidirectional scans"
+PHASE_EXTRACT = "coefficient extraction"
+
+
+@dataclass(frozen=True)
+class LinearForestResult:
+    """Everything the pipeline produces.
+
+    Attributes
+    ----------
+    graph:
+        The prepared adjacency ``A'`` (or ``A' + A'^T``).
+    factor_result:
+        The raw parallel [0,2]-factor outcome (may contain cycles).
+    broken:
+        Cycle-breaking outcome; ``broken.forest`` is the linear forest.
+    paths:
+        Per-vertex path id and position.
+    perm:
+        ``perm[k]`` = old id of the vertex at new position ``k``.
+    tridiagonal:
+        The extracted tridiagonal system in the permuted space.
+    coverage:
+        c_π of the linear forest with respect to the original matrix.
+    timings:
+        Wall-clock breakdown over the three Figure 6 phases.
+    """
+
+    graph: CSRMatrix
+    factor_result: ParallelFactorResult
+    broken: BrokenCycles
+    paths: PathInfo
+    perm: np.ndarray
+    tridiagonal: TridiagonalSystem
+    coverage: float
+    timings: TimingBreakdown
+
+    @property
+    def forest(self) -> Factor:
+        return self.broken.forest
+
+
+def extract_linear_forest(
+    a: CSRMatrix,
+    config: ParallelFactorConfig | None = None,
+    *,
+    device: Device | None = None,
+) -> LinearForestResult:
+    """Run the complete pipeline of the paper on an input matrix ``A``.
+
+    ``config.n`` must be 2 (linear forests come from [0,2]-factors); the
+    remaining parameters default to the paper's default configuration
+    (M = 5, m = 5, k_m = 0, p = 0.5).
+    """
+    config = config or ParallelFactorConfig(n=2)
+    if config.n != 2:
+        raise ValueError(f"linear-forest extraction requires n=2, got n={config.n}")
+    device = device or default_device()
+    timings = TimingBreakdown()
+
+    with timings.phase(PHASE_FACTOR):
+        graph = prepare_graph(a)
+        factor_result = parallel_factor(graph, config, device=device)
+
+    with timings.phase(PHASE_SCANS):
+        broken = break_cycles(factor_result.factor, graph, device=device)
+        paths = identify_paths(broken.forest, device=device)
+        perm = forest_permutation(paths)
+
+    with timings.phase(PHASE_EXTRACT):
+        tridiagonal = extract_tridiagonal(a, broken.forest, perm, device=device)
+
+    return LinearForestResult(
+        graph=graph,
+        factor_result=factor_result,
+        broken=broken,
+        paths=paths,
+        perm=perm,
+        tridiagonal=tridiagonal,
+        coverage=coverage_of(a, broken.forest),
+        timings=timings,
+    )

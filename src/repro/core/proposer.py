@@ -1,0 +1,84 @@
+"""Amortized edge proposition: sort once, propose every round in O(nnz).
+
+Profiling the pipeline (cf. the optimization workflow the repo follows:
+measure first) shows Algorithm 2's rounds are dominated by the global
+``lexsort`` inside :func:`repro.sparse.topn.top_n_per_row` — yet the sort
+key ``(row, -|weight|, position)`` depends only on the *graph*, not on the
+round.  :class:`PreparedProposer` hoists that sort out of the iteration:
+per round, only the eligibility mask and a segmented cumulative count remain
+(pure O(nnz) passes).
+
+Results are bit-identical to :func:`repro.core.factor.propose_edges` — the
+sorted order encodes exactly the Table 1 tie-breaking — which the test-suite
+asserts; :func:`repro.core.factor.parallel_factor` uses the prepared path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import INDEX_DTYPE, VALUE_DTYPE
+from ..errors import ShapeError
+from ..sparse.csr import CSRMatrix
+from .structures import NO_PARTNER
+
+__all__ = ["PreparedProposer"]
+
+
+class PreparedProposer:
+    """Pre-sorted proposition kernel for repeated rounds on one graph."""
+
+    def __init__(self, graph: CSRMatrix):
+        self.graph = graph
+        rows = graph.nnz_rows
+        nnz = graph.nnz
+        position = np.arange(nnz, dtype=INDEX_DTYPE)
+        order = np.lexsort((position, -graph.data, rows))
+        self._rows = rows[order]
+        self._cols = graph.indices[order]
+        self._vals = graph.data[order]
+        # segment extents are unchanged (row is the primary sort key)
+        self._row_starts = graph.indptr[:-1]
+        self._row_lengths = graph.row_lengths
+        self._n_vertices = graph.n_rows
+
+    def propose(
+        self,
+        confirmed: np.ndarray,
+        n: int,
+        *,
+        charges: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One proposition round; same contract as ``propose_edges``."""
+        n_vertices = self._n_vertices
+        if confirmed.shape != (n_vertices, n):
+            raise ShapeError(f"confirmed must have shape {(n_vertices, n)}")
+        rows, cols, vals = self._rows, self._cols, self._vals
+        degree = (confirmed != NO_PARTNER).sum(axis=1).astype(INDEX_DTYPE)
+
+        eligible = degree[cols] < n
+        eligible &= cols != rows
+        if charges is not None:
+            eligible &= charges[rows] != charges[cols]
+        eligible &= ~(confirmed[rows] == cols[:, None]).any(axis=1)
+
+        capacity = n - degree
+        # rank of each nonzero among its row's eligible entries, in the
+        # pre-sorted (descending-value) order
+        elig_int = eligible.astype(INDEX_DTYPE)
+        cum = np.cumsum(elig_int)
+        base = np.zeros(n_vertices, dtype=INDEX_DTYPE)
+        non_empty = self._row_lengths > 0
+        starts = self._row_starts[non_empty]
+        base[non_empty] = cum[starts] - elig_int[starts]
+        rank = cum - 1 - base[rows]
+        selected = eligible & (rank < capacity[rows])
+
+        prop_cols = np.full((n_vertices, n), NO_PARTNER, dtype=INDEX_DTYPE)
+        prop_vals = np.zeros((n_vertices, n), dtype=VALUE_DTYPE)
+        counts = np.zeros(n_vertices, dtype=INDEX_DTYPE)
+        sel = np.flatnonzero(selected)
+        prop_cols[rows[sel], rank[sel]] = cols[sel]
+        prop_vals[rows[sel], rank[sel]] = vals[sel]
+        np.add.at(counts, rows[sel], 1)
+        return prop_cols, prop_vals, counts

@@ -1,0 +1,313 @@
+"""The bidirectional scan — Algorithm 3 / Section 4.2 of the paper.
+
+A [0,2]-factor is structured like a doubly-linked list *with unknown
+orientation*: every vertex knows its (at most two) neighbours but not which
+one is "forward".  Classical parallel scans (Thrust, CUB, parallel STL)
+require random-access iterators and cannot run on such a structure.  The
+bidirectional scan runs two pointer-jumping scans in both directions
+simultaneously with a butterfly access pattern (Figure 2): each vertex keeps a
+stride-q neighbour per direction and, per step, absorbs the payload of the
+segment behind that neighbour, doubling q.  ``log₂(N)`` kernel launches
+suffice even if all vertices lie on one path.
+
+Encoding (Section 4.2): a lane that has reached a path end stores the
+*negative 1-based id* of the end vertex, ``-(end + 1)``; a lane that is still
+positive after the final step proves its vertex lies on a cycle.
+
+All lane state lives in ping-pong buffers: a kernel reads the previous
+launch's snapshot (``q'``, ``r'`` in the paper) and writes fresh buffers, so
+no thread can observe a half-updated neighbour.
+
+The payload and its ⊕ are pluggable (the scan is "parameterized on the
+operation" like ``thrust::inclusive_scan``): :class:`AddOperator` computes
+path positions (step 2 of Section 3.3), :class:`MinEdgeOperator` finds the
+weakest edge of each cycle (step 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Protocol
+
+import numpy as np
+
+from .._validation import INDEX_DTYPE, VALUE_DTYPE
+from ..device.buffers import PingPong
+from ..device.device import Device, default_device
+from ..errors import ScanError
+from ..sparse.csr import CSRMatrix
+from .structures import NO_PARTNER, Factor
+
+__all__ = [
+    "AddOperator",
+    "BidirectionalScan",
+    "MaxVertexOperator",
+    "MinEdgeOperator",
+    "NullOperator",
+    "ScanResult",
+    "WeightedAddOperator",
+    "decode_end",
+    "is_path_end",
+    "scan_steps",
+]
+
+Payload = dict[str, np.ndarray]
+
+
+def is_path_end(q: np.ndarray) -> np.ndarray:
+    """A lane value marks a path end iff it is negative."""
+    return q < 0
+
+
+def decode_end(q: np.ndarray) -> np.ndarray:
+    """Recover the end-vertex id from a path-end marker ``-(end + 1)``."""
+    return -q - 1
+
+
+def scan_steps(n_vertices: int) -> int:
+    """Number of kernel launches: ⌈log₂(N)⌉ (Section 4.2)."""
+    if n_vertices <= 1:
+        return 0
+    return int(np.ceil(np.log2(n_vertices)))
+
+
+class ScanOperator(Protocol):
+    """The pluggable ⊕ of the bidirectional scan.
+
+    ``init`` produces the per-lane payload arrays of shape ``(N, 2)``;
+    ``combine`` merges the far segment's payload into the current one (both
+    arguments are flat selections of lane entries) and must be vectorized and
+    side-effect free.
+    """
+
+    def init(self, factor: Factor, graph: CSRMatrix | None) -> Payload: ...
+
+    def combine(self, current: Payload, far: Payload) -> Payload: ...
+
+
+class NullOperator:
+    """No payload — used when only connectivity (cycle detection) matters."""
+
+    def init(self, factor: Factor, graph: CSRMatrix | None) -> Payload:
+        return {}
+
+    def combine(self, current: Payload, far: Payload) -> Payload:
+        return {}
+
+
+class AddOperator:
+    """Path-position payload: each lane starts at 1 and sums over the path.
+
+    After the scan, the lane pointing at end ``e`` holds
+    ``dist(v, e) + 1`` — the 1-based position of ``v`` counted from ``e``
+    (Algorithm 3 lines 2 and 17).
+    """
+
+    def init(self, factor: Factor, graph: CSRMatrix | None) -> Payload:
+        return {"r": np.ones((factor.n_vertices, 2), dtype=INDEX_DTYPE)}
+
+    def combine(self, current: Payload, far: Payload) -> Payload:
+        return {"r": current["r"] + far["r"]}
+
+
+class WeightedAddOperator:
+    """Weighted path positions: each lane accumulates the |weight| of the
+    traversed edges instead of a unit step.
+
+    Demonstrates the Thrust-style operator parameterization of the scan: the
+    same butterfly computes, per vertex and direction, the total edge weight
+    between the vertex and the path end.  (The lane pointing at end ``e``
+    finally holds ``weight(v .. e) + 1`` — the ``+1`` mirrors the unit
+    initialisation of Algorithm 3 so that path ends report 1.)
+    """
+
+    def init(self, factor: Factor, graph: CSRMatrix | None) -> Payload:
+        if graph is None:
+            raise ScanError("WeightedAddOperator requires the weighted graph")
+        n_vertices = factor.n_vertices
+        ids = np.arange(n_vertices, dtype=INDEX_DTYPE)
+        r = np.ones((n_vertices, 2), dtype=VALUE_DTYPE)
+        for lane in (0, 1):
+            if lane < factor.n:
+                nbr = factor.neighbors[:, lane]
+            else:
+                nbr = np.full(n_vertices, NO_PARTNER, dtype=INDEX_DTYPE)
+            valid = nbr != NO_PARTNER
+            r[valid, lane] = np.abs(graph.gather(ids[valid], nbr[valid]))
+        return {"r": r}
+
+    def combine(self, current: Payload, far: Payload) -> Payload:
+        return {"r": current["r"] + far["r"]}
+
+
+class MaxVertexOperator:
+    """Broadcast the maximum vertex id of the component to every member.
+
+    The paper notes the scan can "find and broadcast a specific value" —
+    this is that use: an idempotent maximum, valid on paths *and* cycles.
+    """
+
+    def init(self, factor: Factor, graph: CSRMatrix | None) -> Payload:
+        n_vertices = factor.n_vertices
+        ids = np.arange(n_vertices, dtype=INDEX_DTYPE)
+        m = np.empty((n_vertices, 2), dtype=INDEX_DTYPE)
+        for lane in (0, 1):
+            if lane < factor.n:
+                nbr = factor.neighbors[:, lane]
+            else:
+                nbr = np.full(n_vertices, NO_PARTNER, dtype=INDEX_DTYPE)
+            m[:, lane] = np.where(nbr == NO_PARTNER, ids, np.maximum(ids, nbr))
+        return {"m": m}
+
+    def combine(self, current: Payload, far: Payload) -> Payload:
+        return {"m": np.maximum(current["m"], far["m"])}
+
+
+class MinEdgeOperator:
+    """Weakest-edge payload for cycle breaking (Section 3.3 step 1).
+
+    Each lane starts with the incident factor edge in its direction,
+    identified by the triple (|weight|, min endpoint, max endpoint) — *"the
+    weakest edge is uniquely identified by the weight and the IDs of the
+    incident vertices"*.  ⊕ is the lexicographic minimum, which is
+    idempotent, so the overlapping segment coverage that pointer jumping
+    produces on cycles is harmless.
+    """
+
+    _INF = np.iinfo(INDEX_DTYPE).max
+
+    def init(self, factor: Factor, graph: CSRMatrix | None) -> Payload:
+        if graph is None:
+            raise ScanError("MinEdgeOperator requires the weighted graph")
+        n_vertices = factor.n_vertices
+        ids = np.arange(n_vertices, dtype=INDEX_DTYPE)
+        w = np.full((n_vertices, 2), np.inf, dtype=VALUE_DTYPE)
+        u = np.full((n_vertices, 2), self._INF, dtype=INDEX_DTYPE)
+        v = np.full((n_vertices, 2), self._INF, dtype=INDEX_DTYPE)
+        for lane in (0, 1):
+            nbr = factor.neighbors[:, lane] if lane < factor.n else np.full(n_vertices, NO_PARTNER)
+            valid = nbr != NO_PARTNER
+            vv = ids[valid]
+            nn = nbr[valid]
+            w[valid, lane] = np.abs(graph.gather(vv, nn))
+            u[valid, lane] = np.minimum(vv, nn)
+            v[valid, lane] = np.maximum(vv, nn)
+        return {"w": w, "u": u, "v": v}
+
+    def combine(self, current: Payload, far: Payload) -> Payload:
+        take_far = far["w"] < current["w"]
+        tie_w = far["w"] == current["w"]
+        take_far |= tie_w & (far["u"] < current["u"])
+        take_far |= tie_w & (far["u"] == current["u"]) & (far["v"] < current["v"])
+        return {
+            "w": np.where(take_far, far["w"], current["w"]),
+            "u": np.where(take_far, far["u"], current["u"]),
+            "v": np.where(take_far, far["v"], current["v"]),
+        }
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Final lane state of a bidirectional scan."""
+
+    q: np.ndarray  # (N, 2) — markers -(end+1), or positive ids on cycles
+    payload: Mapping[str, np.ndarray]  # each (N, 2)
+    steps: int
+    launches: int
+
+    @property
+    def cycle_mask(self) -> np.ndarray:
+        """Vertices whose lanes never reached a path end lie on a cycle."""
+        return (self.q >= 0).any(axis=1)
+
+
+class BidirectionalScan:
+    """Runs Algorithm 3's butterfly pointer jumping on a [0,≤2]-factor."""
+
+    def __init__(self, factor: Factor, *, device: Device | None = None):
+        if factor.n > 2:
+            raise ScanError(
+                f"the bidirectional scan requires a [0,2]-factor, got n={factor.n}"
+            )
+        self.factor = factor
+        self.device = device or default_device()
+        n_vertices = factor.n_vertices
+        ids = np.arange(n_vertices, dtype=INDEX_DTYPE)
+        q0 = np.full((n_vertices, 2), 0, dtype=INDEX_DTYPE)
+        for lane in (0, 1):
+            if lane < factor.n:
+                nbr = factor.neighbors[:, lane]
+            else:
+                nbr = np.full(n_vertices, NO_PARTNER, dtype=INDEX_DTYPE)
+            # missing neighbours mark this very vertex as the path end
+            q0[:, lane] = np.where(nbr == NO_PARTNER, -(ids + 1), nbr)
+        self._q0 = q0
+        self._ids = ids
+
+    def run(
+        self,
+        operator: ScanOperator,
+        graph: CSRMatrix | None = None,
+        *,
+        steps: int | None = None,
+    ) -> ScanResult:
+        """Execute the scan with the given ⊕ operator.
+
+        ``steps`` defaults to ⌈log₂(N)⌉ — enough for a single path spanning
+        all vertices; pass a smaller value only for illustration (e.g. the
+        Figure 2 trace).
+        """
+        n_vertices = self.factor.n_vertices
+        n_steps = scan_steps(n_vertices) if steps is None else steps
+        ids = self._ids
+        q_pp = PingPong(self._q0)
+        payload0 = operator.init(self.factor, graph)
+        payload_pp = {name: PingPong(arr) for name, arr in payload0.items()}
+        launches = 0
+
+        for step in range(n_steps):
+            q_back = q_pp.back
+            p_back = {name: pp.back for name, pp in payload_pp.items()}
+            q_front = q_pp.front
+            p_front = {name: pp.front for name, pp in payload_pp.items()}
+            reads = [q_back, *p_back.values()]
+            writes = [q_front, *p_front.values()]
+            with self.device.launch(f"bidirectional-scan[step={step}]", reads=reads, writes=writes):
+                q_front[...] = q_back
+                for name in p_front:
+                    p_front[name][...] = p_back[name]
+                for lane in (0, 1):
+                    w = q_back[:, lane]
+                    active = ~is_path_end(w)
+                    idx = np.flatnonzero(active)
+                    if idx.size == 0:
+                        continue
+                    far = w[idx]
+                    far_q = q_back[far]  # (m, 2) — the neighbour's snapshot
+                    far_p = {name: p_back[name][far] for name in p_back}
+                    # Alg. 3 lines 15-20: both tuple entries of the far
+                    # neighbour are inspected; the one that is not this very
+                    # vertex extends the segment (sequential j = 0, 1
+                    # semantics: a second match overwrites the first).
+                    for j in (0, 1):
+                        extend = far_q[:, j] != ids[idx]
+                        sub = idx[extend]
+                        if sub.size == 0:
+                            continue
+                        current = {name: p_front[name][sub, lane] for name in p_front}
+                        contribution = {name: far_p[name][extend, j] for name in far_p}
+                        merged = operator.combine(current, contribution)
+                        for name in p_front:
+                            p_front[name][sub, lane] = merged[name]
+                        q_front[sub, lane] = far_q[extend, j]
+            launches += 1
+            q_pp.swap()
+            for pp in payload_pp.values():
+                pp.swap()
+
+        return ScanResult(
+            q=q_pp.back.copy(),
+            payload={name: pp.back.copy() for name, pp in payload_pp.items()},
+            steps=n_steps,
+            launches=launches,
+        )

@@ -1,0 +1,122 @@
+"""Sequential CPU reference for the linear-forest extraction (Figure 5).
+
+The paper compares its parallel GPU extraction against a sequential CPU
+version that *"performs far less work: it creates the permutation while the
+vertices are visited without an explicit sorting"*.  This module is that
+baseline: plain Python path walking.  It doubles as the oracle for the
+parallel pipeline — given the same [0,2]-factor it must produce the same
+path ids, positions and permutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import INDEX_DTYPE
+from ..sparse.csr import CSRMatrix
+from .structures import NO_PARTNER, Factor
+
+__all__ = ["SequentialForestResult", "sequential_linear_forest"]
+
+
+@dataclass(frozen=True)
+class SequentialForestResult:
+    forest: Factor
+    path_id: np.ndarray
+    position: np.ndarray
+    perm: np.ndarray
+    removed_edges: list[tuple[int, int]]
+
+
+def _edge_key(graph: CSRMatrix, a: int, b: int) -> tuple[float, int, int]:
+    w = abs(float(graph.gather(np.array([a]), np.array([b]))[0]))
+    return (w, min(a, b), max(a, b))
+
+
+def sequential_linear_forest(
+    factor: Factor,
+    graph: CSRMatrix,
+) -> SequentialForestResult:
+    """Break cycles and order paths, sequentially.
+
+    Pass 1 walks every cycle, finds its weakest edge (the unique minimum of
+    (|weight|, min id, max id)) and removes it.  Pass 2 visits vertices in
+    ascending id; every unvisited degree-≤1 vertex starts a new path — since
+    ids ascend, each path is first entered at its minimum end, which
+    reproduces the paper's path-id and orientation convention without any
+    sort.
+    """
+    n_vertices = factor.n_vertices
+    adjacency: list[list[int]] = [
+        [int(w) for w in row if w != NO_PARTNER] for row in factor.neighbors
+    ]
+    visited = np.zeros(n_vertices, dtype=bool)
+    removed: list[tuple[int, int]] = []
+
+    # pass 1: cycles --------------------------------------------------------
+    for start in range(n_vertices):
+        if visited[start] or len(adjacency[start]) != 2:
+            continue
+        # follow the chain; if it returns to start it is a cycle
+        chain = [start]
+        prev, cur = start, adjacency[start][0]
+        is_cycle = False
+        while True:
+            if cur == start:
+                is_cycle = True
+                break
+            if visited[cur]:
+                break  # joined an already-classified path stretch
+            chain.append(cur)
+            nxt = [w for w in adjacency[cur] if w != prev]
+            if not nxt:
+                break
+            prev, cur = cur, nxt[0]
+        for v in chain:
+            visited[v] = True
+        if not is_cycle:
+            continue
+        weakest = None
+        for idx, v in enumerate(chain):
+            w = chain[(idx + 1) % len(chain)]
+            key = _edge_key(graph, v, w)
+            if weakest is None or key < weakest:
+                weakest = key
+        assert weakest is not None
+        _, a, b = weakest
+        adjacency[a].remove(b)
+        adjacency[b].remove(a)
+        removed.append((a, b))
+    visited[:] = False
+
+    # pass 2: paths --------------------------------------------------------
+    path_id = np.full(n_vertices, -1, dtype=INDEX_DTYPE)
+    position = np.zeros(n_vertices, dtype=INDEX_DTYPE)
+    perm: list[int] = []
+    for start in range(n_vertices):
+        if visited[start] or len(adjacency[start]) > 1:
+            continue
+        pos = 1
+        prev, cur = -1, start
+        while cur != -1:
+            visited[cur] = True
+            path_id[cur] = start
+            position[cur] = pos
+            perm.append(cur)
+            pos += 1
+            nxt = [w for w in adjacency[cur] if w != prev]
+            prev, cur = cur, nxt[0] if nxt else -1
+
+    neighbors = np.full((n_vertices, 2), NO_PARTNER, dtype=INDEX_DTYPE)
+    for v, nbrs in enumerate(adjacency):
+        for slot, w in enumerate(nbrs):
+            neighbors[v, slot] = w
+    return SequentialForestResult(
+        forest=Factor(neighbors),
+        path_id=path_id,
+        position=position,
+        perm=np.asarray(perm, dtype=INDEX_DTYPE),
+        removed_edges=removed,
+    )

@@ -1,0 +1,83 @@
+"""Persistence for factors and linear-forest results (NumPy ``.npz``).
+
+Extracting a linear forest is the expensive setup step; downstream users
+(e.g. a solver service reusing one preconditioner across many right-hand
+sides) want to compute it once and reload it.  The format is a plain ``npz``
+archive with a format tag, so files are portable and inspectable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from .extraction import TridiagonalSystem
+from .paths import PathInfo
+from .structures import Factor
+
+__all__ = [
+    "load_factor",
+    "load_forest_ordering",
+    "save_factor",
+    "save_forest_ordering",
+]
+
+_FACTOR_TAG = "repro-factor-v1"
+_ORDERING_TAG = "repro-forest-ordering-v1"
+
+
+def save_factor(path, factor: Factor) -> None:
+    """Write a [0,n]-factor to ``path`` (.npz)."""
+    np.savez_compressed(
+        path, format=np.array(_FACTOR_TAG), neighbors=factor.neighbors
+    )
+
+
+def load_factor(path) -> Factor:
+    """Read a factor written by :func:`save_factor`."""
+    with np.load(path, allow_pickle=False) as data:
+        tag = str(data.get("format", ""))
+        if tag != _FACTOR_TAG:
+            raise FormatError(f"{path}: not a repro factor file (tag={tag!r})")
+        return Factor(data["neighbors"])
+
+
+def save_forest_ordering(
+    path,
+    *,
+    forest: Factor,
+    paths: PathInfo,
+    perm: np.ndarray,
+    tridiagonal: TridiagonalSystem | None = None,
+) -> None:
+    """Persist everything needed to reuse an extracted ordering."""
+    payload = {
+        "format": np.array(_ORDERING_TAG),
+        "neighbors": forest.neighbors,
+        "path_id": paths.path_id,
+        "position": paths.position,
+        "perm": np.asarray(perm),
+    }
+    if tridiagonal is not None:
+        payload["dl"] = tridiagonal.dl
+        payload["d"] = tridiagonal.d
+        payload["du"] = tridiagonal.du
+    np.savez_compressed(path, **payload)
+
+
+def load_forest_ordering(path):
+    """Read an ordering written by :func:`save_forest_ordering`.
+
+    Returns ``(forest, paths, perm, tridiagonal_or_None)``.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        tag = str(data.get("format", ""))
+        if tag != _ORDERING_TAG:
+            raise FormatError(f"{path}: not a repro ordering file (tag={tag!r})")
+        forest = Factor(data["neighbors"])
+        paths = PathInfo(path_id=data["path_id"], position=data["position"])
+        perm = data["perm"]
+        tri = None
+        if "d" in data:
+            tri = TridiagonalSystem(dl=data["dl"], d=data["d"], du=data["du"])
+        return forest, paths, perm, tri

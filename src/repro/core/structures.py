@@ -1,0 +1,187 @@
+"""The [0,n]-factor representation π (Section 3.1 of the paper).
+
+A [0,n]-factor is a spanning subgraph in which every vertex has degree at
+most ``n``.  Functionally, π maps each vertex to the set of its at most ``n``
+partners (condition 1), and membership is mutual: ``v ∈ π(w) ⇔ w ∈ π(v)``
+(condition 2 requires every included edge to exist in the graph).
+
+The storage is the GPU layout of the paper: an ``(N, n)`` array of partner
+ids with ``-1`` padding ("the confirmed edges vector ``x`` of length n·N",
+Section 4.1).  Valid entries are compacted to the front of each row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from .._validation import INDEX_DTYPE, require
+from ..errors import FactorError, ShapeError
+
+__all__ = ["Factor", "compact_rows"]
+
+#: Padding value for empty partner slots.
+NO_PARTNER = -1
+
+
+def compact_rows(neighbors: np.ndarray) -> np.ndarray:
+    """Stably push ``-1`` entries to the end of each row."""
+    is_empty = neighbors == NO_PARTNER
+    order = np.argsort(is_empty, axis=1, kind="stable")
+    return np.take_along_axis(neighbors, order, axis=1)
+
+
+@dataclass(frozen=True)
+class Factor:
+    """An immutable [0,n]-factor.
+
+    Attributes
+    ----------
+    neighbors:
+        ``(N, n)`` int64 array; row ``v`` lists π(v), ``-1`` padded at the
+        end.
+    """
+
+    neighbors: np.ndarray
+
+    def __post_init__(self) -> None:
+        neigh = np.ascontiguousarray(self.neighbors, dtype=INDEX_DTYPE)
+        require(neigh.ndim == 2, f"neighbors must be 2-D, got ndim={neigh.ndim}")
+        object.__setattr__(self, "neighbors", compact_rows(neigh))
+
+    # -- basic queries -----------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return int(self.neighbors.shape[0])
+
+    @property
+    def n(self) -> int:
+        """The degree bound of the factor."""
+        return int(self.neighbors.shape[1])
+
+    @cached_property
+    def degrees(self) -> np.ndarray:
+        """|π(v)| for every vertex."""
+        return (self.neighbors != NO_PARTNER).sum(axis=1).astype(INDEX_DTYPE)
+
+    @property
+    def size(self) -> int:
+        """Σ|π(v)| — twice the number of edges (the paper's |π(V)| measure)."""
+        return int(self.degrees.sum())
+
+    @property
+    def edge_count(self) -> int:
+        return self.size // 2
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Unique undirected edges as ``(u, v)`` arrays with ``u < v``."""
+        n_vertices, n = self.neighbors.shape
+        rows = np.repeat(np.arange(n_vertices, dtype=INDEX_DTYPE), n)
+        cols = self.neighbors.ravel()
+        keep = (cols != NO_PARTNER) & (rows < cols)
+        return rows[keep], cols[keep]
+
+    def contains_edges(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Boolean mask: is ``{u[i], v[i]}`` an edge of the factor?"""
+        u = np.asarray(u, dtype=INDEX_DTYPE)
+        v = np.asarray(v, dtype=INDEX_DTYPE)
+        return (self.neighbors[u] == v[..., None]).any(axis=-1)
+
+    # -- derived factors -----------------------------------------------------
+    def remove_edges(self, u: np.ndarray, v: np.ndarray) -> "Factor":
+        """Return a factor with the listed (undirected) edges removed."""
+        u = np.asarray(u, dtype=INDEX_DTYPE)
+        v = np.asarray(v, dtype=INDEX_DTYPE)
+        neigh = self.neighbors.copy()
+        # clear both directions; duplicates in the removal list are harmless
+        for a, b in ((u, v), (v, u)):
+            slots = neigh[a] == b[..., None]
+            rows = np.repeat(a, self.n)[slots.ravel()]
+            cols = np.tile(np.arange(self.n), a.size)[slots.ravel()]
+            neigh[rows, cols] = NO_PARTNER
+        return Factor(neigh)
+
+    def restrict_to(self, keep_mask: np.ndarray) -> "Factor":
+        """Drop all edges incident to vertices where ``keep_mask`` is False."""
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        if keep_mask.shape != (self.n_vertices,):
+            raise ShapeError("keep_mask must have one entry per vertex")
+        neigh = self.neighbors.copy()
+        neigh[~keep_mask] = NO_PARTNER
+        valid = neigh != NO_PARTNER
+        dropped = valid & ~keep_mask[np.where(valid, neigh, 0)]
+        neigh[dropped] = NO_PARTNER
+        return Factor(neigh)
+
+    # -- constructors -----------------------------------------------------
+    @staticmethod
+    def empty(n_vertices: int, n: int) -> "Factor":
+        return Factor(np.full((n_vertices, n), NO_PARTNER, dtype=INDEX_DTYPE))
+
+    @staticmethod
+    def from_edge_list(n_vertices: int, n: int, u, v) -> "Factor":
+        """Build a factor from undirected edges; raises if a degree exceeds n."""
+        u = np.asarray(u, dtype=INDEX_DTYPE)
+        v = np.asarray(v, dtype=INDEX_DTYPE)
+        neigh = np.full((n_vertices, n), NO_PARTNER, dtype=INDEX_DTYPE)
+        deg = np.zeros(n_vertices, dtype=INDEX_DTYPE)
+        for a, b in zip(u.tolist(), v.tolist()):
+            if a == b:
+                raise FactorError(f"self-loop at vertex {a}")
+            if deg[a] >= n or deg[b] >= n:
+                raise FactorError(f"edge ({a},{b}) exceeds the degree bound {n}")
+            neigh[a, deg[a]] = b
+            neigh[b, deg[b]] = a
+            deg[a] += 1
+            deg[b] += 1
+        return Factor(neigh)
+
+    # -- validation -----------------------------------------------------
+    def validate(self, graph=None) -> None:
+        """Check all factor invariants; raises :class:`FactorError`.
+
+        With ``graph`` (a prepared :class:`~repro.sparse.csr.CSRMatrix`) also
+        checks condition 2 of the paper: every factor edge exists in the
+        graph.
+        """
+        neigh = self.neighbors
+        n_vertices, n = neigh.shape
+        valid = neigh != NO_PARTNER
+        ids = np.arange(n_vertices, dtype=INDEX_DTYPE)[:, None]
+        if bool(((neigh < NO_PARTNER) | (neigh >= n_vertices)).any()):
+            raise FactorError("partner id out of range")
+        if bool((valid & (neigh == ids)).any()):
+            raise FactorError("self-loop in factor")
+        # no duplicate partners within a row
+        sorted_rows = np.sort(np.where(valid, neigh, np.iinfo(INDEX_DTYPE).max), axis=1)
+        if n > 1 and bool(
+            ((sorted_rows[:, 1:] == sorted_rows[:, :-1]) & (sorted_rows[:, 1:] != np.iinfo(INDEX_DTYPE).max)).any()
+        ):
+            raise FactorError("duplicate partner in factor row")
+        # mutuality
+        rows = np.repeat(ids.ravel(), n)[valid.ravel()]
+        cols = neigh.ravel()[valid.ravel()]
+        mutual = (neigh[cols] == rows[:, None]).any(axis=1)
+        if not bool(mutual.all()):
+            bad = rows[~mutual][0], cols[~mutual][0]
+            raise FactorError(f"non-mutual factor entry {bad}")
+        if graph is not None:
+            present = graph.contains(rows, cols)
+            if not bool(present.all()):
+                bad = rows[~present][0], cols[~present][0]
+                raise FactorError(f"factor edge {bad} does not exist in the graph")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Factor):
+            return NotImplemented
+        if self.neighbors.shape != other.neighbors.shape:
+            return False
+        # compare as sets per row (slot order is not semantic)
+        return bool(
+            np.array_equal(np.sort(self.neighbors, axis=1), np.sort(other.neighbors, axis=1))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - dataclass requirement
+        return hash((self.neighbors.shape, self.neighbors.tobytes()))

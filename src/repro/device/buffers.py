@@ -1,0 +1,56 @@
+"""Ping-pong (double) buffers.
+
+Section 4.2 of the paper: *"Each buffer mentioned above is allocated twice as
+an input and output buffer and used in a ping-pong fashion.  Otherwise, other
+threads might read a value of a neighboring vertex during the scan execution
+after the update for that vertex has already overwritten the original input
+value in memory."*
+
+A :class:`PingPong` owns two same-shaped arrays.  Kernels read from
+:attr:`back` and write to :attr:`front`; :meth:`swap` flips the roles between
+launches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PingPong"]
+
+
+class PingPong:
+    """A double-buffered array pair."""
+
+    def __init__(self, initial: np.ndarray):
+        self._a = np.array(initial, copy=True)
+        self._b = np.array(initial, copy=True)
+        self._front_is_a = True
+
+    @property
+    def front(self) -> np.ndarray:
+        """The output buffer of the current launch."""
+        return self._a if self._front_is_a else self._b
+
+    @property
+    def back(self) -> np.ndarray:
+        """The (read-only by convention) input buffer of the current launch."""
+        return self._b if self._front_is_a else self._a
+
+    def swap(self) -> None:
+        """Make the freshly written buffer the input of the next launch."""
+        self._front_is_a = not self._front_is_a
+
+    def publish(self) -> None:
+        """Copy :attr:`front` into :attr:`back` without swapping.
+
+        Used when a kernel only partially overwrites the buffer and the next
+        launch must observe a consistent full snapshot.
+        """
+        self.back[...] = self.front
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._a.nbytes + self._b.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PingPong(shape={self._a.shape}, dtype={self._a.dtype})"

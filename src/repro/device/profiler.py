@@ -1,0 +1,60 @@
+"""Wall-clock phase timers for the setup-time breakdown (Figure 6)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["PhaseTimer", "TimingBreakdown"]
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock time under a name (re-entrant not supported)."""
+
+    name: str
+    seconds: float = 0.0
+    calls: int = 0
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        start = time.perf_counter()
+        yield
+        self.seconds += time.perf_counter() - start
+        self.calls += 1
+
+
+@dataclass
+class TimingBreakdown:
+    """Named phase timers; renders the Figure 6 style breakdown."""
+
+    phases: dict[str, PhaseTimer] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        timer = self.phases.setdefault(name, PhaseTimer(name))
+        with timer.measure():
+            yield
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.phases.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Fraction of total time per phase (empty dict if nothing timed)."""
+        total = self.total_seconds
+        if total <= 0.0:
+            return {}
+        return {name: t.seconds / total for name, t in self.phases.items()}
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: t.seconds for name, t in self.phases.items()}
+
+    def merge(self, other: "TimingBreakdown") -> None:
+        """Accumulate another breakdown into this one (matching names add)."""
+        for name, timer in other.phases.items():
+            mine = self.phases.setdefault(name, PhaseTimer(name))
+            mine.seconds += timer.seconds
+            mine.calls += timer.calls

@@ -1,0 +1,83 @@
+"""Profiler-style reporting over a device's launch records.
+
+The paper measures its kernels with NVIDIA Nsight Compute; this module is
+the simulator's analogue: aggregate the :class:`~repro.device.device.Device`
+launch log by kernel name and render runtimes, traffic and achieved
+throughput, plus modeled GPU-time under the roofline cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import render_table
+from .costmodel import CostModel
+from .device import Device, KernelRecord
+
+__all__ = ["KernelSummary", "render_trace", "summarize"]
+
+
+@dataclass(frozen=True)
+class KernelSummary:
+    """Aggregated statistics for one kernel name (launch indices stripped)."""
+
+    name: str
+    launches: int
+    seconds: float
+    bytes_total: int
+
+    @property
+    def achieved_gbs(self) -> float:
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.bytes_total / self.seconds / 1e9
+
+    def modeled_seconds(self, cost: CostModel) -> float:
+        return cost.seconds(self.bytes_total)
+
+
+def _base_name(record: KernelRecord) -> str:
+    """Strip the per-iteration suffix: ``propose[k=3]`` -> ``propose``."""
+    return record.name.split("[", 1)[0]
+
+
+def summarize(device: Device) -> list[KernelSummary]:
+    """Aggregate the device's launch log by kernel base name."""
+    acc: dict[str, list[KernelRecord]] = {}
+    for rec in device.kernels:
+        acc.setdefault(_base_name(rec), []).append(rec)
+    out = []
+    for name, records in acc.items():
+        out.append(
+            KernelSummary(
+                name=name,
+                launches=len(records),
+                seconds=sum(r.seconds for r in records),
+                bytes_total=sum(r.bytes_total for r in records),
+            )
+        )
+    out.sort(key=lambda s: s.seconds, reverse=True)
+    return out
+
+
+def render_trace(device: Device, *, cost: CostModel | None = None) -> str:
+    """Render the aggregated launch log as an aligned text table."""
+    cost = cost or CostModel()
+    rows = []
+    for s in summarize(device):
+        rows.append(
+            [
+                s.name,
+                s.launches,
+                s.seconds * 1e3,
+                s.bytes_total,
+                s.achieved_gbs,
+                s.modeled_seconds(cost) * 1e3,
+            ]
+        )
+    return render_table(
+        ["kernel", "launches", "time (ms)", "bytes", "GB/s", "modeled (ms)"],
+        rows,
+        digits=3,
+        title=f"device trace: {device.name}",
+    )

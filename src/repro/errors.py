@@ -1,0 +1,31 @@
+"""Exception types for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError):
+    """An array or matrix has an incompatible shape."""
+
+
+class FormatError(ReproError):
+    """A sparse matrix is malformed (bad indptr, unsorted indices, ...)."""
+
+
+class FactorError(ReproError):
+    """A [0,n]-factor violates its invariants."""
+
+
+class ScanError(ReproError):
+    """The bidirectional scan was invoked on invalid input."""
+
+
+class SolverError(ReproError):
+    """An iterative or direct solver failed (breakdown, singular pivot, ...)."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative solver did not reach the requested tolerance."""

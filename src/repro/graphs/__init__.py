@@ -1,0 +1,55 @@
+"""Workload generators.
+
+* :mod:`~repro.graphs.stencils` — structured grid matrices, including the
+  exact ANISO1/2/3 stencils printed in Section 5 of the paper.
+* :mod:`~repro.graphs.suite` — synthetic analogues of the paper's SuiteSparse
+  test set (Table 3), at configurable scale, with the paper's reported
+  numbers attached for side-by-side reporting.
+* :mod:`~repro.graphs.random_graphs` — random graphs, forests and
+  [0,2]-factors with ground truth, used by the unit and property tests.
+"""
+
+from .external import find_external, load_or_build
+from .paper_example import TABLE1_ROW, figure1_graph, table1_adjacency
+from .random_graphs import (
+    random_02_factor,
+    random_linear_forest,
+    random_spd_system,
+    random_weighted_graph,
+)
+from .stencils import (
+    aniso1,
+    aniso2,
+    aniso3,
+    aniso_diagonal_permutation,
+    grid2d_stencil,
+    grid3d_stencil,
+    poisson2d,
+    poisson3d,
+)
+from .suite import SUITE, SuiteMatrix, build_matrix, small_suite, suite_names
+
+__all__ = [
+    "SUITE",
+    "SuiteMatrix",
+    "TABLE1_ROW",
+    "figure1_graph",
+    "table1_adjacency",
+    "aniso1",
+    "aniso2",
+    "aniso3",
+    "aniso_diagonal_permutation",
+    "build_matrix",
+    "find_external",
+    "grid2d_stencil",
+    "grid3d_stencil",
+    "load_or_build",
+    "poisson2d",
+    "poisson3d",
+    "random_02_factor",
+    "random_linear_forest",
+    "random_spd_system",
+    "random_weighted_graph",
+    "small_suite",
+    "suite_names",
+]

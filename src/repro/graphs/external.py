@@ -1,0 +1,60 @@
+"""Optional loading of the real SuiteSparse matrices.
+
+The bundled suite consists of synthetic analogues (the collection matrices
+are large and not redistributable), but a user who has downloaded the
+originals can point ``REPRO_SUITESPARSE_DIR`` at a directory of Matrix
+Market files and every benchmark will prefer them: :func:`load_or_build`
+resolves ``<name>.mtx`` (case-insensitive, also ``<NAME>/<NAME>.mtx`` as
+extracted from the collection's tarballs) before falling back to the
+synthetic generator.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..sparse.csr import CSRMatrix
+from ..sparse.io import read_matrix_market
+from .suite import build_matrix
+
+__all__ = ["find_external", "load_or_build"]
+
+ENV_VAR = "REPRO_SUITESPARSE_DIR"
+
+
+def find_external(name: str, directory: str | os.PathLike | None = None) -> Path | None:
+    """Locate a real matrix file for ``name``, or return ``None``."""
+    root = directory if directory is not None else os.environ.get(ENV_VAR)
+    if not root:
+        return None
+    root = Path(root)
+    if not root.is_dir():
+        return None
+    stem = name.lower().replace("-", "_")
+    candidates = []
+    for base in (stem, stem.upper(), name):
+        candidates.append(root / f"{base}.mtx")
+        candidates.append(root / base / f"{base}.mtx")
+    for path in candidates:
+        if path.is_file():
+            return path
+    # case-insensitive scan as a last resort
+    for path in root.glob("**/*.mtx"):
+        if path.stem.lower().replace("-", "_") == stem:
+            return path
+    return None
+
+
+def load_or_build(
+    name: str,
+    scale: float = 1.0,
+    *,
+    directory: str | os.PathLike | None = None,
+) -> tuple[CSRMatrix, bool]:
+    """Return ``(matrix, is_external)``: the real matrix when available,
+    otherwise the synthetic analogue at ``scale``."""
+    path = find_external(name, directory)
+    if path is not None:
+        return read_matrix_market(path), True
+    return build_matrix(name, scale=scale), False

@@ -1,0 +1,178 @@
+"""Structured-grid matrix generators.
+
+Includes the exact 2-D anisotropic stencils of Section 5 of the paper:
+
+* **ANISO1** — strong horizontal coupling (−1.0 on (0,±1)), the strong edges
+  already sit on the sub/superdiagonal of the row-major ordering.
+* **ANISO2** — the same weights rotated onto the grid anti-diagonal; the
+  natural ordering captures almost none of the strong weight (c_id ≈ 0.13).
+* **ANISO3** — ANISO2 permuted so the −1.0 coefficients return to the
+  sub/superdiagonal (ordering along grid anti-diagonals).
+
+Grid vertices are numbered row-major: ``index = y * g + x`` (2-D) and
+``index = (z * g + y) * g + x`` (3-D, x fastest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import INDEX_DTYPE, VALUE_DTYPE
+from ..errors import ShapeError
+from ..sparse.coo import COOMatrix
+from ..sparse.csr import CSRMatrix
+
+__all__ = [
+    "aniso1",
+    "aniso2",
+    "aniso3",
+    "aniso_diagonal_permutation",
+    "grid2d_stencil",
+    "grid3d_stencil",
+    "poisson2d",
+    "poisson3d",
+]
+
+Stencil2D = dict[tuple[int, int], float]
+Stencil3D = dict[tuple[int, int, int], float]
+
+#: The ANISO1 stencil of Section 5, keyed by (dy, dx).
+ANISO1_STENCIL: Stencil2D = {
+    (-1, -1): -0.2, (-1, 0): -0.1, (-1, 1): -0.2,
+    (0, -1): -1.0, (0, 0): 3.0, (0, 1): -1.0,
+    (1, -1): -0.2, (1, 0): -0.1, (1, 1): -0.2,
+}
+
+#: The ANISO2 stencil of Section 5, keyed by (dy, dx).
+ANISO2_STENCIL: Stencil2D = {
+    (-1, -1): -0.1, (-1, 0): -0.2, (-1, 1): -1.0,
+    (0, -1): -0.2, (0, 0): 3.0, (0, 1): -0.2,
+    (1, -1): -1.0, (1, 0): -0.2, (1, 1): -0.1,
+}
+
+
+def grid2d_stencil(g: int, stencil: Stencil2D, *, jitter: float = 0.0, seed: int = 0) -> CSRMatrix:
+    """Assemble a ``g × g`` grid matrix from a 2-D stencil.
+
+    ``jitter`` optionally perturbs every off-diagonal coefficient
+    multiplicatively by ``U(1-jitter, 1+jitter)`` (symmetrically), which the
+    synthetic suite uses to break exact ties.
+    """
+    if g < 1:
+        raise ShapeError(f"grid size must be >= 1, got {g}")
+    n = g * g
+    y, x = np.divmod(np.arange(n, dtype=INDEX_DTYPE), g)
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    for (dy, dx), w in stencil.items():
+        if w == 0.0:
+            continue
+        yy = y + dy
+        xx = x + dx
+        ok = (yy >= 0) & (yy < g) & (xx >= 0) & (xx < g)
+        src = np.flatnonzero(ok)
+        dst = yy[ok] * g + xx[ok]
+        weights = np.full(src.size, w, dtype=VALUE_DTYPE)
+        if jitter > 0.0 and (dy, dx) != (0, 0):
+            # symmetric jitter: the scale depends on the unordered vertex pair
+            lo = np.minimum(src, dst)
+            hi = np.maximum(src, dst)
+            u = _pair_uniform(lo, hi, seed)
+            weights *= 1.0 + jitter * (2.0 * u - 1.0)
+        rows.append(src)
+        cols.append(dst)
+        vals.append(weights)
+    coo = COOMatrix(
+        row=np.concatenate(rows), col=np.concatenate(cols), val=np.concatenate(vals), shape=(n, n)
+    )
+    return coo.to_csr()
+
+
+def _pair_uniform(lo: np.ndarray, hi: np.ndarray, seed: int) -> np.ndarray:
+    """Deterministic U[0,1) per unordered vertex pair (symmetric jitter)."""
+    h = (lo.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)) ^ (
+        hi.astype(np.uint64) * np.uint64(0xC2B2AE3D27D4EB4F)
+    )
+    h ^= np.uint64(seed)
+    h *= np.uint64(0xD6E8FEB86659FD93)
+    h ^= h >> np.uint64(32)
+    return (h & np.uint64(0xFFFFFFFF)).astype(np.float64) / float(2**32)
+
+
+def grid3d_stencil(g: int, stencil: Stencil3D, *, gz: int | None = None) -> CSRMatrix:
+    """Assemble a ``g × g × gz`` grid matrix from a 3-D stencil (x fastest)."""
+    if g < 1:
+        raise ShapeError(f"grid size must be >= 1, got {g}")
+    gz = g if gz is None else gz
+    n = g * g * gz
+    idx = np.arange(n, dtype=INDEX_DTYPE)
+    z, rem = np.divmod(idx, g * g)
+    y, x = np.divmod(rem, g)
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    for (dz, dy, dx), w in stencil.items():
+        if w == 0.0:
+            continue
+        zz = z + dz
+        yy = y + dy
+        xx = x + dx
+        ok = (zz >= 0) & (zz < gz) & (yy >= 0) & (yy < g) & (xx >= 0) & (xx < g)
+        src = np.flatnonzero(ok)
+        dst = (zz[ok] * g + yy[ok]) * g + xx[ok]
+        rows.append(src)
+        cols.append(dst)
+        vals.append(np.full(src.size, w, dtype=VALUE_DTYPE))
+    coo = COOMatrix(
+        row=np.concatenate(rows), col=np.concatenate(cols), val=np.concatenate(vals), shape=(n, n)
+    )
+    return coo.to_csr()
+
+
+def aniso1(g: int) -> CSRMatrix:
+    """The ANISO1 problem of Section 5 on a ``g × g`` grid."""
+    return grid2d_stencil(g, ANISO1_STENCIL)
+
+
+def aniso2(g: int) -> CSRMatrix:
+    """The ANISO2 problem of Section 5 on a ``g × g`` grid."""
+    return grid2d_stencil(g, ANISO2_STENCIL)
+
+
+def aniso_diagonal_permutation(g: int) -> np.ndarray:
+    """Vertex order along grid anti-diagonals.
+
+    Consecutive vertices within an anti-diagonal differ by the offset
+    (dy, dx) = (+1, −1) — exactly the −1.0 direction of ANISO2 — so under
+    this permutation those coefficients move to the sub/superdiagonal.
+    Returns ``perm`` with ``perm[k]`` = old index of new position ``k``.
+    """
+    n = g * g
+    y, x = np.divmod(np.arange(n, dtype=INDEX_DTYPE), g)
+    return np.lexsort((y, x + y))
+
+
+def aniso3(g: int) -> CSRMatrix:
+    """ANISO3 = ANISO2 symmetrically permuted along anti-diagonals."""
+    return aniso2(g).permute(aniso_diagonal_permutation(g))
+
+
+def poisson2d(g: int) -> CSRMatrix:
+    """Standard 5-point Laplacian on a ``g × g`` grid."""
+    return grid2d_stencil(
+        g, {(0, 0): 4.0, (0, 1): -1.0, (0, -1): -1.0, (1, 0): -1.0, (-1, 0): -1.0}
+    )
+
+
+def poisson3d(g: int) -> CSRMatrix:
+    """Standard 7-point Laplacian on a ``g³`` grid."""
+    return grid3d_stencil(
+        g,
+        {
+            (0, 0, 0): 6.0,
+            (0, 0, 1): -1.0, (0, 0, -1): -1.0,
+            (0, 1, 0): -1.0, (0, -1, 0): -1.0,
+            (1, 0, 0): -1.0, (-1, 0, 0): -1.0,
+        },
+    )

@@ -1,0 +1,574 @@
+"""Synthetic analogues of the paper's test-matrix suite (Table 3).
+
+The paper evaluates on 22 matrices: 19 from the SuiteSparse Matrix Collection
+plus the ANISO1/2/3 model problems whose stencils it prints.  The collection
+matrices are not redistributable here, so each gets a *synthetic analogue*
+that reproduces the structural property driving its behaviour in the paper's
+experiments:
+
+* symmetry, approximate mean degree and (scaled-down) size;
+* the weight structure that matters — exact ties (ECOLOGY, ATMOSMODD),
+  a dominant non-axis direction hidden from the natural ordering
+  (ATMOSMODM, ANISO2), an almost-perfect strong matching (STOCF-1465),
+  wide nearly-isotropic FEM stencils (AF_SHELL8, HOOK, GEO, CUBE_COUP,
+  ML_GEER), or a strong 1-D fibre inside a wide stencil (BUMP, LONG_COUP).
+
+Every entry also records the numbers the paper reports for it in Tables 3-5
+(:attr:`SuiteMatrix.paper`), so the benchmark harnesses can print
+paper-vs-measured rows directly.
+
+Sizes: ``build(scale)`` multiplies the default linear grid dimension; the
+defaults target N ≈ 2-5·10³ per matrix (laptop scale; the paper runs
+N ≈ 0.5-6·10⁶ on a GPU).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .._validation import INDEX_DTYPE, VALUE_DTYPE
+from ..errors import ShapeError
+from ..sparse.coo import COOMatrix
+from ..sparse.csr import CSRMatrix
+from .stencils import aniso1, aniso2, aniso3, grid2d_stencil, grid3d_stencil
+
+__all__ = ["SUITE", "SuiteMatrix", "build_matrix", "small_suite", "suite_names"]
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+
+def _with_dominant_diagonal(off: CSRMatrix, *, margin: float = 0.02) -> CSRMatrix:
+    """Attach diag = (1+margin) · Σ|row| to an off-diagonal matrix."""
+    n = off.n_rows
+    row_abs = np.zeros(n, dtype=VALUE_DTYPE)
+    np.add.at(row_abs, off.nnz_rows, np.abs(off.data))
+    # isolated vertices (possible in the random-graph analogues) still need a
+    # nonzero pivot
+    row_abs[row_abs == 0.0] = 1.0
+    coo = off.to_coo()
+    idx = np.arange(n, dtype=INDEX_DTYPE)
+    return COOMatrix(
+        row=np.concatenate([coo.row, idx]),
+        col=np.concatenate([coo.col, idx]),
+        val=np.concatenate([coo.val, (1.0 + margin) * row_abs]),
+        shape=(n, n),
+    ).to_csr()
+
+
+def _jitter_symmetric(a: CSRMatrix, amount: float, seed: int) -> CSRMatrix:
+    """Multiplicative symmetric jitter on the off-diagonal values."""
+    if amount <= 0.0:
+        return a
+    coo = a.to_coo()
+    lo = np.minimum(coo.row, coo.col).astype(np.uint64)
+    hi = np.maximum(coo.row, coo.col).astype(np.uint64)
+    h = lo * np.uint64(0x9E3779B97F4A7C15) ^ hi * np.uint64(0xC2B2AE3D27D4EB4F)
+    h ^= np.uint64(seed)
+    h *= np.uint64(0xD6E8FEB86659FD93)
+    h ^= h >> np.uint64(32)
+    u = (h & np.uint64(0xFFFFFFFF)).astype(np.float64) / float(2**32)
+    factor = 1.0 + amount * (2.0 * u - 1.0)
+    factor[coo.row == coo.col] = 1.0
+    return COOMatrix(coo.row, coo.col, coo.val * factor, a.shape).to_csr()
+
+
+def _asymmetrize(a: CSRMatrix, epsilon: float) -> CSRMatrix:
+    """Make the values pattern-symmetrically non-symmetric:
+    the (i, j) entry with i < j is scaled by (1+ε), its mirror by (1−ε)."""
+    coo = a.to_coo()
+    upper = coo.col > coo.row
+    lower = coo.col < coo.row
+    val = coo.val.copy()
+    val[upper] *= 1.0 + epsilon
+    val[lower] *= 1.0 - epsilon
+    return COOMatrix(coo.row, coo.col, val, a.shape).to_csr()
+
+
+def _box_stencil_3d(
+    rz: int, ry: int, rx: int, weight_fn: Callable[[int, int, int], float]
+) -> dict[tuple[int, int, int], float]:
+    stencil: dict[tuple[int, int, int], float] = {}
+    for dz in range(-rz, rz + 1):
+        for dy in range(-ry, ry + 1):
+            for dx in range(-rx, rx + 1):
+                if (dz, dy, dx) == (0, 0, 0):
+                    continue
+                stencil[(dz, dy, dx)] = weight_fn(dz, dy, dx)
+    return stencil
+
+
+def _grid_dims(scale: float, base: int) -> int:
+    g = max(3, int(round(base * scale)))
+    return g
+
+
+# --------------------------------------------------------------------------
+# builders (one per matrix)
+# --------------------------------------------------------------------------
+
+
+def _build_af_shell8(scale: float) -> CSRMatrix:
+    """Wide 5×7 2-D shell stencil: strong vertical fibres, near-zero x
+    coupling (c_id ≈ 0.01) and a broad mid-weight background that caps the
+    [0,n] coverages at the paper's low values (c_π(2) ≈ 0.23)."""
+    g = _grid_dims(scale, 56)
+    stencil: dict[tuple[int, int], float] = {}
+    for dy in range(-2, 3):
+        for dx in range(-3, 4):
+            if (dy, dx) == (0, 0):
+                continue
+            if dx == 0 and abs(dy) == 1:
+                w = 1.0
+            elif dy == 0 and abs(dx) == 1:
+                w = 0.05
+            else:
+                w = 0.65 * math.exp(-0.18 * (dx * dx + dy * dy))
+            stencil[(dy, dx)] = -w
+    off = grid2d_stencil(g, stencil, jitter=0.08, seed=11)
+    return _with_dominant_diagonal(off)
+
+
+def _build_aniso(which: int) -> Callable[[float], CSRMatrix]:
+    def build(scale: float) -> CSRMatrix:
+        g = _grid_dims(scale, 64)
+        return {1: aniso1, 2: aniso2, 3: aniso3}[which](g)
+
+    return build
+
+
+def _build_atmosmod(wx: float, wy: float, wz: float, epsilon: float, seed: int):
+    def build(scale: float) -> CSRMatrix:
+        g = _grid_dims(scale, 16)
+        stencil = {
+            (0, 0, 1): -wx, (0, 0, -1): -wx,
+            (0, 1, 0): -wy, (0, -1, 0): -wy,
+            (1, 0, 0): -wz, (-1, 0, 0): -wz,
+        }
+        off = grid3d_stencil(g, stencil)
+        if epsilon:
+            off = _asymmetrize(off, epsilon)
+        return _with_dominant_diagonal(off)
+
+    return build
+
+
+def _build_wide3d(
+    *, rz: int, ry: int, rx: int, fibre: float, jitter: float, seed: int,
+    epsilon: float = 0.0, base: int = 12,
+) -> Callable[[float], CSRMatrix]:
+    """Wide 3-D FEM-like stencil; ``fibre`` boosts the ±z axis neighbours."""
+
+    def weight(dz: int, dy: int, dx: int) -> float:
+        w = -math.exp(-0.5 * (dz * dz + dy * dy + dx * dx))
+        if fibre != 1.0 and (dy, dx) == (0, 0) and abs(dz) == 1:
+            w *= fibre
+        return w
+
+    def build(scale: float) -> CSRMatrix:
+        g = _grid_dims(scale, base)
+        off = grid3d_stencil(g, _box_stencil_3d(rz, ry, rx, weight))
+        off = _jitter_symmetric(off, jitter, seed)
+        if epsilon:
+            off = _asymmetrize(off, epsilon)
+        return _with_dominant_diagonal(off)
+
+    return build
+
+
+def _build_curlcurl(seed: int) -> Callable[[float], CSRMatrix]:
+    """3-D 7-point plus in-plane diagonals (≈11 neighbours), mild jitter."""
+
+    def build(scale: float) -> CSRMatrix:
+        g = _grid_dims(scale, 15)
+        stencil = {
+            (0, 0, 1): -1.0, (0, 0, -1): -1.0,
+            (0, 1, 0): -1.0, (0, -1, 0): -1.0,
+            (1, 0, 0): -1.0, (-1, 0, 0): -1.0,
+            (0, 1, 1): -0.6, (0, -1, -1): -0.6,
+            (0, 1, -1): -0.6, (0, -1, 1): -0.6,
+        }
+        off = _jitter_symmetric(grid3d_stencil(g, stencil), 0.25, seed)
+        return _with_dominant_diagonal(off)
+
+    return build
+
+
+def _build_ecology(variant: int) -> Callable[[float], CSRMatrix]:
+    """2-D 5-point with *exactly uniform* weights — the pathological tie
+    case that defeats un-charged proposition (Table 4: c_π(5) = 0.00).
+
+    ecology1 and ecology2 differ by a single vertex in the paper (N vs N−1);
+    the analogues mirror that with grid sizes differing by one row.
+    """
+
+    def build(scale: float) -> CSRMatrix:
+        g = _grid_dims(scale, 64) + (variant - 1)
+        stencil = {(0, 1): -1.0, (0, -1): -1.0, (1, 0): -1.0, (-1, 0): -1.0}
+        return _with_dominant_diagonal(grid2d_stencil(g, stencil))
+
+    return build
+
+
+def _build_g3_circuit(scale: float) -> CSRMatrix:
+    """Irregular circuit-like graph: a banded backbone (circuit rows number
+    neighbours consecutively, giving the paper's c_id ≈ 0.29) plus random
+    chords, mean degree ≈ 4.8, heavy-tailed weights."""
+    n = max(64, int(round(4096 * scale * scale)))
+    rng = np.random.default_rng(1585478)
+    ids = np.arange(n - 1)
+    backbone = ids[rng.random(n - 1) < 0.8]
+    n_chords = int(1.5 * n)
+    cu = rng.integers(0, n, n_chords)
+    cv = rng.integers(0, n, n_chords)
+    keep = cu != cv
+    u = np.concatenate([backbone, cu[keep]])
+    v = np.concatenate([backbone + 1, cv[keep]])
+    w = -np.exp(rng.normal(0.0, 1.2, u.size))
+    coo = COOMatrix(
+        row=np.concatenate([u, v]),
+        col=np.concatenate([v, u]),
+        val=np.concatenate([w, w]),
+        shape=(n, n),
+    )
+    return _with_dominant_diagonal(coo.to_csr())
+
+
+def _build_thermal2(scale: float) -> CSRMatrix:
+    """Unstructured-FEM-like: 5-point + one diagonal, weak x, strong jitter."""
+    g = _grid_dims(scale, 64)
+    stencil = {
+        (0, 1): -0.35, (0, -1): -0.35,
+        (1, 0): -1.0, (-1, 0): -1.0,
+        (1, 1): -1.0, (-1, -1): -1.0,
+    }
+    off = _jitter_symmetric(grid2d_stencil(g, stencil), 0.4, seed=7)
+    return _with_dominant_diagonal(off)
+
+
+def _build_stocf(scale: float) -> CSRMatrix:
+    """Two nested perfect matchings (one dominant) over a faint background.
+
+    STOCF-1465's signature in Table 5 is c_π(1) = 0.92 rising to 1.00 for
+    n ≥ 2: almost all weight sits in a perfect matching, and the remainder in
+    a second disjoint matching — together a spanning union of paths/cycles
+    that a [0,2]-factor captures entirely.
+    """
+    g = _grid_dims(scale, 16)
+    n = g * g * g
+    if n % 2:
+        n -= 1
+    rng = np.random.default_rng(1465137)
+    # faint 3-D background (7-point plus in-plane diagonals) for realistic
+    # degree
+    stencil = {
+        (0, 0, 1): -0.002, (0, 0, -1): -0.002,
+        (0, 1, 0): -0.002, (0, -1, 0): -0.002,
+        (1, 0, 0): -0.002, (-1, 0, 0): -0.002,
+        (0, 1, 1): -0.0015, (0, -1, -1): -0.0015,
+        (0, 1, -1): -0.0015, (0, -1, 1): -0.0015,
+        (1, 0, 1): -0.0015, (-1, 0, -1): -0.0015,
+    }
+    background = grid3d_stencil(g, stencil).to_coo()
+    keep = (background.row < n) & (background.col < n)
+    rows = [background.row[keep]]
+    cols = [background.col[keep]]
+    vals = [background.val[keep]]
+    # dominant matching M1 (random pairing)
+    perm = rng.permutation(n)
+    u1, v1 = perm[0::2], perm[1::2]
+    # secondary matching M2: pair consecutive ids (disjoint from M1 w.h.p.;
+    # coincidences just merge weights, harmless)
+    ids = np.arange(n)
+    u2, v2 = ids[0::2], ids[1::2]
+    for (u, v, w) in ((u1, v1, -10.0), (u2, v2, -0.45)):
+        rows.extend([u, v])
+        cols.extend([v, u])
+        weights = np.full(u.size, w, dtype=VALUE_DTYPE)
+        vals.extend([weights, weights])
+    off = COOMatrix(
+        row=np.concatenate(rows), col=np.concatenate(cols),
+        val=np.concatenate(vals), shape=(n, n),
+    ).to_csr()
+    return _with_dominant_diagonal(off)
+
+
+def _build_transport(scale: float) -> CSRMatrix:
+    """Non-symmetric 3-D transport: strong x coupling plus dx = ±2 terms."""
+    g = _grid_dims(scale, 15)
+    stencil = {
+        (0, 0, 1): -2.0, (0, 0, -1): -2.0,
+        (0, 0, 2): -0.5, (0, 0, -2): -0.5,
+        (0, 1, 0): -1.25, (0, -1, 0): -1.25,
+        (1, 0, 0): -1.25, (-1, 0, 0): -1.25,
+    }
+    off = _jitter_symmetric(grid3d_stencil(g, stencil), 0.15, seed=23)
+    off = _asymmetrize(off, 0.1)
+    return _with_dominant_diagonal(off)
+
+
+# --------------------------------------------------------------------------
+# registry
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SuiteMatrix:
+    """One test matrix: builder plus the paper's reported numbers.
+
+    ``paper`` keys:
+
+    * ``n``, ``nnz``, ``mean_degree``, ``symmetric`` — Table 3;
+    * ``c_id`` — Table 5 (Eq. 5 coverage of the natural ordering);
+    * ``par``/``seq`` — Table 5 c_π(5) for n = 1..4, parallel vs greedy;
+    * ``table4`` — per configuration ``(c_π(5), c_π(M_max), M_max)`` for the
+      [0,2]-factor, configurations (m, k_m) ∈ {(1,0), (5,0), (5,1)};
+    * ``greedy2`` — Table 4's sequential [0,2]-factor coverage;
+    * ``block`` — Table 5's AlgTriBlockPrecond coverage for m = 1 and m = 5.
+    """
+
+    name: str
+    builder: Callable[[float], CSRMatrix]
+    symmetric: bool
+    paper: dict = field(default_factory=dict)
+    in_figure4: bool = False
+
+    def build(self, scale: float = 1.0) -> CSRMatrix:
+        return self.builder(scale)
+
+
+def _paper(
+    n, nnz, deg, c_id, par, seq, table4, greedy2, block,
+) -> dict:
+    return {
+        "n": n,
+        "nnz": nnz,
+        "mean_degree": deg,
+        "c_id": c_id,
+        "par": dict(zip((1, 2, 3, 4), par)),
+        "seq": dict(zip((1, 2, 3, 4), seq)),
+        "table4": {
+            (1, 0): table4[0],
+            (5, 0): table4[1],
+            (5, 1): table4[2],
+        },
+        "greedy2": greedy2,
+        "block": {1: block[0], 5: block[1]},
+    }
+
+
+SUITE: dict[str, SuiteMatrix] = {
+    m.name: m
+    for m in [
+        SuiteMatrix(
+            "af_shell8", _build_af_shell8, True, in_figure4=True,
+            paper=_paper(504_855, 17_588_875, 34.84, 0.01,
+                         (0.14, 0.23, 0.34, 0.40), (0.14, 0.23, 0.34, 0.40),
+                         ((0.20, 0.24, 195), (0.23, 0.23, 16), (0.22, 0.22, 17)),
+                         0.23, (0.38, 0.43)),
+        ),
+        SuiteMatrix(
+            "aniso1", _build_aniso(1), True,
+            paper=_paper(6_250_000, 56_220_004, 9.00, 0.68,
+                         (0.27, 0.67, 0.72, 0.79), (0.29, 0.67, 0.73, 0.79),
+                         ((0.67, 0.67, 1252), (0.67, 0.67, 11), (0.54, 0.54, 17)),
+                         0.67, (0.68, 0.64)),
+        ),
+        SuiteMatrix(
+            "aniso2", _build_aniso(2), True, in_figure4=True,
+            paper=_paper(6_250_000, 56_220_004, 9.00, 0.13,
+                         (0.27, 0.67, 0.72, 0.79), (0.29, 0.67, 0.73, 0.79),
+                         ((0.67, 0.67, 1251), (0.67, 0.67, 11), (0.57, 0.57, 12)),
+                         0.67, (0.68, 0.64)),
+        ),
+        SuiteMatrix(
+            "aniso3", _build_aniso(3), True, in_figure4=True,
+            paper=_paper(6_250_000, 56_220_004, 9.00, 0.68,
+                         (0.27, 0.67, 0.72, 0.79), (0.29, 0.67, 0.73, 0.79),
+                         ((0.67, 0.67, 55), (0.67, 0.67, 11), (0.56, 0.56, 17)),
+                         0.67, (0.68, 0.64)),
+        ),
+        SuiteMatrix(
+            "atmosmodd", _build_atmosmod(1.0, 1.0, 0.35, 0.08, 1), False,
+            paper=_paper(1_270_432, 8_814_880, 6.94, 0.46,
+                         (0.19, 0.41, 0.65, 0.93), (0.21, 0.44, 0.67, 0.93),
+                         ((0.02, 0.47, 164), (0.41, 0.42, 16), (0.42, 0.42, 17)),
+                         0.44, (0.02, 0.50)),
+        ),
+        SuiteMatrix(
+            "atmosmodj", _build_atmosmod(1.0, 1.0, 0.35, 0.12, 2), False, in_figure4=True,
+            paper=_paper(1_270_432, 8_814_880, 6.94, 0.46,
+                         (0.19, 0.41, 0.65, 0.93), (0.21, 0.44, 0.67, 0.93),
+                         ((0.02, 0.47, 164), (0.41, 0.42, 16), (0.42, 0.42, 17)),
+                         0.44, (0.02, 0.50)),
+        ),
+        SuiteMatrix(
+            "atmosmodl", _build_atmosmod(1.0, 1.0, 2.0, 0.08, 3), False, in_figure4=True,
+            paper=_paper(1_489_752, 10_319_760, 6.93, 0.25,
+                         (0.21, 0.49, 0.60, 0.73), (0.22, 0.49, 0.61, 0.73),
+                         ((0.48, 0.49, 297), (0.49, 0.49, 16), (0.43, 0.43, 12)),
+                         0.49, (0.41, 0.45)),
+        ),
+        SuiteMatrix(
+            "atmosmodm", _build_atmosmod(0.5, 0.75, 20.0, 0.08, 4), False, in_figure4=True,
+            paper=_paper(1_489_752, 10_319_760, 6.93, 0.03,
+                         (0.38, 0.95, 0.96, 0.97), (0.42, 0.95, 0.96, 0.97),
+                         ((0.95, 0.95, 297), (0.95, 0.95, 16), (0.74, 0.74, 12)),
+                         0.95, (0.94, 0.86)),
+        ),
+        SuiteMatrix(
+            "bump_2911",
+            _build_wide3d(rz=1, ry=1, rx=2, fibre=25.0, jitter=0.1, seed=29, base=12),
+            True,
+            paper=_paper(2_911_419, 127_729_899, 43.87, 0.01,
+                         (0.46, 0.81, 0.84, 0.86), (0.49, 0.82, 0.84, 0.86),
+                         ((0.81, 0.82, 31), (0.81, 0.82, 26), (0.64, 0.64, 27)),
+                         0.82, (0.84, 0.83)),
+        ),
+        SuiteMatrix(
+            "cube_coup_dt0",
+            _build_wide3d(rz=1, ry=1, rx=3, fibre=1.0, jitter=0.1, seed=31, base=11),
+            True,
+            paper=_paper(2_164_760, 127_206_144, 58.76, 0.06,
+                         (0.11, 0.26, 0.33, 0.38), (0.13, 0.26, 0.34, 0.38),
+                         ((0.26, 0.26, 102), (0.26, 0.26, 21), (0.22, 0.22, 22)),
+                         0.26, (0.29, 0.29)),
+        ),
+        SuiteMatrix(
+            "curlcurl_3", _build_curlcurl(3), True,
+            paper=_paper(1_219_574, 13_544_618, 11.11, 0.15,
+                         (0.17, 0.34, 0.54, 0.76), (0.17, 0.34, 0.55, 0.76),
+                         ((0.34, 0.34, 47), (0.34, 0.34, 16), (0.36, 0.36, 12)),
+                         0.34, (0.44, 0.54)),
+        ),
+        SuiteMatrix(
+            "curlcurl_4", _build_curlcurl(4), True,
+            paper=_paper(2_380_515, 26_515_867, 11.14, 0.15,
+                         (0.17, 0.33, 0.53, 0.74), (0.17, 0.34, 0.54, 0.74),
+                         ((0.33, 0.34, 47), (0.33, 0.33, 16), (0.35, 0.35, 12)),
+                         0.34, (0.40, 0.53)),
+        ),
+        SuiteMatrix(
+            "ecology1", _build_ecology(1), True,
+            paper=_paper(1_000_000, 4_996_000, 5.00, 0.50,
+                         (0.21, 0.46, 0.71, 1.00), (0.23, 0.47, 0.71, 1.00),
+                         ((0.00, 0.50, 1037), (0.46, 0.47, 16), (0.46, 0.47, 17)),
+                         0.47, (0.00, 0.55)),
+        ),
+        SuiteMatrix(
+            "ecology2", _build_ecology(2), True,
+            paper=_paper(999_999, 4_995_991, 5.00, 0.50,
+                         (0.21, 0.46, 0.71, 1.00), (0.23, 0.47, 0.71, 1.00),
+                         ((0.00, 0.50, 1038), (0.46, 0.47, 16), (0.46, 0.47, 17)),
+                         0.47, (0.00, 0.55)),
+        ),
+        SuiteMatrix(
+            "g3_circuit", _build_g3_circuit, True,
+            paper=_paper(1_585_478, 7_660_826, 4.83, 0.29,
+                         (0.50, 0.70, 0.83, 1.00), (0.51, 0.70, 0.84, 1.00),
+                         ((0.56, 0.71, 159), (0.70, 0.70, 16), (0.59, 0.59, 17)),
+                         0.70, (0.61, 0.73)),
+        ),
+        SuiteMatrix(
+            "geo_1438",
+            _build_wide3d(rz=1, ry=1, rx=2, fibre=1.0, jitter=0.1, seed=37, base=12),
+            True,
+            paper=_paper(1_437_960, 63_156_690, 43.92, 0.04,
+                         (0.13, 0.28, 0.36, 0.44), (0.14, 0.28, 0.37, 0.44),
+                         ((0.28, 0.28, 18), (0.28, 0.28, 16), (0.25, 0.25, 17)),
+                         0.28, (0.33, 0.33)),
+        ),
+        SuiteMatrix(
+            "hook_1498",
+            _build_wide3d(rz=1, ry=1, rx=2, fibre=1.0, jitter=0.2, seed=41, base=12),
+            True,
+            paper=_paper(1_498_023, 60_917_445, 40.67, 0.04,
+                         (0.11, 0.22, 0.28, 0.33), (0.11, 0.22, 0.28, 0.33),
+                         ((0.22, 0.22, 11), (0.22, 0.22, 16), (0.20, 0.20, 17)),
+                         0.22, (0.25, 0.25)),
+        ),
+        SuiteMatrix(
+            "long_coup_dt0",
+            _build_wide3d(rz=1, ry=1, rx=3, fibre=14.0, jitter=0.1, seed=43, base=11),
+            True,
+            paper=_paper(1_470_152, 87_088_992, 59.24, 0.10,
+                         (0.49, 0.69, 0.79, 0.87), (0.50, 0.70, 0.79, 0.87),
+                         ((0.70, 0.70, 110), (0.69, 0.69, 31), (0.55, 0.55, 27)),
+                         0.70, (0.84, 0.83)),
+        ),
+        SuiteMatrix(
+            "ml_geer",
+            _build_wide3d(rz=2, ry=2, rx=1, fibre=1.0, jitter=0.1, seed=47,
+                          epsilon=0.1, base=11),
+            False,
+            paper=_paper(1_504_002, 110_879_972, 73.72, 0.05,
+                         (0.09, 0.20, 0.25, 0.32), (0.09, 0.20, 0.26, 0.32),
+                         ((0.20, 0.20, 383), (0.20, 0.20, 11), (0.17, 0.17, 17)),
+                         0.20, (0.23, 0.26)),
+        ),
+        SuiteMatrix(
+            "stocf_1465", _build_stocf, True,
+            paper=_paper(1_465_137, 21_005_389, 14.34, 0.23,
+                         (0.92, 1.00, 1.00, 1.00), (0.93, 1.00, 1.00, 1.00),
+                         ((1.00, 1.00, 11), (1.00, 1.00, 16), (0.78, 0.78, 17)),
+                         1.00, (1.00, 1.00)),
+        ),
+        SuiteMatrix(
+            "thermal2", _build_thermal2, True,
+            paper=_paper(1_228_045, 8_580_313, 6.99, 0.10,
+                         (0.23, 0.47, 0.68, 0.84), (0.24, 0.47, 0.68, 0.84),
+                         ((0.47, 0.47, 7), (0.47, 0.47, 16), (0.44, 0.44, 12)),
+                         0.47, (0.58, 0.58)),
+        ),
+        SuiteMatrix(
+            "transport", _build_transport, False,
+            paper=_paper(1_602_111, 23_500_731, 14.67, 0.49,
+                         (0.20, 0.45, 0.68, 0.98), (0.22, 0.47, 0.70, 0.98),
+                         ((0.24, 0.49, 290), (0.45, 0.45, 16), (0.44, 0.44, 17)),
+                         0.47, (0.25, 0.53)),
+        ),
+    ]
+}
+
+
+def suite_names() -> list[str]:
+    """All matrix names, in the paper's (alphabetical) Table 3 order."""
+    return list(SUITE)
+
+
+def small_suite() -> list[str]:
+    """A representative subset used as the default benchmark workload.
+
+    Covers every behavioural regime: exact ANISO problems, a tie-pathological
+    matrix (ecology1), the hidden-strong-direction family (atmosmod*), a wide
+    FEM stencil (af_shell8), an irregular graph (g3_circuit), the
+    matching-dominated stocf_1465 and the unstructured thermal2.
+    """
+    return [
+        "aniso1",
+        "aniso2",
+        "aniso3",
+        "ecology1",
+        "atmosmodd",
+        "atmosmodl",
+        "atmosmodm",
+        "af_shell8",
+        "g3_circuit",
+        "thermal2",
+        "stocf_1465",
+    ]
+
+
+def build_matrix(name: str, scale: float = 1.0) -> CSRMatrix:
+    """Build one suite matrix by name."""
+    try:
+        entry = SUITE[name]
+    except KeyError:
+        raise ShapeError(f"unknown suite matrix {name!r}; known: {sorted(SUITE)}") from None
+    return entry.build(scale)

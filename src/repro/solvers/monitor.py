@@ -1,0 +1,44 @@
+"""Convergence bookkeeping for the Figure 4 experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ConvergenceHistory"]
+
+
+@dataclass
+class ConvergenceHistory:
+    """Per-iteration records of an iterative solve.
+
+    ``relative_residuals[k]`` is ‖r_k‖₂/‖b‖₂; ``forward_errors[k]`` is the
+    forward relative error FRE = ‖x_k − x_t‖₂/‖x_t‖₂ when the true solution
+    is known (the paper constructs the right-hand side from
+    ``x_t[i] = sin(16πi/N)``).
+    """
+
+    relative_residuals: list[float] = field(default_factory=list)
+    forward_errors: list[float] = field(default_factory=list)
+    converged: bool = False
+    breakdown: str | None = None
+
+    @property
+    def n_iterations(self) -> int:
+        return max(0, len(self.relative_residuals) - 1)
+
+    @property
+    def final_residual(self) -> float:
+        return self.relative_residuals[-1] if self.relative_residuals else np.inf
+
+    @property
+    def final_forward_error(self) -> float | None:
+        return self.forward_errors[-1] if self.forward_errors else None
+
+    def iterations_to(self, tol: float) -> int | None:
+        """First iteration whose relative residual drops below ``tol``."""
+        for k, r in enumerate(self.relative_residuals):
+            if r < tol:
+                return k
+        return None

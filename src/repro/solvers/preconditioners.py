@@ -1,0 +1,280 @@
+"""The four preconditioners of the Figure 4 comparison (Section 6).
+
+* :class:`JacobiPrecond` — diagonal scaling (MAGMA's Jacobi in the paper).
+* :class:`TriScalPrecond` — the tridiagonal part of A in the *original*
+  vertex order; captures only the weight ``c_id`` (Eq. 5).
+* :class:`AlgTriScalPrecond` — the paper's contribution: the tridiagonal
+  system extracted algebraically from a [0,2]-factor linear forest, solved in
+  the permuted space.
+* :class:`AlgTriBlockPrecond` — the 2×2 block variant: a [0,1]-factor
+  coarsens the graph, a [0,2]-factor on the coarse graph orders the pairs,
+  and unmatched vertices receive an uncoupled ghost equation so the block
+  structure stays uniform.
+
+Every preconditioner exposes ``apply(r) ≈ A⁻¹ r``, a ``coverage`` attribute
+(the weight fraction of A it captures — the quantity Tables 4/5 correlate
+with convergence) and a ``name`` for reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import INDEX_DTYPE, VALUE_DTYPE, check_square
+from ..core.coverage import graph_weight, identity_coverage
+from ..core.cycles import break_cycles
+from ..core.factor import ParallelFactorConfig, parallel_factor
+from ..core.paths import identify_paths
+from ..core.permutation import forest_permutation
+from ..core.pipeline import extract_linear_forest
+from ..errors import SolverError
+from ..sparse.build import prepare_graph
+from ..sparse.csr import CSRMatrix
+from .block_tridiag import BlockTridiagonalSystem
+from .coarsen import GHOST, coarsen_by_matching
+from .tridiag import pcr_solve
+
+__all__ = [
+    "AlgTriBlockPrecond",
+    "AlgTriScalPrecond",
+    "IdentityPrecond",
+    "JacobiPrecond",
+    "Preconditioner",
+    "TriScalPrecond",
+]
+
+
+class Preconditioner:
+    """Base class: ``apply(r)`` returns ``M⁻¹ r``."""
+
+    name: str = "identity"
+    coverage: float = 0.0
+
+    def apply(self, r: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class IdentityPrecond(Preconditioner):
+    """No preconditioning (useful as a baseline in tests)."""
+
+    name = "none"
+
+    def __init__(self, a: CSRMatrix | None = None):
+        del a
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return r
+
+
+class JacobiPrecond(Preconditioner):
+    """Diagonal scaling ``z = r / diag(A)``."""
+
+    name = "Jacobi"
+
+    def __init__(self, a: CSRMatrix):
+        check_square(a.shape)
+        diag = a.diagonal()
+        if bool((diag == 0.0).any()):
+            raise SolverError("Jacobi preconditioner requires a zero-free diagonal")
+        self._inv_diag = 1.0 / diag
+        self.coverage = 0.0
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return r * self._inv_diag
+
+
+class TriScalPrecond(Preconditioner):
+    """Tridiagonal part of A in the original vertex order."""
+
+    name = "TriScalPrecond"
+
+    def __init__(self, a: CSRMatrix):
+        n = check_square(a.shape)
+        i = np.arange(n, dtype=INDEX_DTYPE)
+        dl = np.zeros(n, dtype=VALUE_DTYPE)
+        du = np.zeros(n, dtype=VALUE_DTYPE)
+        if n > 1:
+            dl[1:] = a.gather(i[1:], i[1:] - 1)
+            du[:-1] = a.gather(i[:-1], i[:-1] + 1)
+        self._dl, self._d, self._du = dl, a.diagonal(), du
+        self.coverage = identity_coverage(a)
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return pcr_solve(self._dl, self._d, self._du, r)
+
+
+class AlgTriScalPrecond(Preconditioner):
+    """Algebraic scalar tridiagonal preconditioner (the paper's Section 6).
+
+    Setup = the full linear-forest pipeline: [0,2]-factor, cycle breaking,
+    path identification, permutation, coefficient extraction.  Application
+    permutes the residual, solves the tridiagonal system, and permutes back.
+    """
+
+    name = "AlgTriScalPrecond"
+
+    def __init__(
+        self,
+        a: CSRMatrix,
+        config: ParallelFactorConfig | None = None,
+        *,
+        device=None,
+    ):
+        check_square(a.shape)
+        result = extract_linear_forest(a, config or ParallelFactorConfig(n=2), device=device)
+        self.result = result
+        self._perm = result.perm
+        self._tri = result.tridiagonal
+        self.coverage = result.coverage
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        rp = r[self._perm]
+        zp = self._tri.solve(rp)
+        z = np.empty_like(zp)
+        z[self._perm] = zp
+        return z
+
+
+class AlgTriBlockPrecond(Preconditioner):
+    """Algebraic 2×2 block tridiagonal preconditioner (Section 6).
+
+    Construction: a parallel [0,1]-factor matches vertex pairs; the matched
+    graph is coarsened (:func:`repro.solvers.coarsen.coarsen_by_matching`);
+    a [0,2]-factor plus linear-forest extraction orders the coarse vertices;
+    each coarse vertex contributes one 2×2 block row.  *"For vertices without
+    a match in the [0,1]-factor, we add an uncoupled ghost equation by
+    setting the diagonal and right-hand side value in the corresponding
+    additional row to one."*
+    """
+
+    name = "AlgTriBlockPrecond"
+
+    def __init__(
+        self,
+        a: CSRMatrix,
+        config: ParallelFactorConfig | None = None,
+        *,
+        device=None,
+    ):
+        n = check_square(a.shape)
+        base = config or ParallelFactorConfig(n=1)
+        match_config = ParallelFactorConfig(
+            n=1,
+            max_iterations=base.max_iterations,
+            m=base.m,
+            k_m=base.k_m,
+            p=base.p,
+            seed=base.seed,
+        )
+        graph = prepare_graph(a)
+        matching = parallel_factor(graph, match_config, device=device).factor
+        coarse = coarsen_by_matching(graph, matching)
+
+        pair_config = ParallelFactorConfig(
+            n=2,
+            max_iterations=base.max_iterations,
+            m=base.m,
+            k_m=base.k_m,
+            p=base.p,
+            seed=base.seed,
+        )
+        coarse_factor = parallel_factor(coarse.graph, pair_config, device=device).factor
+        broken = break_cycles(coarse_factor, coarse.graph, device=device)
+        paths = identify_paths(broken.forest, device=device)
+        coarse_perm = forest_permutation(paths)
+
+        self.matching = matching
+        self.coarse = coarse
+        self.coarse_forest = broken.forest
+        self.coarse_paths = paths
+        self.coarse_perm = coarse_perm
+        self._n_fine = n
+
+        # ordered fine slots: block row k holds the fine pair of coarse
+        # vertex coarse_perm[k] (GHOST-padded singletons)
+        slots = coarse.aggregates[coarse_perm]  # (k, 2)
+        self._slots = slots
+        ordered_path_id = paths.path_id[coarse_perm]
+        coupled = np.zeros(coarse.n_coarse, dtype=bool)
+        if coarse.n_coarse > 1:
+            coupled[1:] = ordered_path_id[1:] == ordered_path_id[:-1]
+        self._system = self._extract_blocks(a, slots, coupled)
+        self.coverage = self._block_coverage(a, slots, coupled)
+
+    # -- construction helpers ------------------------------------------------
+    @staticmethod
+    def _gather_safe(a: CSRMatrix, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """A[rows, cols] with GHOST (-1) indices yielding 0."""
+        ghost = (rows == GHOST) | (cols == GHOST)
+        out = a.gather(np.where(ghost, 0, rows), np.where(ghost, 0, cols))
+        out[ghost] = 0.0
+        return out
+
+    def _extract_blocks(
+        self, a: CSRMatrix, slots: np.ndarray, coupled: np.ndarray
+    ) -> BlockTridiagonalSystem:
+        k = slots.shape[0]
+        diag = np.zeros((k, 2, 2), dtype=VALUE_DTYPE)
+        sub = np.zeros((k, 2, 2), dtype=VALUE_DTYPE)
+        for r in (0, 1):
+            for c in (0, 1):
+                diag[:, r, c] = self._gather_safe(a, slots[:, r], slots[:, c])
+        # ghost equations: decoupled unit diagonal
+        ghost = slots[:, 1] == GHOST
+        diag[ghost, 1, 1] = 1.0
+        if k > 1:
+            for r in (0, 1):
+                for c in (0, 1):
+                    vals = self._gather_safe(a, slots[1:, r], slots[:-1, c])
+                    sub[1:, r, c] = np.where(coupled[1:], vals, 0.0)
+        sup = np.zeros_like(sub)
+        if k > 1:
+            for r in (0, 1):
+                for c in (0, 1):
+                    vals = self._gather_safe(a, slots[:-1, r], slots[1:, c])
+                    sup[:-1, r, c] = np.where(coupled[1:], vals, 0.0)
+        return BlockTridiagonalSystem(sub=sub, diag=diag, sup=sup)
+
+    def _block_coverage(
+        self, a: CSRMatrix, slots: np.ndarray, coupled: np.ndarray
+    ) -> float:
+        """Weight fraction of A captured by the block tridiagonal pattern."""
+        total = graph_weight(a)
+        if total == 0.0:
+            return 0.0
+        pairs_u: list[np.ndarray] = []
+        pairs_v: list[np.ndarray] = []
+        # intra-pair couplings
+        matched = slots[:, 1] != GHOST
+        pairs_u.append(slots[matched, 0])
+        pairs_v.append(slots[matched, 1])
+        # couplings between consecutive coupled block rows
+        idx = np.flatnonzero(coupled)
+        for r in (0, 1):
+            for c in (0, 1):
+                u = slots[idx - 1, c]
+                v = slots[idx, r]
+                ok = (u != GHOST) & (v != GHOST)
+                pairs_u.append(u[ok])
+                pairs_v.append(v[ok])
+        u = np.concatenate(pairs_u)
+        v = np.concatenate(pairs_v)
+        if u.size == 0:
+            return 0.0
+        w = (np.abs(a.gather(u, v)) + np.abs(a.gather(v, u))) / 2.0
+        return float(w.sum()) / total
+
+    @property
+    def system(self) -> BlockTridiagonalSystem:
+        return self._system
+
+    # -- application ------------------------------------------------
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        slots = self._slots
+        rhs = np.zeros((slots.shape[0], 2), dtype=VALUE_DTYPE)
+        valid = slots != GHOST
+        rhs[valid] = np.asarray(r, dtype=VALUE_DTYPE)[slots[valid]]
+        x = self._system.solve(rhs.reshape(-1)).reshape(slots.shape[0], 2)
+        z = np.zeros(self._n_fine, dtype=VALUE_DTYPE)
+        z[slots[valid]] = x[valid]
+        return z

@@ -1,0 +1,128 @@
+"""Scalar tridiagonal solvers.
+
+The paper inverts its tridiagonal preconditioners with a GPU solver running
+at the bandwidth limit (Klein & Strzodka, ICPP 2021 — parallel cyclic
+reduction with scaled partial pivoting).  We provide:
+
+* :func:`thomas_solve` — the classical sequential Thomas algorithm, used as
+  the correctness oracle (no pivoting).
+* :func:`pcr_solve` — parallel cyclic reduction, ⌈log₂N⌉ fully vectorized
+  elimination sweeps, the data-parallel solver used inside the
+  preconditioners.  Like the paper's solver it assumes the systems extracted
+  from the (diagonally dominant) test matrices are well conditioned; unlike
+  the paper's we do not implement scaled partial pivoting — a singular pivot
+  raises :class:`~repro.errors.SolverError` instead (documented substitution,
+  see DESIGN.md).
+
+Band convention: ``dl[i]`` couples row ``i`` with ``i-1``, ``du[i]`` with
+``i+1``; ``dl[0]`` and ``du[n-1]`` are ignored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import VALUE_DTYPE
+from ..errors import ShapeError, SolverError
+
+__all__ = ["pcr_solve", "thomas_solve"]
+
+
+def _check_bands(dl, d, du, b):
+    """Validate bands; ``b`` may be ``(n,)`` or ``(n, k)`` (multiple RHS).
+
+    When every input is float32 the solve runs in single precision (the
+    paper's tridiagonal solves execute in single precision on the RTX 2080
+    Ti); otherwise in float64.
+    """
+    arrays = [np.asarray(x) for x in (dl, d, du, b)]
+    dtype = (
+        np.float32
+        if all(a.dtype == np.float32 for a in arrays)
+        else VALUE_DTYPE
+    )
+    dl = np.ascontiguousarray(dl, dtype=dtype)
+    d = np.ascontiguousarray(d, dtype=dtype)
+    du = np.ascontiguousarray(du, dtype=dtype)
+    b = np.ascontiguousarray(b, dtype=dtype)
+    if not (dl.shape == d.shape == du.shape) or d.ndim != 1:
+        raise ShapeError("dl, d, du must be equal-length 1-D arrays")
+    if b.ndim not in (1, 2) or b.shape[0] != d.size:
+        raise ShapeError(f"b must have leading dimension {d.size}, got shape {b.shape}")
+    return dl, d, du, b
+
+
+def thomas_solve(dl, d, du, b) -> np.ndarray:
+    """Sequential Thomas algorithm (no pivoting).
+
+    ``b`` may carry multiple right-hand sides as columns.
+    """
+    dl, d, du, b = _check_bands(dl, d, du, b)
+    n = d.size
+    if n == 0:
+        return np.empty_like(b)
+    c_prime = np.empty(n, dtype=VALUE_DTYPE)
+    d_prime = np.empty_like(b)
+    if d[0] == 0.0:
+        raise SolverError("zero pivot at row 0")
+    c_prime[0] = du[0] / d[0]
+    d_prime[0] = b[0] / d[0]
+    for i in range(1, n):
+        denom = d[i] - dl[i] * c_prime[i - 1]
+        if denom == 0.0:
+            raise SolverError(f"zero pivot at row {i}")
+        c_prime[i] = du[i] / denom
+        d_prime[i] = (b[i] - dl[i] * d_prime[i - 1]) / denom
+    x = np.empty_like(b)
+    x[-1] = d_prime[-1]
+    for i in range(n - 2, -1, -1):
+        x[i] = d_prime[i] - c_prime[i] * x[i + 1]
+    return x
+
+
+def pcr_solve(dl, d, du, b) -> np.ndarray:
+    """Parallel cyclic reduction — ⌈log₂N⌉ vectorized sweeps.
+
+    Each sweep eliminates the couplings at the current stride: row ``i``
+    absorbs rows ``i-s`` and ``i+s``, after which its remaining couplings are
+    at stride ``2s``.  When every stride exceeds the system size the matrix is
+    diagonal and ``x = rhs / diag``.
+    """
+    dl, d, du, b = _check_bands(dl, d, du, b)
+    n = d.size
+    if n == 0:
+        return np.empty_like(b)
+    multi = b.ndim == 2
+    a = dl.copy()
+    a[0] = 0.0
+    c = du.copy()
+    c[-1] = 0.0
+    diag = d.copy()
+    rhs = b.copy() if multi else b.reshape(n, 1).copy()
+
+    dt = diag.dtype
+    s = 1
+    with np.errstate(divide="ignore", invalid="ignore"):
+        while s < n:
+            # neighbours at distance s, zero-padded outside the system
+            a_m = np.concatenate([np.zeros(s, dt), a[:-s]])
+            d_m = np.concatenate([np.ones(s, dt), diag[:-s]])
+            c_m = np.concatenate([np.zeros(s, dt), c[:-s]])
+            y_m = np.concatenate([np.zeros((s, rhs.shape[1]), dt), rhs[:-s]])
+            a_p = np.concatenate([a[s:], np.zeros(s, dt)])
+            d_p = np.concatenate([diag[s:], np.ones(s, dt)])
+            c_p = np.concatenate([c[s:], np.zeros(s, dt)])
+            y_p = np.concatenate([rhs[s:], np.zeros((s, rhs.shape[1]), dt)])
+
+            alpha = np.where(a != 0.0, -a / d_m, 0.0)
+            gamma = np.where(c != 0.0, -c / d_p, 0.0)
+
+            diag = diag + alpha * c_m + gamma * a_p
+            rhs = rhs + alpha[:, None] * y_m + gamma[:, None] * y_p
+            a = alpha * a_m
+            c = gamma * c_p
+            s *= 2
+        x = rhs / diag[:, None]
+    if not bool(np.isfinite(x).all()):
+        raise SolverError("PCR encountered a singular or ill-conditioned pivot")
+    return x if multi else x[:, 0]

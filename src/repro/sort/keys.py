@@ -1,0 +1,44 @@
+"""Composite sort keys for the linear-forest permutation.
+
+The radix sort orders vertices by (path id, position within the path); both
+components are packed into one unsigned 64-bit key with the path id in the
+high bits so that a single numeric sort yields the lexicographic order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["pack_keys", "unpack_keys", "POSITION_BITS"]
+
+#: Bits reserved for the position component (low bits of the key).
+POSITION_BITS = 32
+_POSITION_MASK = (1 << POSITION_BITS) - 1
+
+
+def pack_keys(path_id: np.ndarray, position: np.ndarray) -> np.ndarray:
+    """Pack ``(path_id, position)`` into uint64 keys, path id major."""
+    path_id = np.asarray(path_id, dtype=np.int64)
+    position = np.asarray(position, dtype=np.int64)
+    if path_id.shape != position.shape:
+        raise ShapeError("path_id and position must have equal shapes")
+    if path_id.size:
+        if int(path_id.min()) < 0 or int(position.min()) < 0:
+            raise ShapeError("key components must be non-negative")
+        if int(position.max()) > _POSITION_MASK:
+            raise ShapeError(f"position exceeds {POSITION_BITS} bits")
+        if int(path_id.max()) >= 1 << (64 - POSITION_BITS):
+            raise ShapeError(f"path id exceeds {64 - POSITION_BITS} bits")
+    return (path_id.astype(np.uint64) << np.uint64(POSITION_BITS)) | position.astype(
+        np.uint64
+    )
+
+
+def unpack_keys(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_keys`."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    path_id = (keys >> np.uint64(POSITION_BITS)).astype(np.int64)
+    position = (keys & np.uint64(_POSITION_MASK)).astype(np.int64)
+    return path_id, position

@@ -1,0 +1,77 @@
+"""Least-significant-bit split radix sort.
+
+The GPU building block (Blelloch; used inside CUB's radix sort) is the stable
+1-bit *split*: elements with bit 0 keep their relative order and precede all
+elements with bit 1, with destinations computed from two prefix sums.  The
+full sort runs one split per key bit, low to high — stability of each pass
+makes the composite sort correct.
+
+Only unsigned integer keys are supported (the linear-forest permutation packs
+its key into uint64, see :mod:`repro.sort.keys`); passes above the highest set
+bit of the input are skipped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["radix_argsort", "radix_sort", "split_by_bit"]
+
+
+def split_by_bit(keys: np.ndarray, bit: int, order: np.ndarray) -> np.ndarray:
+    """One stable 1-bit partition pass.
+
+    ``order`` is the current permutation (positions into ``keys``); the
+    return value is the permutation after stably moving all elements with the
+    given key bit clear before all elements with it set.
+    """
+    bits = (keys[order] >> np.uint64(bit)) & np.uint64(1)
+    zeros = bits == 0
+    n_zeros = int(np.count_nonzero(zeros))
+    dest = np.empty(order.size, dtype=np.int64)
+    # prefix sums give stable destinations for both partitions
+    dest[zeros] = np.arange(n_zeros, dtype=np.int64)
+    dest[~zeros] = n_zeros + np.arange(order.size - n_zeros, dtype=np.int64)
+    out = np.empty_like(order)
+    out[dest] = order
+    return out
+
+
+def radix_argsort(keys: np.ndarray) -> np.ndarray:
+    """Return the stable ascending permutation of unsigned integer ``keys``."""
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ShapeError("keys must be one-dimensional")
+    if keys.dtype.kind != "u":
+        if keys.dtype.kind == "i":
+            if keys.size and int(keys.min()) < 0:
+                raise ShapeError("signed keys must be non-negative")
+            keys = keys.astype(np.uint64)
+        else:
+            raise ShapeError(f"unsupported key dtype {keys.dtype}")
+    else:
+        keys = keys.astype(np.uint64)
+    order = np.arange(keys.size, dtype=np.int64)
+    if keys.size == 0:
+        return order
+    max_key = int(keys.max())
+    n_bits = max(1, max_key.bit_length())
+    for bit in range(n_bits):
+        order = split_by_bit(keys, bit, order)
+    return order
+
+
+def radix_sort(
+    keys: np.ndarray, values: np.ndarray | None = None
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Sort ``keys`` ascending (optionally permuting ``values`` alongside)."""
+    order = radix_argsort(keys)
+    sorted_keys = np.asarray(keys)[order]
+    if values is None:
+        return sorted_keys
+    values = np.asarray(values)
+    if values.shape[0] != order.size:
+        raise ShapeError("values must have the same leading dimension as keys")
+    return sorted_keys, values[order]

@@ -1,0 +1,109 @@
+"""Matrix Market I/O.
+
+The paper's test matrices come from the SuiteSparse Matrix Collection, which
+distributes Matrix Market files.  This module implements the coordinate
+real/integer/pattern general/symmetric subset of the format so that a user
+with the original files can run every benchmark on them; the bundled
+benchmarks default to the synthetic analogues in :mod:`repro.graphs.suite`.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+import numpy as np
+
+from .._validation import INDEX_DTYPE, VALUE_DTYPE
+from ..errors import FormatError
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def read_matrix_market(source) -> CSRMatrix:
+    """Read a Matrix Market coordinate file into a :class:`CSRMatrix`.
+
+    ``source`` may be a path or an open text file object.
+    """
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = Path(source).read_text()
+    lines = text.splitlines()
+    if not lines:
+        raise FormatError("empty Matrix Market input")
+    header = lines[0].strip().lower().split()
+    if len(header) != 5 or header[0] != "%%matrixmarket":
+        raise FormatError(f"bad Matrix Market header: {lines[0]!r}")
+    _, obj, fmt, field, symmetry = header
+    if obj != "matrix" or fmt != "coordinate":
+        raise FormatError(f"only coordinate matrices are supported, got {obj}/{fmt}")
+    if field not in _SUPPORTED_FIELDS:
+        raise FormatError(f"unsupported field {field!r}")
+    if symmetry not in _SUPPORTED_SYMMETRIES:
+        raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+    body = [ln for ln in lines[1:] if ln.strip() and not ln.lstrip().startswith("%")]
+    if not body:
+        raise FormatError("missing size line")
+    size_parts = body[0].split()
+    if len(size_parts) != 3:
+        raise FormatError(f"bad size line: {body[0]!r}")
+    n_rows, n_cols, nnz = (int(p) for p in size_parts)
+    entries = body[1:]
+    if len(entries) != nnz:
+        raise FormatError(f"expected {nnz} entries, found {len(entries)}")
+
+    rows = np.empty(nnz, dtype=INDEX_DTYPE)
+    cols = np.empty(nnz, dtype=INDEX_DTYPE)
+    vals = np.empty(nnz, dtype=VALUE_DTYPE)
+    for k, ln in enumerate(entries):
+        parts = ln.split()
+        rows[k] = int(parts[0]) - 1
+        cols[k] = int(parts[1]) - 1
+        if field == "pattern":
+            vals[k] = 1.0
+        else:
+            vals[k] = float(parts[2])
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows = np.concatenate([rows, cols[off]])
+        cols_full = np.concatenate([cols, rows[: nnz][off]])
+        vals = np.concatenate([vals, sign * vals[off]])
+        cols = cols_full
+    return COOMatrix(rows, cols, vals, (n_rows, n_cols)).to_csr()
+
+
+def write_matrix_market(matrix: CSRMatrix, target, *, symmetry: str = "general") -> None:
+    """Write a :class:`CSRMatrix` as a Matrix Market coordinate file.
+
+    With ``symmetry="symmetric"`` only the lower triangle is emitted (the
+    matrix must actually be symmetric).
+    """
+    if symmetry not in ("general", "symmetric"):
+        raise FormatError(f"unsupported symmetry {symmetry!r}")
+    coo = matrix.to_coo()
+    row, col, val = coo.row, coo.col, coo.val
+    if symmetry == "symmetric":
+        if not matrix.is_symmetric(tol=0.0):
+            raise FormatError("matrix is not symmetric")
+        keep = row >= col
+        row, col, val = row[keep], col[keep], val[keep]
+
+    buf = _io.StringIO()
+    buf.write(f"%%MatrixMarket matrix coordinate real {symmetry}\n")
+    buf.write(f"{matrix.n_rows} {matrix.n_cols} {row.size}\n")
+    for r, c, v in zip(row, col, val):
+        buf.write(f"{int(r) + 1} {int(c) + 1} {float(v)!r}\n")
+    text = buf.getvalue()
+    if hasattr(target, "write"):
+        target.write(text)
+    else:
+        Path(target).write_text(text)

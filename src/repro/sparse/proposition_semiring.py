@@ -1,0 +1,125 @@
+"""The edge proposition as a literal generalized SpMV (Section 4.1).
+
+The paper's central formulation: Algorithm 2's proposition kernel *is* a
+sparse matrix-vector product over a custom (⊗, ⊕) pair —
+
+* ⊗ maps each stored nonzero ``(i, j, a_ij)`` to a singleton accumulator,
+  performing the *indirect lookups* of Section 4.1: the result is the zero
+  accumulator when neighbour ``j`` already has n confirmed edges, is already
+  a confirmed partner of ``i``, or carries the same charge as ``i``;
+* ⊕ merges two sorted top-n accumulators (the Table 1 type: ``n`` sorted
+  (value, column) pairs).
+
+:func:`proposition_spmv` wires this through the *generic* segmented
+reduction engine (:func:`repro.sparse.semiring.segment_reduce_generic`, the
+SRCSR scheme) and produces bit-identical results to the fused kernel
+:func:`repro.core.factor.propose_edges` — the production path keeps the
+fused kernel because one global sort beats log-depth structured merges in
+NumPy, exactly mirroring the paper's own choice of a fused SRCSR kernel over
+generic primitives.
+
+The accumulator is a structure of ``2n`` arrays (``n`` values, ``n``
+columns), kept sorted by descending value.  Tie-breaking matches Table 1
+(earlier CSR position wins) because the segmented tree reduction always
+combines a left subsegment with its right neighbour and the merge keeps left
+entries first on equal values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import INDEX_DTYPE, VALUE_DTYPE
+from ..errors import ShapeError
+from .csr import CSRMatrix
+from .semiring import segment_reduce_generic
+
+__all__ = ["proposition_spmv", "top_n_merge"]
+
+#: Column marker for empty accumulator slots.
+EMPTY = -1
+
+
+def top_n_merge(left: tuple[np.ndarray, ...], right: tuple[np.ndarray, ...]):
+    """⊕: merge two sorted top-n accumulators elementwise.
+
+    ``left``/``right`` are 2n-tuples ``(val_0..val_{n-1}, col_0..col_{n-1})``
+    of equal-length arrays; slot order is descending by value.  For equal
+    values the left operand's slots come first (CSR order).
+    """
+    n = len(left) // 2
+    m = left[0].shape[0]
+    vals = np.stack(list(left[:n]) + list(right[:n]), axis=1)  # (m, 2n)
+    cols = np.stack(list(left[n:]) + list(right[n:]), axis=1)
+    # order left slots before right slots on ties: stable sort over the
+    # concatenation [left | right] by descending value
+    order = np.argsort(-vals, axis=1, kind="stable")[:, :n]
+    rows = np.arange(m)[:, None]
+    top_vals = vals[rows, order]
+    top_cols = cols[rows, order]
+    return tuple(top_vals[:, k] for k in range(n)) + tuple(
+        top_cols[:, k] for k in range(n)
+    )
+
+
+def _multiply(
+    a: CSRMatrix,
+    n: int,
+    confirmed: np.ndarray,
+    charges: np.ndarray | None,
+) -> tuple[np.ndarray, ...]:
+    """⊗: one singleton accumulator per stored nonzero, eligibility-masked."""
+    rows = a.nnz_rows
+    cols = a.indices
+    degree = (confirmed != EMPTY).sum(axis=1).astype(INDEX_DTYPE)
+    eligible = degree[cols] < n
+    eligible &= cols != rows
+    if charges is not None:
+        eligible &= charges[rows] != charges[cols]
+    eligible &= ~(confirmed[rows] == cols[:, None]).any(axis=1)
+
+    nnz = a.nnz
+    fields_vals = [np.where(eligible, a.data, -np.inf)]
+    fields_cols = [np.where(eligible, cols, EMPTY)]
+    for _ in range(n - 1):
+        fields_vals.append(np.full(nnz, -np.inf, dtype=VALUE_DTYPE))
+        fields_cols.append(np.full(nnz, EMPTY, dtype=INDEX_DTYPE))
+    return tuple(fields_vals) + tuple(f.astype(INDEX_DTYPE) for f in fields_cols)
+
+
+def proposition_spmv(
+    a: CSRMatrix,
+    confirmed: np.ndarray,
+    n: int,
+    *,
+    charges: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run the edge proposition as a generalized SpMV.
+
+    Semantics (and return convention) match
+    :func:`repro.core.factor.propose_edges`: per vertex, up to
+    ``n - |π(v)|`` proposal columns in descending weight order, ``-1``
+    padded, plus the proposal weights and per-vertex counts.
+    """
+    if n < 1:
+        raise ShapeError(f"n must be >= 1, got {n}")
+    n_vertices = a.n_rows
+    if confirmed.shape != (n_vertices, n):
+        raise ShapeError(f"confirmed must have shape {(n_vertices, n)}")
+
+    mapped = _multiply(a, n, confirmed, charges)
+    identity = tuple([-np.inf] * n) + tuple([float(EMPTY)] * n)
+    reduced = segment_reduce_generic(mapped, a.indptr, top_n_merge, identity)
+
+    vals = np.stack(reduced[:n], axis=1)
+    cols = np.stack(reduced[n:], axis=1).astype(INDEX_DTYPE)
+    # apply the per-vertex capacity (a full vertex proposes nothing) and
+    # normalise the padding conventions to match propose_edges
+    degree = (confirmed != EMPTY).sum(axis=1).astype(INDEX_DTYPE)
+    capacity = n - degree
+    slot = np.arange(n)[None, :]
+    keep = (slot < capacity[:, None]) & (cols != EMPTY) & np.isfinite(vals)
+    out_cols = np.where(keep, cols, EMPTY)
+    out_vals = np.where(keep, vals, 0.0)
+    counts = keep.sum(axis=1).astype(INDEX_DTYPE)
+    return out_cols, out_vals, counts

@@ -1,0 +1,186 @@
+"""Generalized sparse matrix-vector products (Section 4.1 of the paper).
+
+The GraphBLAS observation: many graph algorithms are an SpMV over a different
+semiring.  The paper goes one step further — its edge proposition needs
+*different types* for the input vector, the output vector, the matrix values
+and the accumulator, which standard GraphBLAS objects do not offer.  The
+:class:`Semiring` here captures that flexibility:
+
+* ``multiply(data, cols, x)`` — the ⊗ functor, mapped over every stored
+  nonzero; it may return a float array *or a tuple of arrays* (a structure-of-
+  arrays accumulator type).
+* ``reduce`` — the ⊕ functor, applied as a segmented reduction along each CSR
+  row.  Plain ufuncs use :func:`segment_reduce` (``reduceat``); structured
+  accumulators use :func:`segment_reduce_generic`, a vectorized segmented
+  tree reduction (the SRCSR scheme of the paper, log₂(row length) sweeps).
+
+The [0,n]-factor's top-n accumulator lives in :mod:`repro.sparse.topn`; it is
+one particular ⊕ with a dedicated, faster implementation, but
+:func:`segment_reduce_generic` can express it too (used as a cross-check in
+the test-suite and as the D4 ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._validation import VALUE_DTYPE
+from ..errors import ShapeError
+from .csr import CSRMatrix
+
+__all__ = [
+    "MIN_PLUS",
+    "PLUS_TIMES",
+    "Semiring",
+    "generalized_spmv",
+    "segment_reduce",
+    "segment_reduce_generic",
+]
+
+Arrays = tuple[np.ndarray, ...]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A (⊗, ⊕) pair with an identity for empty rows.
+
+    Attributes
+    ----------
+    multiply:
+        ``multiply(data, cols, x) -> np.ndarray`` mapped over all nonzeros.
+    reduce:
+        Either a NumPy ufunc with a ``reduceat`` method (fast path) or a
+        callable ``combine(a, b) -> c`` on arrays (generic path).
+    identity:
+        Scalar result for empty rows.
+    name:
+        Informational.
+    """
+
+    multiply: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+    reduce: Callable
+    identity: float
+    name: str = "custom"
+
+
+def _plus_times_multiply(data, cols, x):
+    return data * x[cols]
+
+
+def _min_plus_multiply(data, cols, x):
+    return data + x[cols]
+
+
+def _max_times_multiply(data, cols, x):
+    return data * x[cols]
+
+
+def _or_and_multiply(data, cols, x):
+    return ((data != 0.0) & (x[cols] != 0.0)).astype(np.float64)
+
+
+#: The ordinary SpMV semiring.
+PLUS_TIMES = Semiring(_plus_times_multiply, np.add, 0.0, name="plus-times")
+
+#: The shortest-path relaxation semiring {min, +, R ∪ {+inf}, +inf}.
+MIN_PLUS = Semiring(_min_plus_multiply, np.minimum, np.inf, name="min-plus")
+
+#: The widest/most-reliable-path semiring {max, ×, R≥0, 0}.
+MAX_TIMES = Semiring(_max_times_multiply, np.maximum, 0.0, name="max-times")
+
+#: Boolean reachability {∨, ∧, {0,1}, 0} (one BFS frontier expansion).
+OR_AND = Semiring(_or_and_multiply, np.maximum, 0.0, name="or-and")
+
+
+def segment_reduce(
+    values: np.ndarray,
+    indptr: np.ndarray,
+    ufunc: np.ufunc,
+    identity: float,
+) -> np.ndarray:
+    """Per-segment ufunc reduction of ``values`` over CSR-style segments."""
+    n_segments = indptr.size - 1
+    out = np.full(n_segments, identity, dtype=values.dtype)
+    if values.size == 0 or n_segments == 0:
+        return out
+    lengths = np.diff(indptr)
+    non_empty = lengths > 0
+    # reduceat only over non-empty segments: the extent of each then runs to
+    # the next non-empty start, which skips exactly the empty segments.
+    reduced = ufunc.reduceat(values, indptr[:-1][non_empty])
+    out[non_empty] = reduced
+    return out
+
+
+def segment_reduce_generic(
+    values: Arrays | np.ndarray,
+    indptr: np.ndarray,
+    combine: Callable[[Arrays, Arrays], Arrays],
+    identity: Sequence[float] | float,
+) -> Arrays:
+    """Segmented tree reduction for structure-of-arrays accumulators.
+
+    This mirrors the GPU segmented-reduction (SRCSR) scheme: log₂(max segment
+    length) data-parallel sweeps; in sweep ``s`` every element whose local
+    offset is a multiple of ``2^(s+1)`` absorbs its neighbour at distance
+    ``2^s`` if that neighbour is in the same segment.  ``combine`` receives
+    and returns tuples of arrays and must be vectorized.
+    """
+    if isinstance(values, np.ndarray):
+        values = (values,)
+    if np.isscalar(identity):
+        identity = (identity,)
+    if len(values) != len(identity):
+        raise ShapeError("identity arity must match the accumulator arity")
+    n_segments = indptr.size - 1
+    lengths = np.diff(indptr)
+    nnz = int(indptr[-1])
+    work = tuple(np.array(f, copy=True) for f in values)
+    if nnz:
+        local = np.arange(nnz, dtype=np.int64) - np.repeat(indptr[:-1], lengths)
+        seg_len = np.repeat(lengths, lengths)
+        stride = 1
+        max_len = int(lengths.max())
+        while stride < max_len:
+            mask = (local % (2 * stride) == 0) & (local + stride < seg_len)
+            idx = np.flatnonzero(mask)
+            if idx.size:
+                left = tuple(f[idx] for f in work)
+                right = tuple(f[idx + stride] for f in work)
+                merged = combine(left, right)
+                for f, m in zip(work, merged):
+                    f[idx] = m
+            stride *= 2
+    out = tuple(
+        np.full(n_segments, ident, dtype=f.dtype) for f, ident in zip(work, identity)
+    )
+    non_empty = lengths > 0
+    if nnz:
+        heads = indptr[:-1][non_empty]
+        for o, f in zip(out, work):
+            o[non_empty] = f[heads]
+    return out
+
+
+def generalized_spmv(
+    a: CSRMatrix,
+    x: np.ndarray,
+    semiring: Semiring,
+) -> np.ndarray | Arrays:
+    """Row-wise ⊕-reduction of ⊗-mapped nonzeros — the generalized SpMV."""
+    x = np.asarray(x)
+    if x.shape[0] != a.n_cols:
+        raise ShapeError(f"x must have leading dimension {a.n_cols}, got {x.shape}")
+    mapped = semiring.multiply(a.data, a.indices, x)
+    if isinstance(mapped, tuple):
+        return segment_reduce_generic(mapped, a.indptr, semiring.reduce, semiring.identity)
+    mapped = np.asarray(mapped, dtype=VALUE_DTYPE)
+    if isinstance(semiring.reduce, np.ufunc):
+        return segment_reduce(mapped, a.indptr, semiring.reduce, semiring.identity)
+    (out,) = segment_reduce_generic(
+        (mapped,), a.indptr, lambda l, r: (semiring.reduce(l[0], r[0]),), (semiring.identity,)
+    )
+    return out

@@ -1,0 +1,54 @@
+"""Sparse matrix-matrix multiplication (SpGEMM).
+
+Needed by the algebraic-multigrid extension (Galerkin coarse operators
+``A_c = P^T A P``).  The formulation is the expansion approach that maps
+well to data-parallel hardware: every stored ``a_ik`` is expanded over row
+``k`` of ``B``, producing ``flops`` intermediate triplets that a single
+sort/segmented-sum (the COO → CSR conversion) compacts.  Memory is
+O(flops) — fine at this repository's problem scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import INDEX_DTYPE
+from ..errors import ShapeError
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = ["spgemm"]
+
+
+def spgemm(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """Compute ``C = A @ B`` for CSR operands."""
+    if a.n_cols != b.n_rows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    out_shape = (a.n_rows, b.n_cols)
+    if a.nnz == 0 or b.nnz == 0:
+        return COOMatrix(
+            row=np.empty(0, dtype=INDEX_DTYPE),
+            col=np.empty(0, dtype=INDEX_DTYPE),
+            val=np.empty(0, dtype=np.float64),
+            shape=out_shape,
+        ).to_csr()
+
+    # expansion counts: every A-nonzero (i, k) spawns |B row k| triplets
+    expand = b.row_lengths[a.indices]
+    total = int(expand.sum())
+    if total == 0:
+        return COOMatrix(
+            row=np.empty(0, dtype=INDEX_DTYPE),
+            col=np.empty(0, dtype=INDEX_DTYPE),
+            val=np.empty(0, dtype=np.float64),
+            shape=out_shape,
+        ).to_csr()
+    rows = np.repeat(a.nnz_rows, expand)
+    a_vals = np.repeat(a.data, expand)
+    # position of each triplet inside its B row
+    starts = np.concatenate([[0], np.cumsum(expand)[:-1]])
+    offsets = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(starts, expand)
+    b_pos = np.repeat(b.indptr[a.indices], expand) + offsets
+    cols = b.indices[b_pos]
+    vals = a_vals * b.data[b_pos]
+    return COOMatrix(row=rows, col=cols, val=vals, shape=out_shape).to_csr()

@@ -1,0 +1,53 @@
+"""Unit tests for the ASCII line plot."""
+
+import numpy as np
+
+from repro.analysis import ascii_line_plot
+
+
+def test_basic_plot_contains_markers_and_legend():
+    out = ascii_line_plot({"fast": [1.0, 0.1, 0.01], "slow": [1.0, 0.5, 0.25]})
+    assert "A = fast" in out
+    assert "B = slow" in out
+    assert "A" in out.splitlines()[0] or any("A" in ln for ln in out.splitlines())
+
+
+def test_log_scale_orders_rows():
+    out = ascii_line_plot({"s": [1.0, 1e-8]}, height=10, width=20)
+    lines = [ln for ln in out.splitlines() if "|" in ln]
+    marked = [i for i, ln in enumerate(lines) if "A" in ln.split("|", 1)[1]]
+    # first sample (value 1.0) near the top, last near the bottom
+    assert marked[0] == 0
+    assert marked[-1] == len(lines) - 1
+
+
+def test_linear_scale():
+    out = ascii_line_plot({"x": [0.0, 5.0, 10.0]}, logy=False)
+    assert "value" in out
+
+
+def test_empty_series():
+    assert ascii_line_plot({}) == "(no data)"
+    assert ascii_line_plot({"empty": []}) == "(no data)"
+
+
+def test_single_point():
+    out = ascii_line_plot({"p": [3.0]})
+    assert "A = p" in out
+
+
+def test_constant_series_no_crash():
+    out = ascii_line_plot({"c": [2.0, 2.0, 2.0]})
+    assert "A = c" in out
+
+
+def test_title_included():
+    out = ascii_line_plot({"a": [1.0]}, title="My Plot")
+    assert out.splitlines()[0] == "My Plot"
+
+
+def test_many_series_wrap_markers():
+    series = {f"s{i}": [1.0, 0.5] for i in range(30)}
+    out = ascii_line_plot(series)
+    assert "A = s0" in out
+    assert "A = s26" in out  # marker alphabet wraps

@@ -1,0 +1,34 @@
+"""Unit tests for figure-series helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import boxplot_stats, series_to_tsv
+
+
+def test_boxplot_stats_basic():
+    stats = boxplot_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert stats["min"] == 1.0
+    assert stats["median"] == 3.0
+    assert stats["max"] == 5.0
+    assert stats["q1"] == 2.0
+    assert stats["q3"] == 4.0
+
+
+def test_boxplot_stats_single_sample():
+    stats = boxplot_stats([7.0])
+    assert all(v == 7.0 for v in stats.values())
+
+
+def test_boxplot_stats_empty_raises():
+    with pytest.raises(ValueError):
+        boxplot_stats([])
+
+
+def test_series_to_tsv_unequal_lengths(tmp_path):
+    path = tmp_path / "s.tsv"
+    series_to_tsv(path, {"a": [1.0, 2.0], "b": [3.0]})
+    lines = path.read_text().splitlines()
+    assert lines[0] == "a\tb"
+    assert lines[1] == "1.0\t3.0"
+    assert lines[2] == "2.0\t"

@@ -1,0 +1,53 @@
+"""Unit tests for the forest statistics profile."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.forest_stats import forest_statistics
+from repro.core import Factor, extract_linear_forest, identify_paths
+from repro.graphs import aniso2
+from repro.sparse import from_edges
+
+
+def test_known_forest_profile():
+    # paths: (0,1,2) weights 2+3, (3,4) weight 5, singleton 5
+    a = from_edges(6, [0, 1, 3], [1, 2, 4], [2.0, 3.0, 5.0])
+    forest = Factor.from_edge_list(6, 2, [0, 1, 3], [1, 2, 4])
+    info = identify_paths(forest)
+    stats = forest_statistics(a, forest, info)
+    assert stats.n_vertices == 6
+    assert stats.n_paths == 3
+    assert stats.n_singletons == 1
+    assert stats.max_path_length == 3
+    assert stats.length_histogram == {1: 1, 2: 1, 3: 1}
+    assert stats.coverage == pytest.approx(1.0)
+    np.testing.assert_allclose(sorted(stats.weight_per_path), [0.0, 5.0, 5.0])
+
+
+def test_pipeline_integration():
+    a = aniso2(16)
+    result = extract_linear_forest(a)
+    stats = forest_statistics(a, result.forest, result.paths)
+    assert stats.coverage == pytest.approx(result.coverage)
+    assert sum(k * c for k, c in stats.length_histogram.items()) == a.n_rows
+    assert 0.0 <= stats.gini_path_weight <= 1.0
+    assert "paths over" in stats.summary()
+
+
+def test_empty_forest():
+    a = from_edges(3, [], [], [])
+    forest = Factor.empty(3, 2)
+    info = identify_paths(forest)
+    stats = forest_statistics(a, forest, info)
+    assert stats.n_paths == 3
+    assert stats.n_singletons == 3
+    assert stats.coverage == 0.0
+    assert stats.gini_path_weight == 0.0
+
+
+def test_gini_extremes():
+    from repro.analysis.forest_stats import _gini
+
+    assert _gini(np.array([1.0, 1.0, 1.0, 1.0])) == pytest.approx(0.0, abs=1e-12)
+    concentrated = _gini(np.array([0.0, 0.0, 0.0, 100.0]))
+    assert concentrated > 0.7

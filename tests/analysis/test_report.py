@@ -1,0 +1,41 @@
+"""Unit tests for the report aggregator."""
+
+from repro.analysis.report import SECTION_ORDER, build_report
+
+
+def test_builds_with_partial_artifacts(tmp_path):
+    (tmp_path / "table3_suite.txt").write_text("Table 3 content\n")
+    (tmp_path / "custom_thing.txt").write_text("extra\n")
+    out = build_report(tmp_path)
+    text = out.read_text()
+    assert "Table 3 content" in text
+    assert "not generated" in text  # missing sections are flagged
+    assert "custom_thing" in text  # unknown artifacts listed
+
+
+def test_all_sections_present(tmp_path):
+    for stem, _ in SECTION_ORDER:
+        (tmp_path / f"{stem}.txt").write_text(f"{stem} data\n")
+    out = build_report(tmp_path)
+    text = out.read_text()
+    assert "not generated" not in text
+    for stem, title in SECTION_ORDER:
+        assert title in text
+        assert f"{stem} data" in text
+
+
+def test_custom_output_path(tmp_path):
+    target = tmp_path / "custom"
+    target.mkdir()
+    out = build_report(tmp_path, target / "R.md")
+    assert out.read_text().startswith("# Reproduction report")
+
+
+def test_real_results_directory_if_present():
+    from pathlib import Path
+
+    results = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+    if not results.is_dir():
+        return  # benches not yet run in this checkout
+    out = build_report(results)
+    assert out.is_file()

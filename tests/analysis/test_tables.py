@@ -1,0 +1,36 @@
+"""Unit tests for table rendering."""
+
+from repro.analysis import format_value, render_table, write_tsv
+
+
+def test_format_value():
+    assert format_value(None) == "-"
+    assert format_value(True) == "y"
+    assert format_value(False) == "n"
+    assert format_value(0.256) == "0.26"
+    assert format_value(0.2561, digits=3) == "0.256"
+    assert format_value(42) == "42"
+    assert format_value("abc") == "abc"
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "v"], [["a", 1.0], ["long-name", 22.5]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    # columns align: all rows same width
+    assert len(set(len(ln) for ln in lines[1:])) == 1
+
+
+def test_render_table_title():
+    out = render_table(["h"], [[1]], title="Table X")
+    assert out.splitlines()[0] == "Table X"
+
+
+def test_write_tsv(tmp_path):
+    path = tmp_path / "t.tsv"
+    write_tsv(path, ["a", "b"], [[1, 2.5], [None, "x"]])
+    lines = path.read_text().splitlines()
+    assert lines[0] == "a\tb"
+    assert lines[1] == "1\t2.5"
+    assert lines[2] == "\tx"

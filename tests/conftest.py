@@ -1,0 +1,50 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import from_dense, from_edges, prepare_graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20220829)  # the paper's conference date
+
+
+@pytest.fixture
+def small_dense() -> np.ndarray:
+    """A fixed small asymmetric matrix with an empty row and column."""
+    return np.array(
+        [
+            [4.0, -1.0, 0.0, 0.5, 0.0],
+            [-1.0, 3.0, -2.0, 0.0, 0.0],
+            [0.0, -2.0, 5.0, 0.0, -0.25],
+            [0.0, 0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, -0.25, 0.0, 2.0],
+        ]
+    )
+
+
+@pytest.fixture
+def small_csr(small_dense):
+    return from_dense(small_dense)
+
+
+@pytest.fixture
+def path_graph():
+    """A weighted path 0-1-2-3-4 with descending weights."""
+    u = np.array([0, 1, 2, 3])
+    v = np.array([1, 2, 3, 4])
+    w = np.array([4.0, 3.0, 2.0, 1.0])
+    return prepare_graph(from_edges(5, u, v, w))
+
+
+@pytest.fixture
+def triangle_plus_tail():
+    """Triangle 0-1-2 with a tail 2-3; triangle edge 0-1 is weakest."""
+    u = np.array([0, 1, 2, 2])
+    v = np.array([1, 2, 0, 3])
+    w = np.array([0.1, 0.9, 0.8, 0.7])
+    return prepare_graph(from_edges(4, u, v, w))

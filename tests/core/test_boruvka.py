@@ -1,0 +1,117 @@
+"""Unit tests for the vectorized Borůvka spanning forest."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.boruvka import boruvka_forest
+from repro.errors import FactorError
+from repro.graphs import random_weighted_graph
+from repro.sparse import from_edges, prepare_graph
+
+
+def _nx_graph(g):
+    coo = g.to_coo()
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(g.n_rows))
+    for u, v, w in zip(coo.row, coo.col, coo.val):
+        if u < v:
+            nxg.add_edge(int(u), int(v), weight=float(w))
+    return nxg
+
+
+def test_path_graph(path_graph):
+    forest = boruvka_forest(path_graph)
+    assert forest.n_edges == 4  # the whole path is the spanning tree
+    assert forest.n_components == 1
+
+
+def test_single_edge():
+    g = prepare_graph(from_edges(2, [0], [1], [1.0]))
+    forest = boruvka_forest(g)
+    assert forest.n_edges == 1
+
+
+def test_empty_graph():
+    g = prepare_graph(from_edges(4, [], [], []))
+    forest = boruvka_forest(g)
+    assert forest.n_edges == 0
+    assert forest.n_components == 4
+
+
+def test_matches_networkx_maximum_spanning_weight(rng):
+    for _ in range(8):
+        n = int(rng.integers(3, 60))
+        g = random_weighted_graph(n, 4 * n, rng)
+        if g.nnz == 0:
+            continue
+        forest = boruvka_forest(g, maximize=True)
+        nxg = _nx_graph(g)
+        expected = sum(
+            d["weight"] for _, _, d in nx.maximum_spanning_edges(nxg, data=True)
+        )
+        assert forest.total_weight(g) == pytest.approx(expected)
+
+
+def test_matches_networkx_minimum_spanning_weight(rng):
+    g = random_weighted_graph(40, 160, rng)
+    forest = boruvka_forest(g, maximize=False)
+    nxg = _nx_graph(g)
+    expected = sum(
+        d["weight"] for _, _, d in nx.minimum_spanning_edges(nxg, data=True)
+    )
+    assert forest.total_weight(g) == pytest.approx(expected)
+
+
+def test_forest_is_acyclic_and_spanning(rng):
+    g = random_weighted_graph(50, 200, rng)
+    forest = boruvka_forest(g)
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(50))
+    nxg.add_edges_from(zip(forest.u.tolist(), forest.v.tolist()))
+    assert nx.is_forest(nxg)
+    # one forest edge fewer than vertices per connected component of G
+    n_components_g = nx.number_connected_components(_nx_graph(g))
+    assert forest.n_edges == 50 - n_components_g
+    assert forest.n_components == n_components_g
+
+
+def test_component_labels_match_connectivity(rng):
+    g = random_weighted_graph(40, 80, rng)
+    forest = boruvka_forest(g)
+    nxg = _nx_graph(g)
+    for comp in nx.connected_components(nxg):
+        labels = {int(forest.component[v]) for v in comp}
+        assert len(labels) == 1
+
+
+def test_handles_uniform_weights():
+    # exact ties everywhere: the unique edge order must still produce a tree
+    n = 6
+    u, v, w = [], [], []
+    for i in range(n):
+        for j in range(i + 1, n):
+            u.append(i)
+            v.append(j)
+            w.append(1.0)
+    g = prepare_graph(from_edges(n, u, v, w))
+    forest = boruvka_forest(g)
+    assert forest.n_edges == n - 1
+    assert forest.n_components == 1
+
+
+def test_unbounded_degree_vs_linear_forest(rng):
+    """The Related Work contrast: the MST baseline has no degree bound."""
+    # a star with strong spokes: the MST takes all spokes (degree n-1)
+    n = 10
+    g = prepare_graph(
+        from_edges(n, np.zeros(n - 1, dtype=int), np.arange(1, n), np.arange(1, n, dtype=float))
+    )
+    forest = boruvka_forest(g)
+    assert int(forest.degrees().max()) == n - 1
+
+
+def test_rejects_negative_weights():
+    g = from_edges(3, [0, 1], [1, 2], [-1.0, 1.0])
+    with pytest.raises(FactorError):
+        boruvka_forest(g)

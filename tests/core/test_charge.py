@@ -1,0 +1,62 @@
+"""Unit tests for MD5-style vertex charging."""
+
+import numpy as np
+import pytest
+
+from repro.core import vertex_charges
+from repro.core.charge import charge_hash
+
+
+def test_deterministic():
+    a = vertex_charges(1000, 3)
+    b = vertex_charges(1000, 3)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_varies_with_iteration():
+    a = vertex_charges(1000, 0)
+    b = vertex_charges(1000, 1)
+    assert (a != b).any()
+
+
+def test_varies_with_seed():
+    a = vertex_charges(1000, 0, seed=0)
+    b = vertex_charges(1000, 0, seed=1)
+    assert (a != b).any()
+
+
+def test_marginal_probability_is_approximately_p():
+    n = 200_000
+    for p in (0.25, 0.5, 0.75):
+        frac = vertex_charges(n, 7, p=p).mean()
+        assert abs(frac - p) < 0.01, (p, frac)
+
+
+def test_p_zero_and_one():
+    assert not vertex_charges(100, 0, p=0.0).any()
+    assert vertex_charges(100, 0, p=1.0).all()
+
+
+def test_rejects_bad_p():
+    with pytest.raises(ValueError):
+        vertex_charges(10, 0, p=1.5)
+
+
+def test_decorrelated_across_iterations():
+    """Charges at different k should agree on ~half the vertices."""
+    n = 100_000
+    a = vertex_charges(n, 0)
+    b = vertex_charges(n, 1)
+    agreement = (a == b).mean()
+    assert abs(agreement - 0.5) < 0.02
+
+
+def test_hash_spreads_consecutive_ids():
+    """Consecutive ids must not produce correlated low bits."""
+    h = charge_hash(np.arange(4096, dtype=np.uint32), 0)
+    low_bit_fraction = (h & 1).mean()
+    assert abs(low_bit_fraction - 0.5) < 0.05
+
+
+def test_empty():
+    assert vertex_charges(0, 0).size == 0

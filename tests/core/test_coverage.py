@@ -1,0 +1,67 @@
+"""Unit tests for the weight-coverage metrics (Eqs. 3-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Factor, coverage, identity_coverage
+from repro.core.coverage import factor_weight, graph_weight
+from repro.sparse import from_dense, from_edges
+
+
+def test_graph_weight_counts_each_edge_once():
+    a = from_edges(3, [0, 1], [1, 2], [2.0, -3.0])
+    assert graph_weight(a) == pytest.approx(5.0)
+
+
+def test_graph_weight_ignores_diagonal():
+    a = from_dense(np.array([[7.0, 1.0], [1.0, 7.0]]))
+    assert graph_weight(a) == pytest.approx(1.0)
+
+
+def test_factor_weight():
+    a = from_edges(4, [0, 1, 2], [1, 2, 3], [1.0, 2.0, 4.0])
+    f = Factor.from_edge_list(4, 2, [0, 2], [1, 3])
+    assert factor_weight(a, f) == pytest.approx(5.0)
+
+
+def test_coverage_full_factor_is_one():
+    a = from_edges(4, [0, 1, 2], [1, 2, 3], [1.0, 2.0, 4.0])
+    f = Factor.from_edge_list(4, 2, [0, 1, 2], [1, 2, 3])
+    assert coverage(a, f) == pytest.approx(1.0)
+
+
+def test_coverage_empty_graph_is_zero():
+    a = from_dense(np.eye(3))
+    assert coverage(a, Factor.empty(3, 2)) == 0.0
+
+
+def test_coverage_nonsymmetric_counts_both_directions():
+    # edge {0,1} has a_01 = 4, a_10 = 2 -> weight (4+2)/2 = 3
+    a = from_dense(np.array([[0.0, 4.0], [2.0, 0.0]]))
+    f = Factor.from_edge_list(2, 1, [0], [1])
+    assert graph_weight(a) == pytest.approx(3.0)
+    assert coverage(a, f) == pytest.approx(1.0)
+
+
+def test_identity_coverage_path_matrix():
+    # tridiagonal matrix in its natural order: c_id = 1
+    a = from_edges(4, [0, 1, 2], [1, 2, 3], [1.0, 1.0, 1.0])
+    assert identity_coverage(a) == pytest.approx(1.0)
+
+
+def test_identity_coverage_anti_diagonal_is_zero():
+    a = from_edges(4, [0, 1], [3, 2], [1.0, 1.0])
+    # edge {1,2} is consecutive, {0,3} is not
+    assert identity_coverage(a) == pytest.approx(0.5)
+
+
+def test_identity_coverage_small_matrix():
+    assert identity_coverage(from_dense(np.array([[1.0]]))) == 0.0
+
+
+def test_coverage_monotone_in_factor(rng):
+    a = from_edges(10, np.arange(9), np.arange(1, 10), rng.uniform(0.5, 2.0, 9))
+    f1 = Factor.from_edge_list(10, 2, [0], [1])
+    f2 = Factor.from_edge_list(10, 2, [0, 1], [1, 2])
+    assert coverage(a, f2) > coverage(a, f1) > 0.0
+    assert coverage(a, f2) <= 1.0

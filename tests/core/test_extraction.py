@@ -1,0 +1,111 @@
+"""Unit tests for coefficient extraction (Section 3.3 step 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Factor,
+    TridiagonalSystem,
+    extract_tridiagonal,
+    forest_permutation,
+    identify_paths,
+)
+from repro.errors import ShapeError
+from repro.sparse import from_dense, from_edges
+
+
+def test_tridiagonal_system_validation():
+    with pytest.raises(ShapeError):
+        TridiagonalSystem(dl=np.zeros(3), d=np.zeros(2), du=np.zeros(3))
+
+
+def test_tridiagonal_matvec_matches_dense(rng):
+    n = 9
+    dl = rng.standard_normal(n)
+    d = rng.standard_normal(n)
+    du = rng.standard_normal(n)
+    t = TridiagonalSystem(dl=dl, d=d, du=du)
+    x = rng.standard_normal(n)
+    np.testing.assert_allclose(t.matvec(x), t.to_dense() @ x)
+
+
+def test_to_dense_band_placement():
+    t = TridiagonalSystem(dl=np.array([9.0, 1.0]), d=np.array([2.0, 3.0]), du=np.array([4.0, 9.0]))
+    np.testing.assert_allclose(t.to_dense(), [[2.0, 4.0], [1.0, 3.0]])
+
+
+def test_extract_identity_permutation():
+    dense = np.array(
+        [
+            [2.0, -1.0, 0.0],
+            [-1.0, 2.0, -1.0],
+            [0.0, -1.0, 2.0],
+        ]
+    )
+    a = from_dense(dense)
+    f = Factor.from_edge_list(3, 2, [0, 1], [1, 2])
+    t = extract_tridiagonal(a, f, np.arange(3))
+    np.testing.assert_allclose(t.to_dense(), dense)
+
+
+def test_extract_under_permutation():
+    # path 2 - 0 - 1 with A tridiagonal in that order only
+    dense = np.zeros((3, 3))
+    np.fill_diagonal(dense, [5.0, 6.0, 7.0])
+    dense[2, 0] = dense[0, 2] = -1.0
+    dense[0, 1] = dense[1, 0] = -2.0
+    a = from_dense(dense)
+    f = Factor.from_edge_list(3, 2, [2, 0], [0, 1])
+    info = identify_paths(f)
+    perm = forest_permutation(info)
+    t = extract_tridiagonal(a, f, perm)
+    permuted = dense[np.ix_(perm, perm)]
+    np.testing.assert_allclose(t.to_dense(), permuted)
+
+
+def test_extract_excludes_non_forest_couplings():
+    """A coupling between two paths that lands on the band by accident must
+    not be extracted (only confirmed forest edges are scattered)."""
+    dense = np.array(
+        [
+            [1.0, -3.0, 0.5],
+            [-3.0, 1.0, 0.0],
+            [0.5, 0.0, 1.0],
+        ]
+    )
+    a = from_dense(dense)
+    # forest: single edge {0,1}; vertex 2 is a singleton path adjacent to the
+    # end of path (0,1) in the permuted order
+    f = Factor.from_edge_list(3, 2, [0], [1])
+    t = extract_tridiagonal(a, f, np.arange(3))
+    assert t.du[1] == 0.0  # A[1,2] = 0 anyway
+    assert t.dl[2] == 0.0  # A[2,1] = 0
+    # and the non-adjacent 0-2 coupling is dropped entirely
+    assert t.to_dense()[0, 2] == 0.0
+
+
+def test_extract_nonsymmetric_values():
+    dense = np.array([[1.0, 4.0], [2.0, 1.0]])
+    a = from_dense(dense)
+    f = Factor.from_edge_list(2, 2, [0], [1])
+    t = extract_tridiagonal(a, f, np.arange(2))
+    assert t.du[0] == 4.0
+    assert t.dl[1] == 2.0
+
+
+def test_extract_diagonal_always_kept():
+    a = from_dense(np.diag([3.0, 4.0, 5.0]))
+    t = extract_tridiagonal(a, Factor.empty(3, 2), np.array([2, 0, 1]))
+    np.testing.assert_allclose(t.d, [5.0, 3.0, 4.0])
+    assert not t.dl.any() and not t.du.any()
+
+
+def test_solve_round_trip(rng):
+    n = 16
+    dl = -rng.uniform(0.1, 0.9, n)
+    du = -rng.uniform(0.1, 0.9, n)
+    dl[0] = du[-1] = 0.0
+    d = np.abs(dl) + np.abs(du) + 1.0
+    t = TridiagonalSystem(dl=dl, d=d, du=du)
+    x = rng.standard_normal(n)
+    np.testing.assert_allclose(t.solve(t.matvec(x)), x, atol=1e-10)

@@ -1,0 +1,164 @@
+"""Unit tests for the parallel [0,n]-factor (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Factor,
+    ParallelFactorConfig,
+    coverage,
+    greedy_factor,
+    parallel_factor,
+)
+from repro.core.factor import propose_edges
+from repro.core.structures import NO_PARTNER
+from repro.device import Device
+from repro.errors import FactorError, ShapeError
+from repro.graphs import random_weighted_graph
+from repro.sparse import from_edges, prepare_graph
+
+
+def test_config_validation():
+    with pytest.raises(ShapeError):
+        ParallelFactorConfig(n=0)
+    with pytest.raises(ShapeError):
+        ParallelFactorConfig(m=0)
+    with pytest.raises(ShapeError):
+        ParallelFactorConfig(m=5, k_m=5)
+    with pytest.raises(ShapeError):
+        ParallelFactorConfig(max_iterations=0)
+
+
+def test_charging_schedule():
+    cfg = ParallelFactorConfig(m=5, k_m=0)
+    assert [cfg.charging_enabled(k) for k in range(6)] == [
+        False, True, True, True, True, False,
+    ]
+    assert not any(
+        ParallelFactorConfig(m=1, k_m=0).charging_enabled(k) for k in range(10)
+    )
+
+
+def test_path_graph_converges_to_full_path(path_graph):
+    res = parallel_factor(path_graph, ParallelFactorConfig(n=2, max_iterations=10))
+    assert res.factor.edge_count == 4
+    res.factor.validate(path_graph)
+
+
+def test_factor_invariants_random(rng):
+    g = random_weighted_graph(80, 400, rng)
+    for n in (1, 2, 3, 4):
+        res = parallel_factor(g, ParallelFactorConfig(n=n, max_iterations=20))
+        res.factor.validate(g)
+        assert int(res.factor.degrees.max(initial=0)) <= n
+
+
+def test_maximality_on_convergence(rng):
+    g = random_weighted_graph(50, 200, rng)
+    res = parallel_factor(g, ParallelFactorConfig(n=2, max_iterations=200, m=5, k_m=0))
+    assert res.converged
+    assert res.m_max is not None
+    # the maximality check runs on un-charged rounds: M_max ≡ k_m + 1 (mod m)
+    assert (res.m_max - 1) % 5 == 0
+    # maximal: no addable edge remains
+    f = res.factor
+    coo = g.to_coo()
+    u, v = coo.row, coo.col
+    addable = (
+        (u < v) & (f.degrees[u] < 2) & (f.degrees[v] < 2) & ~f.contains_edges(u, v)
+    )
+    assert not addable.any()
+
+
+def test_coverage_history_tracking(rng):
+    g = random_weighted_graph(50, 200, rng)
+    res = parallel_factor(
+        g, ParallelFactorConfig(n=2, max_iterations=6), coverage_matrix=g
+    )
+    assert len(res.coverage_history) == res.iterations
+    hist = np.asarray(res.coverage_history)
+    assert (np.diff(hist) >= -1e-12).all(), "coverage must be non-decreasing"
+    assert res.coverage == pytest.approx(coverage(g, res.factor))
+
+
+def test_parallel_close_to_greedy(rng):
+    """Table 5: the parallel factor reaches almost the greedy coverage."""
+    g = random_weighted_graph(200, 1000, rng)
+    for n in (1, 2):
+        res = parallel_factor(g, ParallelFactorConfig(n=n, max_iterations=30))
+        c_par = coverage(g, res.factor)
+        c_seq = coverage(g, greedy_factor(g, n))
+        assert c_par >= c_seq - 0.08, (n, c_par, c_seq)
+
+
+def test_rejects_negative_weights():
+    g = from_edges(3, [0, 1], [1, 2], [-1.0, 1.0])
+    with pytest.raises(FactorError):
+        parallel_factor(g)
+
+
+def test_rejects_rectangular():
+    from repro.sparse import CSRMatrix
+
+    g = CSRMatrix(indptr=[0, 0], indices=[], data=[], shape=(1, 2))
+    with pytest.raises(ShapeError):
+        parallel_factor(g)
+
+
+def test_device_launch_accounting(path_graph):
+    dev = Device()
+    parallel_factor(path_graph, ParallelFactorConfig(n=2, max_iterations=3), device=dev)
+    assert len(dev.records("propose")) >= 1
+    # charged rounds also record a charge kernel
+    names = [r.name for r in dev.kernels]
+    assert any(name.startswith("charge") for name in names)
+
+
+def test_propose_edges_respects_capacity(path_graph):
+    confirmed = np.full((5, 2), NO_PARTNER, dtype=np.int64)
+    confirmed[1, 0] = 2
+    confirmed[2, 0] = 1
+    cols, _, counts = propose_edges(path_graph, confirmed, 2)
+    # vertex 1 may propose one more edge; it must not re-propose vertex 2
+    assert counts[1] == 1
+    assert cols[1, 0] == 0
+
+
+def test_propose_edges_skips_full_vertices(path_graph):
+    confirmed = np.full((5, 2), NO_PARTNER, dtype=np.int64)
+    confirmed[1] = [0, 2]
+    confirmed[0, 0] = 1
+    confirmed[2, 0] = 1
+    cols, _, counts = propose_edges(path_graph, confirmed, 2)
+    # vertex 0's only neighbour (1) is full -> nothing to propose
+    assert counts[0] == 0
+    # vertex 2 proposes to 3 only
+    assert cols[2, 0] == 3
+
+
+def test_propose_edges_charge_masking(path_graph):
+    confirmed = np.full((5, 2), NO_PARTNER, dtype=np.int64)
+    charges = np.array([True, True, True, True, True])
+    _, _, counts = propose_edges(path_graph, confirmed, 2, charges=charges)
+    assert counts.sum() == 0  # all same charge: nobody may propose
+
+
+def test_no_charging_config_never_charges(path_graph):
+    dev = Device()
+    parallel_factor(
+        path_graph, ParallelFactorConfig(n=2, max_iterations=4, m=1, k_m=0), device=dev
+    )
+    assert len(dev.records("charge")) == 0
+
+
+def test_uniform_ties_stall_without_charging():
+    """The ECOLOGY pathology: on a uniform-weight grid, un-charged
+    proposition mostly collides (everyone proposes towards smaller ids) while
+    charging breaks the symmetry (Table 4, ecology1: 0.00 vs 0.46)."""
+    from repro.graphs import grid2d_stencil
+
+    stencil = {(0, 1): -1.0, (0, -1): -1.0, (1, 0): -1.0, (-1, 0): -1.0}
+    g = prepare_graph(grid2d_stencil(12, stencil))
+    res_nc = parallel_factor(g, ParallelFactorConfig(n=2, max_iterations=5, m=1, k_m=0))
+    res_ch = parallel_factor(g, ParallelFactorConfig(n=2, max_iterations=5, m=5, k_m=0))
+    assert res_ch.factor.size > 1.5 * res_nc.factor.size

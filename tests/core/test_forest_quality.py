@@ -1,0 +1,108 @@
+"""Quality of the extracted linear forest against exhaustive optima.
+
+On tiny graphs the maximum-weight linear forest can be found by brute force
+(enumerate all acyclic max-degree-2 edge subsets); the pipeline's maximal
+forest should land within a reasonable factor.  Deterministic seeds keep
+these statistical checks stable.
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ParallelFactorConfig,
+    break_cycles,
+    coverage,
+    greedy_factor,
+    parallel_factor,
+)
+from repro.core.coverage import factor_weight, graph_weight
+from repro.graphs import random_weighted_graph
+from repro.sparse import prepare_graph
+
+
+def _edges_of(graph):
+    coo = graph.to_coo()
+    keep = coo.row < coo.col
+    return list(zip(coo.row[keep].tolist(), coo.col[keep].tolist(), coo.val[keep].tolist()))
+
+
+def _is_linear_forest(n, edges):
+    deg = [0] * n
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v, _ in edges:
+        deg[u] += 1
+        deg[v] += 1
+        if deg[u] > 2 or deg[v] > 2:
+            return False
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            return False  # cycle
+        parent[ru] = rv
+    return True
+
+
+def _optimal_forest_weight(n, edges):
+    best = 0.0
+    for k in range(len(edges) + 1):
+        for subset in combinations(edges, k):
+            if _is_linear_forest(n, subset):
+                w = sum(e[2] for e in subset)
+                best = max(best, w)
+    return best
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_pipeline_forest_near_optimal(seed):
+    rng = np.random.default_rng(seed)
+    n = 7
+    graph = random_weighted_graph(n, 10, rng)
+    edges = _edges_of(graph)
+    if not edges:
+        pytest.skip("degenerate sample")
+    opt = _optimal_forest_weight(n, edges)
+    res = parallel_factor(graph, ParallelFactorConfig(n=2, max_iterations=30))
+    forest = break_cycles(res.factor, graph).forest
+    got = factor_weight(graph, forest)
+    assert got >= 0.5 * opt, (seed, got, opt)
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_greedy_forest_near_optimal(seed):
+    rng = np.random.default_rng(seed)
+    n = 7
+    graph = random_weighted_graph(n, 12, rng)
+    edges = _edges_of(graph)
+    if not edges:
+        pytest.skip("degenerate sample")
+    opt = _optimal_forest_weight(n, edges)
+    forest = break_cycles(greedy_factor(graph, 2), graph).forest
+    got = factor_weight(graph, forest)
+    assert got >= 0.5 * opt, (seed, got, opt)
+
+
+def test_cycle_breaking_is_locally_optimal(rng):
+    """Per cycle, removing the weakest edge is the weight-optimal repair."""
+    n = 9
+    u = np.arange(n)
+    v = (u + 1) % n
+    w = rng.uniform(1.0, 5.0, n)
+    from repro.core import Factor
+    from repro.sparse import from_edges
+
+    graph = prepare_graph(from_edges(n, u, v, w))
+    factor = Factor.from_edge_list(n, 2, u, v)
+    forest = break_cycles(factor, graph).forest
+    # any other single-edge removal leaves strictly less weight
+    assert factor_weight(graph, forest) == pytest.approx(
+        factor_weight(graph, factor) - w.min()
+    )

@@ -1,0 +1,91 @@
+"""Unit tests for the sequential greedy [0,n]-factor (Algorithm 1)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import Factor, coverage, greedy_factor
+from repro.core.coverage import factor_weight
+from repro.errors import ShapeError
+from repro.graphs import random_weighted_graph
+from repro.sparse import from_edges, prepare_graph
+
+
+def test_path_graph_n1_picks_heaviest_alternating(path_graph):
+    # weights 4, 3, 2, 1 along the path: greedy matching takes {0,1} and {2,3}
+    f = greedy_factor(path_graph, 1)
+    u, v = f.edges()
+    assert set(zip(u.tolist(), v.tolist())) == {(0, 1), (2, 3)}
+
+
+def test_path_graph_n2_takes_everything(path_graph):
+    f = greedy_factor(path_graph, 2)
+    assert f.edge_count == 4
+
+
+def test_degree_bound_respected(rng):
+    g = random_weighted_graph(60, 300, rng)
+    for n in (1, 2, 3):
+        f = greedy_factor(g, n)
+        assert int(f.degrees.max(initial=0)) <= n
+        f.validate(g)
+
+
+def test_greedy_is_maximal(rng):
+    """No remaining edge can be added without violating the degree bound."""
+    g = random_weighted_graph(40, 150, rng)
+    n = 2
+    f = greedy_factor(g, n)
+    coo = g.to_coo()
+    u, v = coo.row, coo.col
+    addable = (
+        (u < v)
+        & (f.degrees[u] < n)
+        & (f.degrees[v] < n)
+        & ~f.contains_edges(u, v)
+    )
+    assert not addable.any()
+
+
+def test_star_graph_n1_takes_single_heaviest():
+    g = prepare_graph(from_edges(4, [0, 0, 0], [1, 2, 3], [1.0, 3.0, 2.0]))
+    f = greedy_factor(g, 1)
+    u, v = f.edges()
+    assert list(zip(u.tolist(), v.tolist())) == [(0, 2)]
+
+
+def test_half_approximation_of_max_weight_matching(rng):
+    """Greedy n=1 achieves at least half the maximum weight matching."""
+    for _ in range(5):
+        g = random_weighted_graph(30, 90, rng)
+        f = greedy_factor(g, 1)
+        w_greedy = factor_weight(g, f)
+        nxg = nx.Graph()
+        coo = g.to_coo()
+        for a, b, w in zip(coo.row, coo.col, coo.val):
+            if a < b:
+                nxg.add_edge(int(a), int(b), weight=float(w))
+        opt = nx.max_weight_matching(nxg)
+        w_opt = sum(nxg[a][b]["weight"] for a, b in opt)
+        assert w_greedy >= 0.5 * w_opt - 1e-12
+
+
+def test_deterministic_under_ties():
+    g = prepare_graph(from_edges(4, [0, 1, 2], [1, 2, 3], [1.0, 1.0, 1.0]))
+    f1 = greedy_factor(g, 1)
+    f2 = greedy_factor(g, 1)
+    assert f1 == f2
+    # ties break towards the lexicographically smallest edge
+    u, v = f1.edges()
+    assert (0, 1) in set(zip(u.tolist(), v.tolist()))
+
+
+def test_rejects_bad_n(path_graph):
+    with pytest.raises(ShapeError):
+        greedy_factor(path_graph, 0)
+
+
+def test_empty_graph():
+    g = prepare_graph(from_edges(3, [], [], []))
+    f = greedy_factor(g, 2)
+    assert f.size == 0

@@ -1,0 +1,78 @@
+"""The paper's running example, end to end (Figure 1, Table 1, Figure 2)."""
+
+import numpy as np
+
+from repro.core import (
+    ParallelFactorConfig,
+    break_cycles,
+    extract_linear_forest,
+    identify_paths,
+    parallel_factor,
+)
+from repro.graphs import TABLE1_ROW, figure1_graph, table1_adjacency
+from repro.graphs.paper_example import TABLE1_CHARGES
+from repro.sparse import prepare_graph, top_n_per_row
+
+CONFIG = ParallelFactorConfig(n=2, max_iterations=10, m=5, k_m=0)
+
+
+def test_table1_accumulator_without_charging():
+    """Table 1, upper half: the accumulator ends at (0.9,6)/(0.5,9)."""
+    indptr, indices, values = table1_adjacency()
+    cols, vals, _ = top_n_per_row(indptr, indices, values, 2)
+    np.testing.assert_array_equal(cols[0], [6, 9])
+    np.testing.assert_allclose(vals[0], [0.9, 0.5])
+
+
+def test_table1_accumulator_with_charging():
+    """Table 1, lower half: vertex 4 (-) proposes to vertices 9 and 7 (+)."""
+    indptr, indices, values = table1_adjacency()
+    eligible = np.array(
+        [TABLE1_CHARGES[j] != TABLE1_CHARGES[4] for _, j in TABLE1_ROW]
+    )
+    cols, vals, _ = top_n_per_row(indptr, indices, values, 2, eligible=eligible)
+    np.testing.assert_array_equal(cols[0], [9, 7])
+    np.testing.assert_allclose(vals[0], [0.5, 0.4])
+
+
+def test_figure1_graph_contains_table1_row():
+    a = figure1_graph()
+    cols, vals = a.row(4)
+    np.testing.assert_array_equal(cols, [3, 5, 6, 7, 9])
+    np.testing.assert_allclose(vals, [0.2, 0.3, 0.9, 0.4, 0.5])
+
+
+def test_figure1_factor_contains_the_4_7_cycle():
+    g = prepare_graph(figure1_graph())
+    factor = parallel_factor(g, CONFIG).factor
+    u, v = factor.edges()
+    edges = set(zip(u.tolist(), v.tolist()))
+    assert {(4, 6), (4, 7), (6, 7)} <= edges  # the confirmed triangle
+
+
+def test_figure1_cycle_broken_at_4_7():
+    """Fig. 1b: 'the match between vertex 4 and 7 is removed to break up
+    the cycle'."""
+    g = prepare_graph(figure1_graph())
+    factor = parallel_factor(g, CONFIG).factor
+    broken = break_cycles(factor, g)
+    assert broken.n_cycles == 1
+    assert (int(broken.removed_u[0]), int(broken.removed_v[0])) == (4, 7)
+
+
+def test_figure2_four_paths():
+    """Figure 2: N = 10 vertices decompose into 4 paths."""
+    g = prepare_graph(figure1_graph())
+    factor = parallel_factor(g, CONFIG).factor
+    broken = break_cycles(factor, g)
+    info = identify_paths(broken.forest)
+    assert info.n_paths == 4
+    assert sorted(info.path_sizes().tolist()) == [1, 3, 3, 3]
+
+
+def test_figure1_full_pipeline():
+    result = extract_linear_forest(figure1_graph(), CONFIG)
+    assert result.paths.n_paths == 4
+    assert result.broken.n_cycles == 1
+    # the tridiagonal system in the permuted order is nonzero on the bands
+    assert (result.tridiagonal.du[:-1] != 0).sum() == result.forest.edge_count

@@ -1,0 +1,74 @@
+"""Unit tests for path identification (Section 3.3 step 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Factor, identify_paths
+from repro.errors import ScanError
+from repro.graphs import random_linear_forest
+
+
+def test_single_path():
+    f = Factor.from_edge_list(4, 2, [0, 1, 2], [1, 2, 3])
+    info = identify_paths(f)
+    np.testing.assert_array_equal(info.path_id, [0, 0, 0, 0])
+    np.testing.assert_array_equal(info.position, [1, 2, 3, 4])
+    assert info.n_paths == 1
+
+
+def test_path_with_scrambled_ids():
+    # path 7 - 2 - 9 - 0: min end is 0, so orientation starts at 0
+    f = Factor.from_edge_list(10, 2, [7, 2, 9], [2, 9, 0])
+    info = identify_paths(f)
+    assert info.path_id[7] == info.path_id[2] == info.path_id[9] == info.path_id[0] == 0
+    assert info.position[0] == 1
+    assert info.position[9] == 2
+    assert info.position[2] == 3
+    assert info.position[7] == 4
+
+
+def test_singletons_are_paths():
+    f = Factor.empty(3, 2)
+    info = identify_paths(f)
+    np.testing.assert_array_equal(info.path_id, [0, 1, 2])
+    np.testing.assert_array_equal(info.position, [1, 1, 1])
+    assert info.n_paths == 3
+
+
+def test_rejects_cycles():
+    u = np.arange(4)
+    f = Factor.from_edge_list(4, 2, u, (u + 1) % 4)
+    with pytest.raises(ScanError, match="cycle"):
+        identify_paths(f)
+
+
+def test_ground_truth_forests(rng):
+    for _ in range(10):
+        n = int(rng.integers(1, 120))
+        gt = random_linear_forest(n, rng)
+        info = identify_paths(gt.factor)
+        np.testing.assert_array_equal(info.path_id, gt.expected_path_id)
+        np.testing.assert_array_equal(info.position, gt.expected_position)
+
+
+def test_path_info_queries(rng):
+    gt = random_linear_forest(50, rng, max_path_len=7)
+    info = identify_paths(gt.factor)
+    assert info.n_paths == len(gt.paths)
+    assert info.path_sizes().sum() == 50
+    # vertices_of returns each path in position order
+    for pid in info.path_ids:
+        members = info.vertices_of(int(pid))
+        np.testing.assert_array_equal(
+            info.position[members], np.arange(1, members.size + 1)
+        )
+        assert members[0] == pid  # first vertex is the min end itself
+
+
+def test_positions_consecutive_within_paths(rng):
+    gt = random_linear_forest(64, rng, max_path_len=10)
+    info = identify_paths(gt.factor)
+    # adjacent factor vertices differ by exactly 1 in position, same path
+    u, v = gt.factor.edges()
+    assert (info.path_id[u] == info.path_id[v]).all()
+    assert (np.abs(info.position[u] - info.position[v]) == 1).all()

@@ -1,0 +1,162 @@
+"""Unit tests for the bidirectional scan (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AddOperator, BidirectionalScan, Factor, MinEdgeOperator
+from repro.core.scan import NullOperator, decode_end, is_path_end, scan_steps
+from repro.device import Device
+from repro.errors import ScanError
+from repro.graphs import random_02_factor, random_linear_forest
+from repro.sparse import from_edges, prepare_graph
+
+
+def _path_factor(order):
+    n = max(order) + 1
+    return Factor.from_edge_list(n, 2, order[:-1], order[1:])
+
+
+def test_scan_steps():
+    assert scan_steps(1) == 0
+    assert scan_steps(2) == 1
+    assert scan_steps(5) == 3
+    assert scan_steps(1024) == 10
+
+
+def test_marker_encoding():
+    q = np.array([-1, 3, -5])
+    np.testing.assert_array_equal(is_path_end(q), [True, False, True])
+    np.testing.assert_array_equal(decode_end(np.array([-1, -5])), [0, 4])
+
+
+def test_rejects_wide_factor():
+    with pytest.raises(ScanError):
+        BidirectionalScan(Factor.empty(4, 3))
+
+
+def test_isolated_vertices():
+    result = BidirectionalScan(Factor.empty(3, 2)).run(AddOperator())
+    assert not result.cycle_mask.any()
+    # each vertex is its own path end in both lanes
+    np.testing.assert_array_equal(decode_end(result.q), [[0, 0], [1, 1], [2, 2]])
+    np.testing.assert_array_equal(result.payload["r"], np.ones((3, 2)))
+
+
+def test_two_vertex_path():
+    f = _path_factor([0, 1])
+    result = BidirectionalScan(f).run(AddOperator())
+    ends = decode_end(result.q)
+    assert set(ends[0]) == {0, 1}
+    assert set(ends[1]) == {0, 1}
+    r = result.payload["r"]
+    # distance+1 to the far end is 2, to itself 1
+    for v in (0, 1):
+        lane_self = list(ends[v]).index(v)
+        assert r[v, lane_self] == 1
+        assert r[v, 1 - lane_self] == 2
+
+
+def test_path_positions_all_lengths():
+    """Positions must be exact for every path length (off-by-one hunting)."""
+    for length in range(1, 18):
+        order = list(range(length))
+        f = Factor.from_edge_list(length, 2, order[:-1], order[1:]) if length > 1 else Factor.empty(1, 2)
+        result = BidirectionalScan(f).run(AddOperator())
+        ends = decode_end(result.q)
+        r = result.payload["r"]
+        for v in range(length):
+            lanes = {ends[v, i]: r[v, i] for i in (0, 1)}
+            assert lanes[0] == v + 1, (length, v)
+            assert lanes[length - 1] == length - v, (length, v)
+
+
+def test_cycle_detection_pure_cycle():
+    n = 8
+    u = np.arange(n)
+    f = Factor.from_edge_list(n, 2, u, (u + 1) % n)
+    result = BidirectionalScan(f).run(NullOperator())
+    assert result.cycle_mask.all()
+
+
+def test_cycle_detection_mixed(rng):
+    gt = random_02_factor(60, rng, cycle_fraction=0.5)
+    result = BidirectionalScan(gt.factor).run(NullOperator())
+    np.testing.assert_array_equal(result.cycle_mask, gt.cycle_mask)
+
+
+def test_min_edge_operator_requires_graph():
+    f = _path_factor([0, 1])
+    with pytest.raises(ScanError):
+        BidirectionalScan(f).run(MinEdgeOperator())
+
+
+def test_min_edge_finds_cycle_minimum():
+    # cycle 0-1-2-3-0 with weights 5, 3, 4, 2 (weakest: edge {0,3})
+    u = np.array([0, 1, 2, 3])
+    v = np.array([1, 2, 3, 0])
+    w = np.array([5.0, 3.0, 4.0, 2.0])
+    g = prepare_graph(from_edges(4, u, v, w))
+    f = Factor.from_edge_list(4, 2, u, v)
+    result = BidirectionalScan(f).run(MinEdgeOperator(), g)
+    assert result.cycle_mask.all()
+    # every vertex agrees on the weakest edge (0,3)
+    lane_w = result.payload["w"]
+    lane_u = result.payload["u"]
+    lane_v = result.payload["v"]
+    for vert in range(4):
+        i = int(np.argmin(lane_w[vert]))
+        assert lane_w[vert, i] == 2.0
+        assert (lane_u[vert, i], lane_v[vert, i]) == (0, 3)
+
+
+@pytest.mark.parametrize("length", [3, 4, 5, 6, 7, 8, 12, 16, 17])
+def test_min_edge_covers_whole_cycle(length):
+    """Pointer-jump aliasing on small/power-of-two cycles must not hide the
+    minimum from any vertex (union of both lanes covers the cycle)."""
+    rng = np.random.default_rng(length)
+    u = np.arange(length)
+    v = (u + 1) % length
+    w = rng.permutation(length) + 1.0
+    g = prepare_graph(from_edges(length, u, v, w))
+    f = Factor.from_edge_list(length, 2, u, v)
+    result = BidirectionalScan(f).run(MinEdgeOperator(), g)
+    expected_w = w.min()
+    k = int(np.argmin(w))
+    expected_edge = (min(k, (k + 1) % length), max(k, (k + 1) % length))
+    for vert in range(length):
+        i = int(np.argmin(result.payload["w"][vert]))
+        assert result.payload["w"][vert, i] == expected_w
+        assert (
+            result.payload["u"][vert, i],
+            result.payload["v"][vert, i],
+        ) == expected_edge
+
+
+def test_ping_pong_isolation_under_adversarial_order():
+    """A long path where naive in-place updates would race: results must be
+    independent of vertex processing order because of the ping-pong buffers."""
+    order = [5, 0, 3, 1, 4, 2]  # path in scrambled vertex ids
+    f = _path_factor(order)
+    result = BidirectionalScan(f).run(AddOperator())
+    ends = decode_end(result.q)
+    small_end, large_end = min(order[0], order[-1]), max(order[0], order[-1])
+    oriented = order if order[0] == small_end else order[::-1]
+    for pos, vtx in enumerate(oriented, start=1):
+        lane = list(ends[vtx]).index(small_end)
+        assert result.payload["r"][vtx, lane] == pos
+
+
+def test_launch_count_is_log2_n(rng):
+    gt = random_linear_forest(33, rng)
+    dev = Device()
+    result = BidirectionalScan(gt.factor, device=dev).run(AddOperator())
+    assert result.launches == scan_steps(33) == 6
+    assert len(dev.records("bidirectional-scan")) == 6
+
+
+def test_explicit_steps_override():
+    f = _path_factor(list(range(8)))
+    result = BidirectionalScan(f).run(AddOperator(), steps=1)
+    assert result.steps == 1
+    # after one step not all lanes can have reached the ends
+    assert (result.q >= 0).any()

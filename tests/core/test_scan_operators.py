@@ -1,0 +1,85 @@
+"""Tests for the extra scan operators (operator parameterization)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BidirectionalScan, Factor
+from repro.core.scan import MaxVertexOperator, WeightedAddOperator, decode_end
+from repro.errors import ScanError
+from repro.graphs import random_02_factor, random_linear_forest
+from repro.sparse import from_edges, prepare_graph
+
+
+def _weighted_path(order, weights):
+    n = max(order) + 1
+    g = prepare_graph(from_edges(n, order[:-1], order[1:], weights))
+    f = Factor.from_edge_list(n, 2, order[:-1], order[1:])
+    return g, f
+
+
+def test_weighted_add_requires_graph():
+    f = Factor.from_edge_list(2, 2, [0], [1])
+    with pytest.raises(ScanError):
+        BidirectionalScan(f).run(WeightedAddOperator())
+
+
+def test_weighted_positions_simple_path():
+    order = [0, 1, 2, 3]
+    weights = np.array([2.0, 5.0, 1.0])
+    g, f = _weighted_path(order, weights)
+    result = BidirectionalScan(f).run(WeightedAddOperator(), g)
+    ends = decode_end(result.q)
+    r = result.payload["r"]
+    # lane pointing at end 0 carries weight(v..0) + 1
+    for v, expected in [(0, 1.0), (1, 3.0), (2, 8.0), (3, 9.0)]:
+        lane = list(ends[v]).index(0)
+        assert r[v, lane] == pytest.approx(expected)
+
+
+def test_weighted_positions_random_forest(rng):
+    gt = random_linear_forest(40, rng, max_path_len=8)
+    u, v = gt.factor.edges()
+    w = rng.uniform(0.5, 3.0, u.size)
+    g = prepare_graph(from_edges(40, u, v, w))
+    result = BidirectionalScan(gt.factor).run(WeightedAddOperator(), g)
+    ends = decode_end(result.q)
+    r = result.payload["r"]
+    for path in gt.paths:
+        # walk the path accumulating weights towards the smaller end
+        ordered = path if path[0] <= path[-1] else path[::-1]
+        acc = 1.0
+        prev = None
+        for vtx in ordered:
+            if prev is not None:
+                acc += abs(g.gather(np.array([prev]), np.array([vtx]))[0])
+            lane = list(ends[vtx]).index(ordered[0])
+            assert r[vtx, lane] == pytest.approx(acc)
+            prev = vtx
+
+
+def test_max_vertex_broadcast_on_paths(rng):
+    gt = random_linear_forest(50, rng, max_path_len=9)
+    result = BidirectionalScan(gt.factor).run(MaxVertexOperator())
+    got = result.payload["m"].max(axis=1)
+    for path in gt.paths:
+        expected = max(path)
+        for vtx in path:
+            assert got[vtx] == expected
+
+
+def test_max_vertex_broadcast_on_cycles(rng):
+    """The idempotent max works on cycles too (union of both lanes covers
+    the whole component)."""
+    gt = random_02_factor(60, rng, cycle_fraction=0.7)
+    result = BidirectionalScan(gt.factor).run(MaxVertexOperator())
+    got = result.payload["m"].max(axis=1)
+    for comp in gt.paths + gt.cycles:
+        expected = max(comp)
+        for vtx in comp:
+            assert got[vtx] == expected
+
+
+def test_max_vertex_singletons():
+    f = Factor.empty(3, 2)
+    result = BidirectionalScan(f).run(MaxVertexOperator())
+    np.testing.assert_array_equal(result.payload["m"].max(axis=1), [0, 1, 2])

@@ -1,0 +1,75 @@
+"""Unit tests for the sequential CPU reference — and its equivalence with the
+parallel pipeline (the property the Figure 5 comparison relies on)."""
+
+import numpy as np
+
+from repro.core import (
+    Factor,
+    break_cycles,
+    forest_permutation,
+    identify_paths,
+    sequential_linear_forest,
+)
+from repro.graphs import random_02_factor, random_weighted_graph
+from repro.sparse import from_edges, prepare_graph
+
+
+def _graph_for(factor, rng, n):
+    u, v = factor.edges()
+    return prepare_graph(from_edges(n, u, v, rng.uniform(0.5, 3.0, u.size)))
+
+
+def test_simple_path():
+    f = Factor.from_edge_list(4, 2, [0, 1, 2], [1, 2, 3])
+    g = prepare_graph(from_edges(4, [0, 1, 2], [1, 2, 3], [1.0, 1.0, 1.0]))
+    res = sequential_linear_forest(f, g)
+    np.testing.assert_array_equal(res.path_id, [0, 0, 0, 0])
+    np.testing.assert_array_equal(res.position, [1, 2, 3, 4])
+    np.testing.assert_array_equal(res.perm, [0, 1, 2, 3])
+    assert res.removed_edges == []
+
+
+def test_breaks_cycle_at_weakest_edge():
+    n = 5
+    u = np.arange(n)
+    v = (u + 1) % n
+    w = np.array([3.0, 1.0, 4.0, 5.0, 2.0])
+    g = prepare_graph(from_edges(n, u, v, w))
+    f = Factor.from_edge_list(n, 2, u, v)
+    res = sequential_linear_forest(f, g)
+    assert res.removed_edges == [(1, 2)]
+    assert res.forest.edge_count == 4
+
+
+def test_matches_parallel_pipeline_random(rng):
+    """Sequential and parallel extraction agree on ids, positions and the
+    permutation for random [0,2]-factors with cycles."""
+    for _ in range(8):
+        n = int(rng.integers(3, 150))
+        gt = random_02_factor(n, rng, cycle_fraction=0.5)
+        g = _graph_for(gt.factor, rng, n)
+        seq = sequential_linear_forest(gt.factor, g)
+
+        broken = break_cycles(gt.factor, g)
+        info = identify_paths(broken.forest)
+        perm = forest_permutation(info)
+
+        assert broken.forest == seq.forest
+        np.testing.assert_array_equal(seq.path_id, info.path_id)
+        np.testing.assert_array_equal(seq.position, info.position)
+        np.testing.assert_array_equal(seq.perm, perm)
+
+
+def test_perm_is_permutation(rng):
+    gt = random_02_factor(64, rng)
+    g = _graph_for(gt.factor, rng, 64)
+    res = sequential_linear_forest(gt.factor, g)
+    np.testing.assert_array_equal(np.sort(res.perm), np.arange(64))
+
+
+def test_isolated_vertices():
+    f = Factor.empty(3, 2)
+    g = prepare_graph(from_edges(3, [], [], []))
+    res = sequential_linear_forest(f, g)
+    np.testing.assert_array_equal(res.perm, [0, 1, 2])
+    np.testing.assert_array_equal(res.position, [1, 1, 1])

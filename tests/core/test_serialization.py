@@ -1,0 +1,79 @@
+"""Unit tests for factor/ordering persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import extract_linear_forest
+from repro.core.serialization import (
+    load_factor,
+    load_forest_ordering,
+    save_factor,
+    save_forest_ordering,
+)
+from repro.errors import FormatError
+from repro.graphs import aniso2, random_linear_forest
+
+
+def test_factor_round_trip(tmp_path, rng):
+    gt = random_linear_forest(30, rng)
+    path = tmp_path / "factor.npz"
+    save_factor(path, gt.factor)
+    loaded = load_factor(path)
+    assert loaded == gt.factor
+
+
+def test_factor_bad_tag_rejected(tmp_path):
+    path = tmp_path / "junk.npz"
+    np.savez(path, format=np.array("something-else"), neighbors=np.zeros((2, 2), int))
+    with pytest.raises(FormatError):
+        load_factor(path)
+
+
+def test_ordering_round_trip(tmp_path):
+    a = aniso2(8)
+    result = extract_linear_forest(a)
+    path = tmp_path / "ordering.npz"
+    save_forest_ordering(
+        path,
+        forest=result.forest,
+        paths=result.paths,
+        perm=result.perm,
+        tridiagonal=result.tridiagonal,
+    )
+    forest, paths, perm, tri = load_forest_ordering(path)
+    assert forest == result.forest
+    np.testing.assert_array_equal(paths.path_id, result.paths.path_id)
+    np.testing.assert_array_equal(paths.position, result.paths.position)
+    np.testing.assert_array_equal(perm, result.perm)
+    np.testing.assert_allclose(tri.to_dense(), result.tridiagonal.to_dense())
+
+
+def test_ordering_without_tridiagonal(tmp_path):
+    a = aniso2(6)
+    result = extract_linear_forest(a)
+    path = tmp_path / "o.npz"
+    save_forest_ordering(
+        path, forest=result.forest, paths=result.paths, perm=result.perm
+    )
+    _, _, _, tri = load_forest_ordering(path)
+    assert tri is None
+
+
+def test_loaded_tridiagonal_still_solves(tmp_path, rng):
+    a = aniso2(8)
+    result = extract_linear_forest(a)
+    path = tmp_path / "o.npz"
+    save_forest_ordering(
+        path, forest=result.forest, paths=result.paths, perm=result.perm,
+        tridiagonal=result.tridiagonal,
+    )
+    _, _, _, tri = load_forest_ordering(path)
+    r = rng.standard_normal(a.n_rows)
+    np.testing.assert_allclose(tri.matvec(tri.solve(r)), r, atol=1e-8)
+
+
+def test_ordering_bad_tag(tmp_path):
+    path = tmp_path / "junk.npz"
+    np.savez(path, format=np.array("nope"))
+    with pytest.raises(FormatError):
+        load_forest_ordering(path)

@@ -1,0 +1,50 @@
+"""Unit tests for ping-pong buffers."""
+
+import numpy as np
+
+from repro.device import PingPong
+
+
+def test_front_and_back_start_equal():
+    pp = PingPong(np.array([1, 2, 3]))
+    np.testing.assert_array_equal(pp.front, pp.back)
+    assert pp.front is not pp.back
+
+
+def test_initial_array_is_copied():
+    src = np.array([1, 2, 3])
+    pp = PingPong(src)
+    src[0] = 99
+    assert pp.front[0] == 1
+
+
+def test_swap_exchanges_roles():
+    pp = PingPong(np.zeros(3))
+    pp.front[:] = 7
+    assert np.all(pp.back == 0)
+    pp.swap()
+    assert np.all(pp.back == 7)
+    assert np.all(pp.front == 0)
+
+
+def test_write_front_read_back_isolation():
+    """The defining property: a kernel writing front never disturbs back."""
+    pp = PingPong(np.arange(4))
+    back_snapshot = pp.back.copy()
+    pp.front[:] = -1
+    np.testing.assert_array_equal(pp.back, back_snapshot)
+
+
+def test_publish_copies_front_to_back():
+    pp = PingPong(np.zeros(2))
+    pp.front[:] = 5
+    pp.publish()
+    np.testing.assert_array_equal(pp.back, [5, 5])
+    # publish does not swap
+    pp.front[0] = 9
+    assert pp.back[0] == 5
+
+
+def test_nbytes_counts_both_buffers():
+    pp = PingPong(np.zeros(10, dtype=np.float64))
+    assert pp.nbytes == 160

@@ -1,0 +1,76 @@
+"""Unit tests for the roofline cost model (Table 2 traffic formulas)."""
+
+import pytest
+
+from repro.device import (
+    CostModel,
+    proposition_traffic,
+    scan_traffic,
+    spmv_traffic,
+)
+
+
+def test_table2_k0_has_no_confirmed_edges_read():
+    t = proposition_traffic(2, 100, 1000, k=0)
+    assert t.confirmed_edges == 0
+    t1 = proposition_traffic(2, 100, 1000, k=1)
+    assert t1.confirmed_edges == 2 * 100 * 4
+
+
+def test_table2_buffer_lengths():
+    n, nv, nnz = 3, 100, 1000
+    t = proposition_traffic(n, nv, nnz, k=1)
+    assert t.csr_values == nnz * 4
+    assert t.csr_col_indices == nnz * 4
+    assert t.csr_row_ptrs == (nv + 1) * 4
+    assert t.vertex_charges == nv * 1
+    assert t.proposed_edges == n * nv * 4
+
+
+def test_edge_weights_written_only_for_n2():
+    assert proposition_traffic(2, 10, 50).proposed_edge_weights == 2 * 10 * 4
+    assert proposition_traffic(1, 10, 50).proposed_edge_weights == 0
+    assert proposition_traffic(3, 10, 50).proposed_edge_weights == 0
+
+
+def test_charging_disabled_drops_charge_read():
+    assert proposition_traffic(2, 10, 50, charging=False).vertex_charges == 0
+
+
+def test_traffic_totals_consistent():
+    t = proposition_traffic(4, 7, 13, k=2)
+    assert t.bytes_total == t.bytes_read + t.bytes_written
+
+
+def test_proposition_rejects_bad_n():
+    with pytest.raises(ValueError):
+        proposition_traffic(0, 10, 10)
+
+
+def test_spmv_traffic_formula():
+    # nnz*(4+4) + (n+1)*4 + 3n*4
+    assert spmv_traffic(10, 100) == 100 * 8 + 11 * 4 + 30 * 4
+
+
+def test_scan_traffic_variants():
+    paths = scan_traffic(100, variant="paths")
+    cycles = scan_traffic(100, variant="cycles")
+    assert cycles > paths
+    with pytest.raises(ValueError):
+        scan_traffic(100, variant="bogus")
+
+
+def test_cost_model_seconds_and_throughput():
+    cm = CostModel(bandwidth_gbs=100.0)
+    assert cm.seconds(100 * 1e9) == pytest.approx(1.0)
+    assert cm.throughput_gbs(1e9, 1.0) == pytest.approx(1.0)
+    half = cm.with_efficiency(0.5)
+    assert half.seconds(100 * 1e9) == pytest.approx(2.0)
+
+
+def test_cost_model_rejects_bad_input():
+    cm = CostModel()
+    with pytest.raises(ValueError):
+        cm.seconds(-1)
+    with pytest.raises(ValueError):
+        cm.throughput_gbs(10, 0.0)

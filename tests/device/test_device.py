@@ -1,0 +1,68 @@
+"""Unit tests for the simulated device (kernel-launch accounting)."""
+
+import numpy as np
+
+from repro.device import Device, default_device
+
+
+def test_launch_records_bytes_and_time():
+    dev = Device()
+    a = np.zeros(100, dtype=np.float64)
+    b = np.zeros(50, dtype=np.int64)
+    with dev.launch("k", reads=(a,), writes=(b,)):
+        b[:] = 1
+    assert dev.launch_count == 1
+    rec = dev.kernels[0]
+    assert rec.name == "k"
+    assert rec.bytes_read == 800
+    assert rec.bytes_written == 400
+    assert rec.bytes_total == 1200
+    assert rec.seconds >= 0.0
+    assert rec.launch_index == 0
+
+
+def test_record_disabled_skips_bookkeeping():
+    dev = Device(record=False)
+    ran = []
+    with dev.launch("k"):
+        ran.append(True)
+    assert ran == [True]
+    assert dev.launch_count == 0
+
+
+def test_records_filter_by_prefix():
+    dev = Device()
+    for name in ("propose[k=0]", "propose[k=1]", "mutualize[k=0]"):
+        with dev.launch(name):
+            pass
+    assert len(dev.records("propose")) == 2
+    assert len(dev.records("mutualize")) == 1
+    assert len(dev.records()) == 3
+
+
+def test_totals_and_reset():
+    dev = Device()
+    a = np.zeros(10)
+    with dev.launch("x", reads=(a,)):
+        pass
+    with dev.launch("x", writes=(a,)):
+        pass
+    assert dev.total_bytes("x") == 160
+    assert dev.total_seconds() >= 0.0
+    dev.reset()
+    assert dev.launch_count == 0
+
+
+def test_default_device_is_no_record():
+    dev = default_device()
+    with dev.launch("k"):
+        pass
+    assert dev.launch_count == 0
+
+
+def test_launch_indices_increment():
+    dev = Device()
+    for _ in range(3):
+        with dev.launch("k"):
+            pass
+    assert [r.launch_index for r in dev.kernels] == [0, 1, 2]

@@ -1,0 +1,58 @@
+"""Unit tests for the phase timers."""
+
+import time
+
+import pytest
+
+from repro.device import TimingBreakdown
+
+
+def test_phase_accumulates():
+    tb = TimingBreakdown()
+    with tb.phase("a"):
+        time.sleep(0.01)
+    with tb.phase("a"):
+        pass
+    assert tb.phases["a"].calls == 2
+    assert tb.phases["a"].seconds >= 0.01
+
+
+def test_total_and_fractions():
+    tb = TimingBreakdown()
+    with tb.phase("x"):
+        time.sleep(0.005)
+    with tb.phase("y"):
+        time.sleep(0.005)
+    fr = tb.fractions()
+    assert set(fr) == {"x", "y"}
+    assert sum(fr.values()) == pytest.approx(1.0)
+    assert tb.total_seconds == pytest.approx(
+        tb.phases["x"].seconds + tb.phases["y"].seconds
+    )
+
+
+def test_fractions_empty():
+    assert TimingBreakdown().fractions() == {}
+
+
+def test_as_dict():
+    tb = TimingBreakdown()
+    with tb.phase("only"):
+        pass
+    d = tb.as_dict()
+    assert list(d) == ["only"]
+    assert d["only"] >= 0.0
+
+
+def test_merge():
+    a = TimingBreakdown()
+    b = TimingBreakdown()
+    with a.phase("p"):
+        pass
+    with b.phase("p"):
+        pass
+    with b.phase("q"):
+        pass
+    a.merge(b)
+    assert a.phases["p"].calls == 2
+    assert "q" in a.phases

@@ -1,0 +1,61 @@
+"""Unit tests for the device trace reporting."""
+
+import numpy as np
+
+from repro.device import CostModel, Device, render_trace, summarize
+
+
+def _loaded_device():
+    dev = Device()
+    buf = np.zeros(1000)
+    for k in range(3):
+        with dev.launch(f"propose[k={k}]", reads=(buf,), writes=(buf,)):
+            buf += 1
+    with dev.launch("mutualize[k=0]", reads=(buf,)):
+        pass
+    return dev
+
+
+def test_summarize_groups_by_base_name():
+    dev = _loaded_device()
+    summaries = {s.name: s for s in summarize(dev)}
+    assert set(summaries) == {"propose", "mutualize"}
+    assert summaries["propose"].launches == 3
+    assert summaries["propose"].bytes_total == 3 * 2 * 8000
+    assert summaries["mutualize"].bytes_total == 8000
+
+
+def test_summaries_sorted_by_time():
+    dev = _loaded_device()
+    times = [s.seconds for s in summarize(dev)]
+    assert times == sorted(times, reverse=True)
+
+
+def test_achieved_and_modeled():
+    dev = _loaded_device()
+    s = {x.name: x for x in summarize(dev)}["propose"]
+    assert s.achieved_gbs >= 0.0
+    assert s.modeled_seconds(CostModel(bandwidth_gbs=1.0)) > 0.0
+
+
+def test_render_trace_contains_kernels():
+    dev = _loaded_device()
+    text = render_trace(dev)
+    assert "propose" in text
+    assert "mutualize" in text
+    assert "GB/s" in text
+
+
+def test_empty_device():
+    assert summarize(Device()) == []
+    assert "device trace" in render_trace(Device())
+
+
+def test_pipeline_trace_end_to_end():
+    from repro.core import extract_linear_forest
+    from repro.graphs import aniso2
+
+    dev = Device()
+    extract_linear_forest(aniso2(8), device=dev)
+    names = {s.name for s in summarize(dev)}
+    assert {"propose", "bidirectional-scan", "extract-coefficients"} <= names

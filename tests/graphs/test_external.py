@@ -1,0 +1,48 @@
+"""Unit tests for the optional real-matrix loader."""
+
+import numpy as np
+
+from repro.graphs import aniso2
+from repro.graphs.external import find_external, load_or_build
+from repro.sparse import write_matrix_market
+
+
+def test_no_directory_falls_back(monkeypatch):
+    monkeypatch.delenv("REPRO_SUITESPARSE_DIR", raising=False)
+    a, external = load_or_build("ecology1", scale=0.2)
+    assert not external
+    assert a.n_rows > 20
+
+
+def test_missing_directory_falls_back(tmp_path):
+    a, external = load_or_build("ecology1", scale=0.2, directory=tmp_path / "nope")
+    assert not external
+
+
+def test_finds_flat_file(tmp_path):
+    write_matrix_market(aniso2(6), tmp_path / "ecology1.mtx")
+    assert find_external("ecology1", tmp_path) is not None
+    a, external = load_or_build("ecology1", directory=tmp_path)
+    assert external
+    assert a.n_rows == 36
+
+
+def test_finds_nested_and_uppercase(tmp_path):
+    nested = tmp_path / "AF_SHELL8"
+    nested.mkdir()
+    write_matrix_market(aniso2(5), nested / "AF_SHELL8.mtx")
+    path = find_external("af_shell8", tmp_path)
+    assert path is not None and path.name == "AF_SHELL8.mtx"
+
+
+def test_env_variable_is_honoured(tmp_path, monkeypatch):
+    write_matrix_market(aniso2(4), tmp_path / "thermal2.mtx")
+    monkeypatch.setenv("REPRO_SUITESPARSE_DIR", str(tmp_path))
+    a, external = load_or_build("thermal2")
+    assert external
+    assert a.n_rows == 16
+
+
+def test_hyphenated_name(tmp_path):
+    write_matrix_market(aniso2(4), tmp_path / "stocf_1465.mtx")
+    assert find_external("stocf_1465", tmp_path) is not None

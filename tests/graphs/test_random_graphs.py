@@ -1,0 +1,69 @@
+"""Unit tests for the random generators (they feed the property tests)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    random_02_factor,
+    random_linear_forest,
+    random_spd_system,
+    random_weighted_graph,
+)
+
+
+def test_random_weighted_graph_shape(rng):
+    g = random_weighted_graph(50, 200, rng)
+    assert g.shape == (50, 50)
+    assert g.is_symmetric()
+    assert np.all(g.diagonal() == 0.0)
+    assert np.all(g.data > 0.0)
+
+
+def test_random_linear_forest_covers_all_vertices(rng):
+    gt = random_linear_forest(40, rng)
+    assert sum(len(p) for p in gt.paths) == 40
+    assert not gt.cycles
+    gt.factor.validate()
+    assert int(gt.factor.degrees.max()) <= 2
+
+
+def test_random_linear_forest_ground_truth_consistent(rng):
+    gt = random_linear_forest(30, rng, max_path_len=5)
+    for path in gt.paths:
+        ordered = path if path[0] <= path[-1] else path[::-1]
+        pid = ordered[0]
+        for pos, v in enumerate(ordered, start=1):
+            assert gt.expected_path_id[v] == pid
+            assert gt.expected_position[v] == pos
+
+
+def test_random_02_factor_cycles_have_min_length(rng):
+    for _ in range(5):
+        gt = random_02_factor(60, rng, cycle_fraction=0.8)
+        for cyc in gt.cycles:
+            assert len(cyc) >= 3
+        gt.factor.validate()
+
+
+def test_random_02_factor_cycle_mask(rng):
+    gt = random_02_factor(50, rng, cycle_fraction=0.5)
+    mask = gt.cycle_mask
+    assert mask.sum() == sum(len(c) for c in gt.cycles)
+    # cycle vertices all have degree exactly 2
+    assert (gt.factor.degrees[mask] == 2).all()
+
+
+def test_random_spd_system_is_solvable(rng):
+    a, x_true, b = random_spd_system(30, rng)
+    assert a.is_symmetric(tol=1e-12)
+    dense = a.to_dense()
+    # strictly diagonally dominant
+    off_sums = np.abs(dense).sum(axis=1) - np.abs(np.diag(dense))
+    assert (np.diag(dense) > off_sums).all()
+    np.testing.assert_allclose(np.linalg.solve(dense, b), x_true, atol=1e-8)
+
+
+def test_single_vertex_forest(rng):
+    gt = random_linear_forest(1, rng)
+    assert gt.expected_path_id[0] == 0
+    assert gt.expected_position[0] == 1

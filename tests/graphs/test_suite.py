@@ -1,0 +1,89 @@
+"""Unit tests for the synthetic suite registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import identity_coverage
+from repro.errors import ShapeError
+from repro.graphs import SUITE, build_matrix, small_suite, suite_names
+from repro.sparse import prepare_graph
+
+
+def test_registry_covers_paper_table3():
+    # 22 matrices in Table 3; ANISO appear once each
+    assert len(SUITE) == 22
+    assert set(small_suite()).issubset(set(suite_names()))
+
+
+def test_paper_metadata_complete():
+    for name, entry in SUITE.items():
+        paper = entry.paper
+        assert set(paper) >= {"n", "nnz", "mean_degree", "c_id", "par", "seq",
+                              "table4", "greedy2", "block"}, name
+        assert set(paper["par"]) == {1, 2, 3, 4}
+        assert set(paper["table4"]) == {(1, 0), (5, 0), (5, 1)}
+        for cfg in paper["table4"].values():
+            c5, cmax, m_max = cfg
+            assert 0.0 <= c5 <= cmax <= 1.0
+            assert m_max >= 1
+
+
+def test_build_unknown_raises():
+    with pytest.raises(ShapeError):
+        build_matrix("not_a_matrix")
+
+
+@pytest.mark.parametrize("name", small_suite())
+def test_small_suite_builds_and_is_wellformed(name):
+    a = build_matrix(name, scale=0.25)
+    entry = SUITE[name]
+    assert a.n_rows == a.n_cols
+    assert a.n_rows > 20
+    assert a.nnz > 0
+    # symmetry flag matches the generated matrix
+    assert a.is_symmetric(tol=1e-12) == entry.symmetric
+    # diagonal present and dominant-ish (solvable systems)
+    assert np.all(a.diagonal() > 0.0)
+    g = prepare_graph(a)
+    assert g.is_symmetric()
+
+
+@pytest.mark.parametrize(
+    "name", ["aniso2", "atmosmodm", "af_shell8", "ecology1"]
+)
+def test_c_id_regime_matches_paper(name):
+    """The natural-order coverage drives the Figure 4 story; the analogue
+    must land in the paper's regime (within 0.1)."""
+    a = build_matrix(name, scale=0.5)
+    assert identity_coverage(a) == pytest.approx(SUITE[name].paper["c_id"], abs=0.1)
+
+
+def test_scale_changes_size():
+    small = build_matrix("ecology1", scale=0.25)
+    large = build_matrix("ecology1", scale=0.5)
+    assert large.n_rows > small.n_rows
+
+
+def test_deterministic_builds():
+    a = build_matrix("g3_circuit", scale=0.25)
+    b = build_matrix("g3_circuit", scale=0.25)
+    assert a.nnz == b.nnz
+    np.testing.assert_array_equal(a.data, b.data)
+
+
+def test_stocf_has_dominant_matching():
+    """STOCF's signature: a [0,1]-factor already captures > 0.9 of the
+    weight (Table 5: 0.92)."""
+    from repro.core import ParallelFactorConfig, coverage, parallel_factor
+
+    a = build_matrix("stocf_1465", scale=0.4)
+    g = prepare_graph(a)
+    res = parallel_factor(g, ParallelFactorConfig(n=1, max_iterations=5))
+    assert coverage(a, res.factor) > 0.85
+
+
+def test_in_figure4_subset():
+    fig4 = [name for name, e in SUITE.items() if e.in_figure4]
+    assert set(fig4) == {
+        "aniso2", "aniso3", "atmosmodj", "atmosmodl", "atmosmodm", "af_shell8"
+    }

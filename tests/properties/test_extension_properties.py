@@ -1,0 +1,69 @@
+"""Property-based tests for the extension modules (Borůvka, proposition
+semiring, SpGEMM)."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.boruvka import boruvka_forest
+from repro.core.charge import vertex_charges
+from repro.core.factor import propose_edges
+from repro.core.structures import NO_PARTNER
+from repro.graphs import random_weighted_graph
+from repro.sparse import from_dense, proposition_spmv, spgemm
+
+
+@st.composite
+def graphs(draw, max_n=40):
+    n = draw(st.integers(2, max_n))
+    m = draw(st.integers(0, 4 * n))
+    seed = draw(st.integers(0, 2**31))
+    return random_weighted_graph(n, m, np.random.default_rng(seed))
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_boruvka_matches_networkx_weight(g):
+    forest = boruvka_forest(g)
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(g.n_rows))
+    coo = g.to_coo()
+    for u, v, w in zip(coo.row, coo.col, coo.val):
+        if u < v:
+            nxg.add_edge(int(u), int(v), weight=float(w))
+    expected = sum(d["weight"] for _, _, d in nx.maximum_spanning_edges(nxg, data=True))
+    assert abs(forest.total_weight(g) - expected) < 1e-9
+
+
+@given(graphs(), st.integers(1, 4), st.integers(0, 10))
+@settings(max_examples=40, deadline=None)
+def test_proposition_semiring_equals_fused(g, n, k):
+    confirmed = np.full((g.n_rows, n), NO_PARTNER, dtype=np.int64)
+    charges = vertex_charges(g.n_rows, k) if k % 3 else None
+    a = propose_edges(g, confirmed, n, charges=charges)
+    b = proposition_spmv(g, confirmed, n, charges=charges)
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)
+
+
+@st.composite
+def matrix_pairs(draw, max_n=8):
+    m = draw(st.integers(1, max_n))
+    k = draw(st.integers(1, max_n))
+    n = draw(st.integers(1, max_n))
+    elements = st.floats(-4, 4, allow_nan=False).map(
+        lambda x: 0.0 if abs(x) < 1.5 else round(x, 2)
+    )
+    da = draw(hnp.arrays(np.float64, (m, k), elements=elements))
+    db = draw(hnp.arrays(np.float64, (k, n), elements=elements))
+    return da, db
+
+
+@given(matrix_pairs())
+@settings(max_examples=60, deadline=None)
+def test_spgemm_matches_dense(pair):
+    da, db = pair
+    got = spgemm(from_dense(da), from_dense(db)).to_dense()
+    assert np.allclose(got, da @ db, atol=1e-10)

@@ -1,0 +1,89 @@
+"""Property-based tests for the [0,n]-factor algorithms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Factor,
+    ParallelFactorConfig,
+    coverage,
+    greedy_factor,
+    parallel_factor,
+)
+from repro.graphs import random_weighted_graph
+from repro.sparse import from_edges, prepare_graph
+
+
+@st.composite
+def weighted_graphs(draw, max_n=40):
+    n = draw(st.integers(2, max_n))
+    n_edges = draw(st.integers(0, 4 * n))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    return random_weighted_graph(n, n_edges, rng)
+
+
+@given(weighted_graphs(), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_parallel_factor_invariants(graph, n):
+    res = parallel_factor(graph, ParallelFactorConfig(n=n, max_iterations=8))
+    res.factor.validate(graph)
+    assert int(res.factor.degrees.max(initial=0)) <= n
+    c = coverage(graph, res.factor)
+    assert 0.0 <= c <= 1.0 + 1e-12
+
+
+@given(weighted_graphs(), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_greedy_factor_invariants(graph, n):
+    f = greedy_factor(graph, n)
+    f.validate(graph)
+    assert int(f.degrees.max(initial=0)) <= n
+
+
+@given(weighted_graphs())
+@settings(max_examples=25, deadline=None)
+def test_converged_factor_is_maximal(graph):
+    res = parallel_factor(
+        graph, ParallelFactorConfig(n=2, max_iterations=100, m=5, k_m=0)
+    )
+    if not res.converged:
+        return  # rare non-convergence within the cap: nothing to check
+    f = res.factor
+    coo = graph.to_coo()
+    u, v = coo.row, coo.col
+    addable = (
+        (u < v) & (f.degrees[u] < 2) & (f.degrees[v] < 2) & ~f.contains_edges(u, v)
+    )
+    assert not addable.any()
+
+
+@given(weighted_graphs(), st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_coverage_nondecreasing_in_n(graph, n):
+    res_n = parallel_factor(graph, ParallelFactorConfig(n=n, max_iterations=10))
+    res_n1 = parallel_factor(graph, ParallelFactorConfig(n=n + 1, max_iterations=10))
+    # greedy-style monotonicity holds for the sequential algorithm exactly;
+    # for the parallel one we only require no catastrophic regression
+    assert coverage(graph, res_n1.factor) >= coverage(graph, res_n.factor) - 0.15
+
+
+@given(weighted_graphs())
+@settings(max_examples=25, deadline=None)
+def test_greedy_dominates_half_of_itself_at_higher_n(graph):
+    """ω(greedy n=2) >= ω(greedy n=1): more capacity never hurts greedy."""
+    c1 = coverage(graph, greedy_factor(graph, 1))
+    c2 = coverage(graph, greedy_factor(graph, 2))
+    assert c2 >= c1 - 1e-12
+
+
+@given(st.integers(2, 30), st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_factor_edges_subset_of_graph(n, seed):
+    rng = np.random.default_rng(seed)
+    graph = random_weighted_graph(n, 3 * n, rng)
+    res = parallel_factor(graph, ParallelFactorConfig(n=2, max_iterations=6))
+    u, v = res.factor.edges()
+    assert graph.contains(u, v).all()
+    assert graph.contains(v, u).all()

@@ -1,0 +1,99 @@
+"""Property-based tests for the bidirectional scan and forest pipeline."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    break_cycles,
+    detect_cycles,
+    forest_permutation,
+    identify_paths,
+    is_tridiagonal_under,
+    sequential_linear_forest,
+)
+from repro.graphs import random_02_factor, random_linear_forest
+from repro.sparse import from_edges, prepare_graph
+
+
+@st.composite
+def forests(draw, max_n=80):
+    n = draw(st.integers(1, max_n))
+    seed = draw(st.integers(0, 2**31))
+    return random_linear_forest(n, np.random.default_rng(seed))
+
+
+@st.composite
+def factors_02(draw, max_n=80):
+    n = draw(st.integers(1, max_n))
+    seed = draw(st.integers(0, 2**31))
+    frac = draw(st.floats(0.0, 1.0))
+    rng = np.random.default_rng(seed)
+    gt = random_02_factor(n, rng, cycle_fraction=frac)
+    u, v = gt.factor.edges()
+    graph = prepare_graph(
+        from_edges(n, u, v, rng.uniform(0.5, 5.0, u.size))
+    )
+    return gt, graph
+
+
+@given(forests())
+@settings(max_examples=40, deadline=None)
+def test_paths_match_ground_truth(gt):
+    info = identify_paths(gt.factor)
+    assert np.array_equal(info.path_id, gt.expected_path_id)
+    assert np.array_equal(info.position, gt.expected_position)
+
+
+@given(factors_02())
+@settings(max_examples=40, deadline=None)
+def test_cycle_detection_matches_ground_truth(data):
+    gt, _ = data
+    assert np.array_equal(detect_cycles(gt.factor), gt.cycle_mask)
+
+
+@given(factors_02())
+@settings(max_examples=40, deadline=None)
+def test_break_cycles_yields_acyclic_max_degree_2(data):
+    gt, graph = data
+    result = break_cycles(gt.factor, graph)
+    assert result.n_cycles == len(gt.cycles)
+    assert not detect_cycles(result.forest).any()
+    # acyclicity via networkx as an independent oracle
+    u, v = result.forest.edges()
+    g = nx.Graph()
+    g.add_nodes_from(range(gt.factor.n_vertices))
+    g.add_edges_from(zip(u.tolist(), v.tolist()))
+    assert nx.is_forest(g)
+
+
+@given(factors_02())
+@settings(max_examples=40, deadline=None)
+def test_full_extraction_matches_sequential_reference(data):
+    gt, graph = data
+    seq = sequential_linear_forest(gt.factor, graph)
+    broken = break_cycles(gt.factor, graph)
+    info = identify_paths(broken.forest)
+    perm = forest_permutation(info)
+    assert broken.forest == seq.forest
+    assert np.array_equal(info.path_id, seq.path_id)
+    assert np.array_equal(info.position, seq.position)
+    assert np.array_equal(perm, seq.perm)
+    assert is_tridiagonal_under(broken.forest, perm)
+
+
+@given(forests())
+@settings(max_examples=40, deadline=None)
+def test_permutation_properties(gt):
+    info = identify_paths(gt.factor)
+    perm = forest_permutation(info)
+    n = gt.factor.n_vertices
+    assert np.array_equal(np.sort(perm), np.arange(n))
+    # positions along the permutation restart at 1 exactly at path changes
+    pos = info.position[perm]
+    pid = info.path_id[perm]
+    starts = np.flatnonzero(pos == 1)
+    assert starts[0] == 0
+    changes = np.flatnonzero(np.diff(pid) != 0) + 1
+    assert np.array_equal(starts[1:], changes)

@@ -1,0 +1,80 @@
+"""Property-based tests for the solver substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers import (
+    BlockTridiagonalSystem,
+    bicgstab,
+    block_pcr_solve,
+    pcr_solve,
+    thomas_solve,
+)
+
+
+@st.composite
+def dd_tridiagonal(draw, max_n=200):
+    n = draw(st.integers(1, max_n))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    dl = -rng.uniform(0.05, 1.0, n)
+    du = -rng.uniform(0.05, 1.0, n)
+    dl[0] = du[-1] = 0.0
+    d = np.abs(dl) + np.abs(du) + rng.uniform(0.2, 2.0, n)
+    b = rng.standard_normal(n)
+    return dl, d, du, b
+
+
+@given(dd_tridiagonal())
+@settings(max_examples=50, deadline=None)
+def test_pcr_equals_thomas(system):
+    dl, d, du, b = system
+    np.testing.assert_allclose(
+        pcr_solve(dl, d, du, b), thomas_solve(dl, d, du, b), atol=1e-7
+    )
+
+
+@given(dd_tridiagonal())
+@settings(max_examples=50, deadline=None)
+def test_pcr_residual_is_small(system):
+    dl, d, du, b = system
+    x = pcr_solve(dl, d, du, b)
+    ax = d * x
+    ax[1:] += dl[1:] * x[:-1]
+    ax[:-1] += du[:-1] * x[1:]
+    np.testing.assert_allclose(ax, b, atol=1e-7)
+
+
+@st.composite
+def block_systems(draw, max_k=60):
+    k = draw(st.integers(1, max_k))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    sub = rng.standard_normal((k, 2, 2)) * 0.2
+    sup = rng.standard_normal((k, 2, 2)) * 0.2
+    sub[0] = sup[-1] = 0.0
+    diag = np.eye(2)[None] * 3.0 + rng.standard_normal((k, 2, 2)) * 0.3
+    rhs = rng.standard_normal((k, 2))
+    return sub, diag, sup, rhs
+
+
+@given(block_systems())
+@settings(max_examples=40, deadline=None)
+def test_block_pcr_residual(system):
+    sub, diag, sup, rhs = system
+    x = block_pcr_solve(sub, diag, sup, rhs)
+    s = BlockTridiagonalSystem(sub=sub, diag=diag, sup=sup)
+    np.testing.assert_allclose(s.matvec(x.reshape(-1)), rhs.reshape(-1), atol=1e-7)
+
+
+@given(st.integers(2, 80), st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_bicgstab_solves_random_spd(n, seed):
+    from repro.graphs import random_spd_system
+
+    rng = np.random.default_rng(seed)
+    a, x_true, b = random_spd_system(n, rng)
+    res = bicgstab(a, b, tol=1e-10, max_iterations=10 * n)
+    assert res.converged
+    np.testing.assert_allclose(res.x, x_true, atol=1e-5)

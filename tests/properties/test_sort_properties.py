@@ -1,0 +1,73 @@
+"""Property-based tests for the radix sort and key packing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sort import pack_keys, radix_argsort, unpack_keys
+
+key_arrays = hnp.arrays(
+    dtype=np.uint64,
+    shape=st.integers(0, 300),
+    elements=st.integers(0, 2**64 - 1),
+)
+
+
+@given(key_arrays)
+@settings(max_examples=60, deadline=None)
+def test_radix_sorts_ascending(keys):
+    order = radix_argsort(keys)
+    out = keys[order]
+    assert np.all(out[1:] >= out[:-1])
+
+
+@given(key_arrays)
+@settings(max_examples=60, deadline=None)
+def test_radix_is_permutation(keys):
+    order = radix_argsort(keys)
+    assert np.array_equal(np.sort(order), np.arange(keys.size))
+
+
+@given(
+    hnp.arrays(dtype=np.uint64, shape=st.integers(1, 200), elements=st.integers(0, 7))
+)
+@settings(max_examples=60, deadline=None)
+def test_radix_stability(keys):
+    """Many duplicates: must equal numpy's stable argsort exactly."""
+    assert np.array_equal(radix_argsort(keys), np.argsort(keys, kind="stable"))
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2**31 - 1), st.integers(0, 2**31 - 1)),
+        max_size=200,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_pack_unpack_round_trip(pairs):
+    path_id = np.array([p for p, _ in pairs], dtype=np.int64)
+    position = np.array([q for _, q in pairs], dtype=np.int64)
+    p, q = unpack_keys(pack_keys(path_id, position))
+    assert np.array_equal(p, path_id)
+    assert np.array_equal(q, position)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+        min_size=2,
+        max_size=100,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_packed_order_is_lexicographic(pairs):
+    path_id = np.array([p for p, _ in pairs], dtype=np.int64)
+    position = np.array([q for _, q in pairs], dtype=np.int64)
+    keys = pack_keys(path_id, position)
+    by_key = np.argsort(keys, kind="stable")
+    by_lex = np.lexsort((position, path_id))
+    assert np.array_equal(
+        np.c_[path_id[by_key], position[by_key]],
+        np.c_[path_id[by_lex], position[by_lex]],
+    )

@@ -1,0 +1,97 @@
+"""Property-based tests for the sparse substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sparse import (
+    COOMatrix,
+    from_dense,
+    prepare_graph,
+    segment_reduce,
+    segment_reduce_generic,
+    spmv,
+    top_n_per_row,
+)
+from repro.sparse.topn import top_n_per_row_insertion
+
+
+@st.composite
+def dense_matrices(draw, max_n=12, square=False):
+    n = draw(st.integers(1, max_n))
+    m = n if square else draw(st.integers(1, max_n))
+    return draw(
+        hnp.arrays(
+            np.float64,
+            (n, m),
+            elements=st.floats(-10, 10, allow_nan=False).map(
+                lambda x: 0.0 if abs(x) < 3 else round(x, 3)
+            ),
+        )
+    )
+
+
+@given(dense_matrices())
+@settings(max_examples=80, deadline=None)
+def test_csr_round_trip(dense):
+    assert np.array_equal(from_dense(dense).to_dense(), dense)
+
+
+@given(dense_matrices())
+@settings(max_examples=80, deadline=None)
+def test_transpose_involution(dense):
+    a = from_dense(dense)
+    assert np.array_equal(a.transpose().transpose().to_dense(), dense)
+
+
+@given(dense_matrices(), st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_spmv_matches_dense(dense, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(dense.shape[1])
+    np.testing.assert_allclose(spmv(from_dense(dense), x), dense @ x, atol=1e-9)
+
+
+@given(dense_matrices(square=True))
+@settings(max_examples=60, deadline=None)
+def test_prepare_graph_invariants(dense):
+    g = prepare_graph(from_dense(dense))
+    assert g.is_symmetric()
+    assert np.all(g.diagonal() == 0.0)
+    assert g.nnz == 0 or np.all(g.data > 0.0)
+
+
+@given(dense_matrices(square=True), st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_topn_matches_insertion(dense, n):
+    a = from_dense(dense)
+    got = top_n_per_row(a.indptr, a.indices, a.data, n)
+    ref = top_n_per_row_insertion(a.indptr, a.indices, a.data, n)
+    for g, r in zip(got, ref):
+        assert np.array_equal(g, r)
+
+
+@given(
+    st.lists(st.integers(0, 8), min_size=1, max_size=20),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_segment_reduce_generic_equals_ufunc(lengths, seed):
+    rng = np.random.default_rng(seed)
+    indptr = np.concatenate([[0], np.cumsum(lengths)])
+    values = rng.standard_normal(int(indptr[-1]))
+    expect = segment_reduce(values, indptr, np.minimum, np.inf)
+    (got,) = segment_reduce_generic(
+        (values,), indptr, lambda l, r: (np.minimum(l[0], r[0]),), (np.inf,)
+    )
+    np.testing.assert_allclose(got, expect)
+
+
+@given(dense_matrices())
+@settings(max_examples=40, deadline=None)
+def test_coo_sum_duplicates_idempotent(dense):
+    coo = COOMatrix.from_dense(dense)
+    once = coo.sum_duplicates()
+    twice = once.sum_duplicates()
+    assert np.array_equal(once.to_dense(), twice.to_dense())

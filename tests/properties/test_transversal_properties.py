@@ -1,0 +1,57 @@
+"""Property-based tests for the maximum product transversal."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.errors import SolverError
+from repro.sparse import from_dense
+from repro.sparse.transversal import maximum_transversal, transversal_scaling
+
+
+@st.composite
+def feasible_matrices(draw, max_n=10):
+    """Random sparse matrices with a guaranteed nonzero diagonal."""
+    n = draw(st.integers(1, max_n))
+    seed = draw(st.integers(0, 2**31))
+    density = draw(st.floats(0.0, 0.8))
+    rng = np.random.default_rng(seed)
+    dense = np.exp(rng.normal(0, 2, (n, n)))
+    dense[rng.random((n, n)) < density] = 0.0
+    np.fill_diagonal(dense, np.exp(rng.normal(0, 2, n)))
+    return dense
+
+
+@given(feasible_matrices())
+@settings(max_examples=50, deadline=None)
+def test_optimal_log_product(dense):
+    n = dense.shape[0]
+    t = maximum_transversal(from_dense(dense))
+    sel = dense[np.arange(n), t.col_of_row]
+    assert (sel != 0.0).all()
+    with np.errstate(divide="ignore"):
+        logs = np.where(dense != 0.0, np.log(np.abs(dense)), -1e18)
+    rows, cols = linear_sum_assignment(-logs)
+    assert np.log(np.abs(sel)).sum() >= logs[rows, cols].sum() - 1e-7
+
+
+@given(feasible_matrices())
+@settings(max_examples=50, deadline=None)
+def test_result_is_permutation(dense):
+    n = dense.shape[0]
+    t = maximum_transversal(from_dense(dense))
+    assert np.array_equal(np.sort(t.col_of_row), np.arange(n))
+
+
+@given(feasible_matrices())
+@settings(max_examples=40, deadline=None)
+def test_scaling_bounds(dense):
+    n = dense.shape[0]
+    a = from_dense(dense)
+    t = maximum_transversal(a)
+    dr, dc = transversal_scaling(a, t)
+    scaled = dr[:, None] * np.abs(dense) * dc[None, :]
+    matched = scaled[np.arange(n), t.col_of_row]
+    assert np.allclose(matched, 1.0, rtol=1e-6)
+    assert (scaled <= 1.0 + 1e-6).all()

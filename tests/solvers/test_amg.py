@@ -1,0 +1,102 @@
+"""Unit tests for the matching-based AMG preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.graphs import aniso1, poisson2d, random_spd_system
+from repro.solvers import JacobiPrecond, MatchingAMGPrecond, bicgstab, build_hierarchy, cg
+from repro.sparse import from_dense
+
+
+def test_hierarchy_shrinks():
+    a = poisson2d(16)
+    levels = build_hierarchy(a, min_coarse=20)
+    sizes = [lvl.a.n_rows for lvl in levels]
+    assert sizes[0] == 256
+    assert all(b < a_ for a_, b in zip(sizes, sizes[1:]))
+    assert sizes[-1] <= 40 or len(levels) == 10
+    assert levels[-1].prolongation is None
+    for lvl in levels[:-1]:
+        assert lvl.prolongation is not None
+        # piecewise-constant: one entry per fine row with value 1
+        assert (lvl.prolongation.row_lengths == 1).all()
+        assert (lvl.prolongation.data == 1.0).all()
+
+
+def test_galerkin_operator_consistency():
+    a = poisson2d(8)
+    levels = build_hierarchy(a, min_coarse=10, max_levels=2)
+    p = levels[0].prolongation
+    dense = a.to_dense()
+    pd = p.to_dense()
+    np.testing.assert_allclose(levels[1].a.to_dense(), pd.T @ dense @ pd, atol=1e-12)
+
+
+def test_coarse_operator_stays_spd():
+    a = poisson2d(12)
+    levels = build_hierarchy(a, min_coarse=8)
+    for lvl in levels:
+        dense = lvl.a.to_dense()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-12)
+        eigvals = np.linalg.eigvalsh(dense)
+        assert eigvals.min() > -1e-10
+
+
+def test_amg_accelerates_cg_on_poisson():
+    a = poisson2d(24)
+    # regularise the singular Neumann-like corners: Poisson with Dirichlet
+    # boundary is SPD already (boundary rows are dominant), keep as is
+    n = a.n_rows
+    rng = np.random.default_rng(0)
+    x_true = rng.standard_normal(n)
+    b = a.matvec(x_true)
+    plain = cg(a, b, tol=1e-8, max_iterations=2000)
+    amg = cg(a, b, preconditioner=MatchingAMGPrecond(a), tol=1e-8, max_iterations=2000)
+    assert amg.converged
+    assert amg.history.n_iterations < plain.history.n_iterations / 2
+    np.testing.assert_allclose(amg.x, x_true, atol=1e-5)
+
+
+def test_amg_beats_jacobi_on_aniso():
+    a = aniso1(20)
+    n = a.n_rows
+    x_t = np.sin(16 * np.pi * np.arange(n) / n)
+    b = a.matvec(x_t)
+    jac = bicgstab(a, b, preconditioner=JacobiPrecond(a), tol=1e-9, max_iterations=3000)
+    amg = bicgstab(
+        a, b, preconditioner=MatchingAMGPrecond(a), tol=1e-9, max_iterations=3000
+    )
+    assert amg.converged
+    assert amg.history.n_iterations < jac.history.n_iterations
+
+
+def test_amg_on_random_spd(rng):
+    a, x_true, b = random_spd_system(150, rng)
+    res = cg(a, b, preconditioner=MatchingAMGPrecond(a), tol=1e-10, max_iterations=1000)
+    assert res.converged
+    np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+
+def test_operator_complexity_bounded():
+    a = poisson2d(20)
+    p = MatchingAMGPrecond(a)
+    assert 1.0 < p.operator_complexity() < 3.0
+    assert p.n_levels >= 2
+    assert 0.0 < p.coverage <= 1.0
+
+
+def test_rejects_zero_diagonal():
+    a = from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+    with pytest.raises(SolverError):
+        MatchingAMGPrecond(a)
+
+
+def test_apply_is_linear(rng):
+    a = poisson2d(10)
+    p = MatchingAMGPrecond(a)
+    r1 = rng.standard_normal(a.n_rows)
+    r2 = rng.standard_normal(a.n_rows)
+    np.testing.assert_allclose(
+        p.apply(r1 + 2.0 * r2), p.apply(r1) + 2.0 * p.apply(r2), atol=1e-9
+    )

@@ -1,0 +1,70 @@
+"""Unit tests for automatic (m, k_m) parameter control."""
+
+import pytest
+
+from repro.core import ParallelFactorConfig, coverage, parallel_factor
+from repro.graphs import build_matrix
+from repro.solvers.autotune import (
+    DEFAULT_SCHEDULES,
+    auto_block_preconditioner,
+    tune_factor_config,
+)
+from repro.sparse import prepare_graph
+
+SCALE = 0.25
+
+
+def test_tuned_config_is_argmax_of_trials():
+    a = build_matrix("ecology1", scale=SCALE)
+    result = tune_factor_config(a, 2)
+    assert set(result.trials) == set(DEFAULT_SCHEDULES)
+    assert result.coverage == max(result.trials.values())
+    assert result.trials[(result.config.m, result.config.k_m)] == result.coverage
+
+
+def test_tuning_beats_every_fixed_schedule_by_construction():
+    a = build_matrix("atmosmodd", scale=SCALE)
+    graph = prepare_graph(a)
+    result = tune_factor_config(a, 2, graph=graph)
+    for m, k_m in DEFAULT_SCHEDULES:
+        res = parallel_factor(
+            graph, ParallelFactorConfig(n=2, max_iterations=5, m=m, k_m=k_m)
+        )
+        assert result.coverage >= coverage(a, res.factor) - 1e-12
+
+
+def test_tuning_reproduces_table4_preferences():
+    """Table 4 / Section 6: un-charged-first schedules (k_m = 0) win on the
+    tie-free matrices, while ecology1 needs charging somewhere."""
+    a = build_matrix("stocf_1465", scale=SCALE)
+    result = tune_factor_config(a, 2)
+    assert result.config.k_m == 0
+    eco = build_matrix("ecology1", scale=SCALE)
+    eco_result = tune_factor_config(eco, 2)
+    assert eco_result.trials[(1, 0)] < eco_result.coverage - 0.2
+
+
+def test_auto_block_preconditioner_picks_best_coverage():
+    a = build_matrix("aniso2", scale=SCALE)
+    precond = auto_block_preconditioner(a)
+    assert hasattr(precond, "tuning_label")
+    coverages = [c for c, _ in precond.tuning_candidates]
+    assert precond.coverage == pytest.approx(max(coverages))
+
+
+def test_auto_block_preconditioner_applies():
+    import numpy as np
+
+    a = build_matrix("aniso1", scale=SCALE)
+    precond = auto_block_preconditioner(a)
+    rng = np.random.default_rng(0)
+    r = rng.standard_normal(a.n_rows)
+    z = precond.apply(r)
+    assert z.shape == r.shape
+    assert np.isfinite(z).all()
+
+
+def test_block_only_search():
+    a = build_matrix("af_shell8", scale=SCALE)
+    precond = auto_block_preconditioner(a, include_scalar=False)
+    assert precond.name == "AlgTriBlockPrecond"

@@ -1,0 +1,98 @@
+"""Unit tests for the preconditioned BiCGStab solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.graphs import random_spd_system
+from repro.solvers import IdentityPrecond, JacobiPrecond, bicgstab
+
+
+class _DenseOp:
+    def __init__(self, dense):
+        self.dense = dense
+
+    def matvec(self, x):
+        return self.dense @ x
+
+
+def test_solves_spd_system(rng):
+    a, x_true, b = random_spd_system(100, rng)
+    res = bicgstab(a, b, tol=1e-10, max_iterations=500)
+    assert res.converged
+    np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+
+def test_solves_nonsymmetric_system(rng):
+    n = 40
+    dense = np.eye(n) * 4.0 + rng.standard_normal((n, n)) * 0.3
+    x_true = rng.standard_normal(n)
+    b = dense @ x_true
+    res = bicgstab(_DenseOp(dense), b, tol=1e-12, max_iterations=400)
+    assert res.converged
+    np.testing.assert_allclose(res.x, x_true, atol=1e-7)
+
+
+def test_preconditioner_reduces_iterations(rng):
+    a, _, b = random_spd_system(200, rng)
+    plain = bicgstab(a, b, tol=1e-9, max_iterations=1000)
+    jac = bicgstab(a, b, preconditioner=JacobiPrecond(a), tol=1e-9, max_iterations=1000)
+    assert jac.converged
+    assert jac.history.n_iterations <= plain.history.n_iterations
+
+
+def test_residual_history_recorded(rng):
+    a, x_true, b = random_spd_system(60, rng)
+    res = bicgstab(a, b, tol=1e-8, true_solution=x_true)
+    h = res.history
+    assert len(h.relative_residuals) == len(h.forward_errors)
+    assert h.relative_residuals[0] == pytest.approx(1.0)
+    assert h.final_residual < 1e-8
+    assert h.final_forward_error < 1e-4
+    assert h.iterations_to(1e-4) is not None
+
+
+def test_zero_rhs_converges_immediately(rng):
+    a, _, _ = random_spd_system(20, rng)
+    res = bicgstab(a, np.zeros(20))
+    assert res.converged
+    np.testing.assert_allclose(res.x, 0.0)
+    assert res.history.n_iterations == 0
+
+
+def test_exact_initial_guess(rng):
+    a, x_true, b = random_spd_system(20, rng)
+    res = bicgstab(a, b, x0=x_true)
+    assert res.converged
+    assert res.history.n_iterations == 0
+
+
+def test_max_iterations_respected(rng):
+    a, _, b = random_spd_system(300, rng)
+    res = bicgstab(a, b, tol=1e-15, max_iterations=3)
+    assert not res.converged
+    assert res.history.n_iterations <= 4
+
+
+def test_x0_shape_check(rng):
+    a, _, b = random_spd_system(10, rng)
+    with pytest.raises(ShapeError):
+        bicgstab(a, b, x0=np.zeros(5))
+
+
+def test_identity_preconditioner_matches_plain(rng):
+    a, _, b = random_spd_system(50, rng)
+    plain = bicgstab(a, b, tol=1e-9)
+    ident = bicgstab(a, b, preconditioner=IdentityPrecond(), tol=1e-9)
+    np.testing.assert_allclose(plain.x, ident.x)
+
+
+def test_breakdown_reported():
+    # singular operator: A = 0 -> r0.v breakdown on first iteration
+    class _Zero:
+        def matvec(self, x):
+            return np.zeros_like(x)
+
+    res = bicgstab(_Zero(), np.ones(4), max_iterations=5)
+    assert not res.converged
+    assert res.history.breakdown is not None

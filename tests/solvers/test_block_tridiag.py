@@ -1,0 +1,90 @@
+"""Unit tests for the 2x2 block tridiagonal solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SolverError
+from repro.solvers import BlockTridiagonalSystem, block_pcr_solve, block_thomas_solve
+
+
+def _random_block_system(rng, k, coupling=0.15):
+    sub = rng.standard_normal((k, 2, 2)) * coupling
+    sup = rng.standard_normal((k, 2, 2)) * coupling
+    sub[0] = sup[-1] = 0.0
+    diag = np.eye(2)[None] * 3.0 + rng.standard_normal((k, 2, 2)) * 0.3
+    rhs = rng.standard_normal((k, 2))
+    return sub, diag, sup, rhs
+
+
+@pytest.mark.parametrize("solver", [block_thomas_solve, block_pcr_solve])
+@pytest.mark.parametrize("k", [1, 2, 3, 8, 9, 33, 100])
+def test_matches_dense_solve(solver, k, rng):
+    sub, diag, sup, rhs = _random_block_system(rng, k)
+    system = BlockTridiagonalSystem(sub=sub, diag=diag, sup=sup)
+    x_ref = np.linalg.solve(system.to_dense(), rhs.reshape(-1))
+    np.testing.assert_allclose(solver(sub, diag, sup, rhs).reshape(-1), x_ref, atol=1e-8)
+
+
+def test_matvec_matches_dense(rng):
+    sub, diag, sup, rhs = _random_block_system(rng, 12)
+    system = BlockTridiagonalSystem(sub=sub, diag=diag, sup=sup)
+    x = rng.standard_normal(24)
+    np.testing.assert_allclose(system.matvec(x), system.to_dense() @ x, atol=1e-12)
+
+
+def test_solve_round_trip(rng):
+    sub, diag, sup, _ = _random_block_system(rng, 20)
+    system = BlockTridiagonalSystem(sub=sub, diag=diag, sup=sup)
+    x = rng.standard_normal(40)
+    np.testing.assert_allclose(system.solve(system.matvec(x)), x, atol=1e-8)
+
+
+def test_block_diagonal_only(rng):
+    k = 5
+    diag = np.eye(2)[None].repeat(k, axis=0) * 2.0
+    zero = np.zeros((k, 2, 2))
+    rhs = rng.standard_normal((k, 2))
+    np.testing.assert_allclose(block_pcr_solve(zero, diag, zero, rhs), rhs / 2.0)
+
+
+def test_singular_diag_block_raises():
+    k = 3
+    diag = np.zeros((k, 2, 2))
+    zero = np.zeros((k, 2, 2))
+    with pytest.raises(SolverError):
+        block_pcr_solve(zero, diag, zero, np.ones((k, 2)))
+
+
+def test_shape_validation():
+    with pytest.raises(ShapeError):
+        block_pcr_solve(np.zeros((2, 2, 2)), np.zeros((3, 2, 2)), np.zeros((3, 2, 2)), np.zeros((3, 2)))
+    with pytest.raises(ShapeError):
+        BlockTridiagonalSystem(
+            sub=np.zeros((2, 2, 2)), diag=np.zeros((2, 2, 3)), sup=np.zeros((2, 2, 2))
+        )
+
+
+def test_empty_system():
+    out = block_pcr_solve(
+        np.zeros((0, 2, 2)), np.zeros((0, 2, 2)), np.zeros((0, 2, 2)), np.zeros((0, 2))
+    )
+    assert out.shape == (0, 2)
+
+
+def test_ghost_rows_decoupled(rng):
+    """A unit 'ghost' equation in slot (1,1) must not pollute its partner."""
+    k = 4
+    sub, diag, sup, rhs = _random_block_system(rng, k)
+    # make block 2 a singleton: ghost in slot 1
+    diag[2, 0, 1] = diag[2, 1, 0] = 0.0
+    diag[2, 1, 1] = 1.0
+    sub[2, :, :] = 0.0
+    sup[2, :, :] = 0.0
+    sub[3, :, :] = 0.0
+    sup[1, :, :] = 0.0
+    system = BlockTridiagonalSystem(sub=sub, diag=diag, sup=sup)
+    x = np.linalg.solve(system.to_dense(), rhs.reshape(-1)).reshape(k, 2)
+    got = block_pcr_solve(sub, diag, sup, rhs)
+    np.testing.assert_allclose(got, x, atol=1e-9)
+    # ghost unknown is exactly its rhs
+    assert got[2, 1] == pytest.approx(rhs[2, 1])

@@ -1,0 +1,65 @@
+"""Unit tests for the preconditioned CG solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.graphs import poisson2d, random_spd_system
+from repro.solvers import JacobiPrecond, TriScalPrecond, cg
+
+
+def test_solves_spd(rng):
+    a, x_true, b = random_spd_system(80, rng)
+    res = cg(a, b, tol=1e-10, max_iterations=800)
+    assert res.converged
+    np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+
+def test_history_and_fre(rng):
+    a, x_true, b = random_spd_system(50, rng)
+    res = cg(a, b, tol=1e-8, true_solution=x_true)
+    assert res.history.relative_residuals[0] == pytest.approx(1.0)
+    assert res.history.final_forward_error < 1e-4
+
+
+def test_preconditioner_helps(rng):
+    a = poisson2d(20)
+    b = a.matvec(rng.standard_normal(a.n_rows))
+    plain = cg(a, b, tol=1e-9, max_iterations=2000)
+    tri = cg(a, b, preconditioner=TriScalPrecond(a), tol=1e-9, max_iterations=2000)
+    assert tri.converged
+    assert tri.history.n_iterations <= plain.history.n_iterations
+
+
+def test_zero_rhs(rng):
+    a, _, _ = random_spd_system(10, rng)
+    res = cg(a, np.zeros(10))
+    assert res.converged
+    assert res.history.n_iterations == 0
+
+
+def test_exact_x0(rng):
+    a, x_true, b = random_spd_system(10, rng)
+    res = cg(a, b, x0=x_true)
+    assert res.converged
+
+
+def test_max_iterations(rng):
+    a, _, b = random_spd_system(200, rng)
+    res = cg(a, b, tol=1e-15, max_iterations=2)
+    assert not res.converged
+
+
+def test_x0_shape_check(rng):
+    a, _, b = random_spd_system(10, rng)
+    with pytest.raises(ShapeError):
+        cg(a, b, x0=np.zeros(3))
+
+
+def test_matches_bicgstab_solution(rng):
+    from repro.solvers import bicgstab
+
+    a, x_true, b = random_spd_system(60, rng)
+    x_cg = cg(a, b, tol=1e-12, max_iterations=600).x
+    x_bi = bicgstab(a, b, tol=1e-12, max_iterations=600).x
+    np.testing.assert_allclose(x_cg, x_bi, atol=1e-7)

@@ -1,0 +1,111 @@
+"""Unit tests for the Chebyshev semi-iteration and smoother."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SolverError
+from repro.graphs import aniso2, poisson2d, random_spd_system
+from repro.solvers import JacobiPrecond, cg
+from repro.solvers.chebyshev import ChebyshevSmoother, chebyshev
+
+
+def test_solves_with_exact_bounds(rng):
+    n = 40
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigs = np.linspace(1.0, 10.0, n)
+    dense = q @ np.diag(eigs) @ q.T
+
+    class Op:
+        n_rows = n
+
+        def matvec(self, x):
+            return dense @ x
+
+    x_true = rng.standard_normal(n)
+    b = dense @ x_true
+    res = chebyshev(Op(), b, eig_bounds=(1.0, 10.0), tol=1e-10, max_iterations=300,
+                    true_solution=x_true)
+    assert res.converged
+    np.testing.assert_allclose(res.x, x_true, atol=1e-7)
+    assert res.history.final_forward_error < 1e-7
+
+
+def test_auto_bounds_via_lanczos(rng):
+    a, x_true, b = random_spd_system(60, rng)
+    res = chebyshev(a, b, tol=1e-9, max_iterations=500)
+    assert res.converged
+    np.testing.assert_allclose(res.x, x_true, atol=1e-5)
+
+
+def test_preconditioned_variant(rng):
+    a, x_true, b = random_spd_system(80, rng)
+    res = chebyshev(a, b, preconditioner=JacobiPrecond(a), tol=1e-9, max_iterations=500)
+    assert res.converged
+    np.testing.assert_allclose(res.x, x_true, atol=1e-5)
+
+
+def test_needs_more_iterations_than_cg(rng):
+    """Chebyshev with tight bounds still cannot beat CG (optimality of CG),
+    but should be in the same ballpark."""
+    a = poisson2d(12)
+    b = a.matvec(rng.standard_normal(a.n_rows))
+    it_cg = cg(a, b, tol=1e-8, max_iterations=2000).history.n_iterations
+    res = chebyshev(a, b, tol=1e-8, max_iterations=2000)
+    assert res.converged
+    assert res.history.n_iterations >= it_cg
+    assert res.history.n_iterations < 10 * it_cg + 20
+
+
+def test_invalid_bounds_rejected(rng):
+    a, _, b = random_spd_system(10, rng)
+    with pytest.raises(SolverError):
+        chebyshev(a, b, eig_bounds=(-1.0, 2.0))
+    with pytest.raises(SolverError):
+        chebyshev(a, b, eig_bounds=(3.0, 2.0))
+
+
+def test_x0_shape_check(rng):
+    a, _, b = random_spd_system(10, rng)
+    with pytest.raises(ShapeError):
+        chebyshev(a, b, x0=np.zeros(3))
+
+
+def test_zero_rhs(rng):
+    a, _, _ = random_spd_system(10, rng)
+    res = chebyshev(a, np.zeros(10), eig_bounds=(0.5, 2.0))
+    assert res.converged
+    assert res.history.n_iterations == 0
+
+
+def test_smoother_reduces_residual(rng):
+    a = aniso2(10)
+    n = a.n_rows
+    b = a.matvec(rng.standard_normal(n))
+    sm = ChebyshevSmoother(a, degree=3)
+    x0 = np.zeros(n)
+    x1 = sm.smooth(x0, b, sweeps=2)
+    assert np.linalg.norm(b - a.matvec(x1)) < np.linalg.norm(b - a.matvec(x0))
+
+
+def test_smoother_kills_high_frequencies(rng):
+    """The smoother's job: damp the upper spectrum much harder than Jacobi."""
+    from repro.solvers import WeightedJacobi
+
+    a = poisson2d(12)
+    n = a.n_rows
+    dense = a.to_dense()
+    eigvals, eigvecs = np.linalg.eigh(dense)
+    high_mode = eigvecs[:, -1]  # highest-frequency error component
+    b = np.zeros(n)
+    cheb = ChebyshevSmoother(a, degree=3)
+    jac = WeightedJacobi(a)
+    e_cheb = cheb.smooth(high_mode.copy(), b, sweeps=1)
+    e_jac = jac.smooth(high_mode.copy(), b, sweeps=1)
+    assert np.linalg.norm(e_cheb) < np.linalg.norm(e_jac)
+
+
+def test_smoother_rejects_zero_diagonal():
+    from repro.sparse import from_dense
+
+    with pytest.raises(SolverError):
+        ChebyshevSmoother(from_dense(np.array([[0.0, 1.0], [1.0, 0.0]])))

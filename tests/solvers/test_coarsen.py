@@ -1,0 +1,70 @@
+"""Unit tests for [0,1]-factor graph coarsening."""
+
+import numpy as np
+import pytest
+
+from repro.core import Factor, ParallelFactorConfig, parallel_factor
+from repro.errors import FactorError
+from repro.graphs import random_weighted_graph
+from repro.solvers import coarsen_by_matching
+from repro.solvers.coarsen import GHOST
+
+
+def test_requires_01_factor(path_graph):
+    with pytest.raises(FactorError):
+        coarsen_by_matching(path_graph, Factor.empty(5, 2))
+
+
+def test_size_mismatch_rejected(path_graph):
+    with pytest.raises(FactorError):
+        coarsen_by_matching(path_graph, Factor.empty(4, 1))
+
+
+def test_path_graph_pairs(path_graph):
+    # matching {0,1}, {2,3}; vertex 4 unmatched
+    matching = Factor.from_edge_list(5, 1, [0, 2], [1, 3])
+    coarse = coarsen_by_matching(path_graph, matching)
+    assert coarse.n_coarse == 3
+    np.testing.assert_array_equal(coarse.aggregates, [[0, 1], [2, 3], [4, GHOST]])
+    np.testing.assert_array_equal(coarse.fine_to_coarse, [0, 0, 1, 1, 2])
+    np.testing.assert_array_equal(coarse.singleton_mask, [False, False, True])
+
+
+def test_coarse_weights_sum_fine_weights(path_graph):
+    # path weights 4,3,2,1; pairs (0,1),(2,3): coarse edge 0-1 gets fine edge
+    # {1,2} (weight 3) in both directions, coarse edge 1-2 gets {3,4} (w 1)
+    matching = Factor.from_edge_list(5, 1, [0, 2], [1, 3])
+    coarse = coarsen_by_matching(path_graph, matching)
+    dense = coarse.graph.to_dense()
+    assert dense[0, 1] == pytest.approx(3.0)
+    assert dense[1, 0] == pytest.approx(3.0)
+    assert dense[1, 2] == pytest.approx(1.0)
+    assert dense[0, 2] == 0.0
+    assert np.all(np.diag(dense) == 0.0)
+
+
+def test_intra_pair_edges_removed(path_graph):
+    matching = Factor.from_edge_list(5, 1, [0, 2], [1, 3])
+    coarse = coarsen_by_matching(path_graph, matching)
+    # edges inside a pair must not become coarse self-loops
+    assert np.all(coarse.graph.diagonal() == 0.0)
+
+
+def test_empty_matching_gives_isomorphic_graph(path_graph):
+    coarse = coarsen_by_matching(path_graph, Factor.empty(5, 1))
+    assert coarse.n_coarse == 5
+    np.testing.assert_allclose(coarse.graph.to_dense(), path_graph.to_dense())
+    assert coarse.singleton_mask.all()
+
+
+def test_coarse_graph_properties_random(rng):
+    g = random_weighted_graph(80, 300, rng)
+    matching = parallel_factor(g, ParallelFactorConfig(n=1, max_iterations=10)).factor
+    coarse = coarsen_by_matching(g, matching)
+    n_matched_pairs = matching.edge_count
+    assert coarse.n_coarse == 80 - n_matched_pairs
+    assert coarse.graph.is_symmetric(tol=1e-12)
+    # every fine vertex maps into exactly one aggregate containing it
+    for v in range(80):
+        agg = coarse.aggregates[coarse.fine_to_coarse[v]]
+        assert v in agg.tolist()

@@ -1,0 +1,31 @@
+"""Unit tests for convergence bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import ConvergenceHistory
+
+
+def test_empty_history():
+    h = ConvergenceHistory()
+    assert h.n_iterations == 0
+    assert h.final_residual == np.inf
+    assert h.final_forward_error is None
+    assert h.iterations_to(1e-3) is None
+
+
+def test_iterations_to():
+    h = ConvergenceHistory(relative_residuals=[1.0, 0.1, 0.001, 1e-6])
+    assert h.iterations_to(0.5) == 1
+    assert h.iterations_to(0.01) == 2
+    assert h.iterations_to(1e-9) is None
+    assert h.n_iterations == 3
+
+
+def test_final_values():
+    h = ConvergenceHistory(
+        relative_residuals=[1.0, 0.5], forward_errors=[1.0, 0.25], converged=True
+    )
+    assert h.final_residual == pytest.approx(0.5)
+    assert h.final_forward_error == pytest.approx(0.25)
+    assert h.converged

@@ -1,0 +1,54 @@
+"""Multiple right-hand-side support of the tridiagonal solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.solvers import pcr_solve, thomas_solve
+
+
+def _system(rng, n):
+    dl = -rng.uniform(0.1, 1.0, n)
+    du = -rng.uniform(0.1, 1.0, n)
+    dl[0] = du[-1] = 0.0
+    d = np.abs(dl) + np.abs(du) + 1.0
+    return dl, d, du
+
+
+@pytest.mark.parametrize("solver", [thomas_solve, pcr_solve])
+def test_multi_rhs_matches_column_by_column(solver, rng):
+    n, k = 40, 5
+    dl, d, du = _system(rng, n)
+    b = rng.standard_normal((n, k))
+    x = solver(dl, d, du, b)
+    assert x.shape == (n, k)
+    for j in range(k):
+        np.testing.assert_allclose(x[:, j], solver(dl, d, du, b[:, j]), atol=1e-12)
+
+
+@pytest.mark.parametrize("solver", [thomas_solve, pcr_solve])
+def test_single_column_matrix_rhs(solver, rng):
+    n = 17
+    dl, d, du = _system(rng, n)
+    b = rng.standard_normal((n, 1))
+    x = solver(dl, d, du, b)
+    assert x.shape == (n, 1)
+    np.testing.assert_allclose(x[:, 0], solver(dl, d, du, b[:, 0]), atol=1e-12)
+
+
+@pytest.mark.parametrize("solver", [thomas_solve, pcr_solve])
+def test_bad_leading_dimension(solver, rng):
+    dl, d, du = _system(rng, 8)
+    with pytest.raises(ShapeError):
+        solver(dl, d, du, np.zeros((7, 2)))
+
+
+def test_pcr_multi_rhs_residual(rng):
+    n, k = 65, 3
+    dl, d, du = _system(rng, n)
+    b = rng.standard_normal((n, k))
+    x = pcr_solve(dl, d, du, b)
+    ax = d[:, None] * x
+    ax[1:] += dl[1:, None] * x[:-1]
+    ax[:-1] += du[:-1, None] * x[1:]
+    np.testing.assert_allclose(ax, b, atol=1e-8)

@@ -1,0 +1,79 @@
+"""Unit tests for the recursive multi-level block preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.graphs import aniso2, build_matrix
+from repro.solvers import (
+    AlgTriBlockPrecond,
+    AlgTriMultiBlockPrecond,
+    AlgTriScalPrecond,
+    bicgstab,
+)
+
+
+def test_depth_validation():
+    with pytest.raises(ShapeError):
+        AlgTriMultiBlockPrecond(aniso2(6), depth=0)
+
+
+def test_block_size_is_power_of_two():
+    a = aniso2(10)
+    for depth in (1, 2, 3):
+        p = AlgTriMultiBlockPrecond(a, depth=depth)
+        assert p.block_size == 2**depth
+        assert p.name.endswith(f"depth={depth})")
+
+
+def test_depth1_matches_blockprecond_coverage():
+    """depth=1 is the paper's AlgTriBlockPrecond construction."""
+    a = aniso2(12)
+    p1 = AlgTriMultiBlockPrecond(a, depth=1)
+    p_ref = AlgTriBlockPrecond(a)
+    assert p1.coverage == pytest.approx(p_ref.coverage, abs=1e-9)
+
+
+def test_coverage_grows_with_depth():
+    a = aniso2(14)
+    covs = [AlgTriScalPrecond(a).coverage]
+    for depth in (1, 2, 3):
+        covs.append(AlgTriMultiBlockPrecond(a, depth=depth).coverage)
+    # wider blocks never capture less structure (up to matching randomness)
+    assert covs[-1] > covs[0]
+    assert covs[3] >= covs[1] - 0.05
+
+
+def test_apply_is_linear(rng):
+    a = aniso2(10)
+    p = AlgTriMultiBlockPrecond(a, depth=2)
+    r1 = rng.standard_normal(a.n_rows)
+    r2 = rng.standard_normal(a.n_rows)
+    np.testing.assert_allclose(
+        p.apply(r1 + 0.5 * r2), p.apply(r1) + 0.5 * p.apply(r2), atol=1e-8
+    )
+
+
+def test_accelerates_bicgstab():
+    a = aniso2(16)
+    n = a.n_rows
+    x_t = np.sin(16 * np.pi * np.arange(n) / n)
+    b = a.matvec(x_t)
+    iters = {}
+    for label, precond in [
+        ("scalar", AlgTriScalPrecond(a)),
+        ("depth2", AlgTriMultiBlockPrecond(a, depth=2)),
+    ]:
+        res = bicgstab(a, b, preconditioner=precond, tol=1e-9, max_iterations=2000)
+        assert res.converged, label
+        iters[label] = res.history.n_iterations
+    assert iters["depth2"] <= iters["scalar"] * 1.5
+
+
+def test_ghost_padding_consistent():
+    """Odd-sized problems leave ghosts; the system stays solvable."""
+    a = build_matrix("g3_circuit", scale=0.2)
+    p = AlgTriMultiBlockPrecond(a, depth=2)
+    rng = np.random.default_rng(1)
+    z = p.apply(rng.standard_normal(a.n_rows))
+    assert np.isfinite(z).all()

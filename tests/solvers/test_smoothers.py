@@ -1,0 +1,84 @@
+"""Unit tests for the stationary smoothers and the GS-smoothed AMG."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.graphs import poisson2d, random_spd_system
+from repro.solvers import ColoredGaussSeidel, MatchingAMGPrecond, WeightedJacobi, cg
+from repro.sparse import from_dense
+
+
+def _residual(a, x, b):
+    return float(np.linalg.norm(b - a.matvec(x)))
+
+
+def test_jacobi_reduces_residual(rng):
+    a, x_true, b = random_spd_system(60, rng)
+    sm = WeightedJacobi(a)
+    x0 = np.zeros(60)
+    x1 = sm.smooth(x0, b, sweeps=5)
+    assert _residual(a, x1, b) < _residual(a, x0, b)
+
+
+def test_gauss_seidel_reduces_residual_faster_than_jacobi(rng):
+    a = poisson2d(12)
+    n = a.n_rows
+    x_true = rng.standard_normal(n)
+    b = a.matvec(x_true)
+    x_j = WeightedJacobi(a).smooth(np.zeros(n), b, sweeps=3)
+    x_gs = ColoredGaussSeidel(a).smooth(np.zeros(n), b, sweeps=3)
+    assert _residual(a, x_gs, b) < _residual(a, x_j, b)
+
+
+def test_gauss_seidel_equals_sequential_in_color_order(rng):
+    """One multicolor sweep is exactly sequential GS in the color-sorted
+    vertex order."""
+    a, _, b = random_spd_system(30, rng)
+    gs = ColoredGaussSeidel(a)
+    x = gs.smooth(np.zeros(30), b, sweeps=1)
+
+    # sequential reference in the same vertex order
+    order = np.concatenate(
+        [np.flatnonzero(gs.colors == c) for c in range(gs.n_colors)]
+    )
+    dense = a.to_dense()
+    ref = np.zeros(30)
+    for i in order:
+        ref[i] += (b[i] - dense[i] @ ref) / dense[i, i]
+    np.testing.assert_allclose(x, ref, atol=1e-12)
+
+
+def test_smoothers_reject_zero_diagonal():
+    a = from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+    with pytest.raises(SolverError):
+        WeightedJacobi(a)
+    with pytest.raises(SolverError):
+        ColoredGaussSeidel(a)
+
+
+def test_amg_with_gs_smoother_converges(rng):
+    a = poisson2d(16)
+    n = a.n_rows
+    x_true = rng.standard_normal(n)
+    b = a.matvec(x_true)
+    amg_gs = MatchingAMGPrecond(a, smoother="gauss-seidel")
+    res = cg(a, b, preconditioner=amg_gs, tol=1e-9, max_iterations=500)
+    assert res.converged
+    np.testing.assert_allclose(res.x, x_true, atol=1e-5)
+
+
+def test_amg_gs_not_worse_than_jacobi(rng):
+    a = poisson2d(16)
+    n = a.n_rows
+    b = a.matvec(rng.standard_normal(n))
+    it_j = cg(a, b, preconditioner=MatchingAMGPrecond(a), tol=1e-9,
+              max_iterations=500).history.n_iterations
+    it_gs = cg(a, b, preconditioner=MatchingAMGPrecond(a, smoother="gauss-seidel"),
+               tol=1e-9, max_iterations=500).history.n_iterations
+    assert it_gs <= it_j + 2
+
+
+def test_amg_rejects_unknown_smoother():
+    with pytest.raises(SolverError):
+        MatchingAMGPrecond(poisson2d(6), smoother="sor")

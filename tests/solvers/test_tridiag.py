@@ -1,0 +1,81 @@
+"""Unit tests for the scalar tridiagonal solvers."""
+
+import numpy as np
+import pytest
+from scipy.linalg import solve_banded
+
+from repro.errors import ShapeError, SolverError
+from repro.solvers import pcr_solve, thomas_solve
+
+
+def _random_dd_system(rng, n):
+    dl = -rng.uniform(0.1, 1.0, n)
+    du = -rng.uniform(0.1, 1.0, n)
+    dl[0] = du[-1] = 0.0
+    d = np.abs(dl) + np.abs(du) + rng.uniform(0.5, 1.5, n)
+    b = rng.standard_normal(n)
+    return dl, d, du, b
+
+
+def _scipy_solve(dl, d, du, b):
+    n = d.size
+    ab = np.zeros((3, n))
+    ab[0, 1:] = du[:-1]
+    ab[1] = d
+    ab[2, :-1] = dl[1:]
+    return solve_banded((1, 1), ab, b)
+
+
+@pytest.mark.parametrize("solver", [thomas_solve, pcr_solve])
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 9, 64, 100, 257])
+def test_matches_scipy(solver, n, rng):
+    dl, d, du, b = _random_dd_system(rng, n)
+    np.testing.assert_allclose(solver(dl, d, du, b), _scipy_solve(dl, d, du, b), atol=1e-9)
+
+
+@pytest.mark.parametrize("solver", [thomas_solve, pcr_solve])
+def test_diagonal_system(solver):
+    d = np.array([2.0, 4.0, 8.0])
+    z = np.zeros(3)
+    np.testing.assert_allclose(solver(z, d, z, np.array([2.0, 4.0, 8.0])), [1.0, 1.0, 1.0])
+
+
+@pytest.mark.parametrize("solver", [thomas_solve, pcr_solve])
+def test_empty_system(solver):
+    out = solver(np.array([]), np.array([]), np.array([]), np.array([]))
+    assert out.size == 0
+
+
+@pytest.mark.parametrize("solver", [thomas_solve, pcr_solve])
+def test_shape_mismatch(solver):
+    with pytest.raises(ShapeError):
+        solver(np.zeros(2), np.zeros(3), np.zeros(3), np.zeros(3))
+
+
+def test_thomas_zero_pivot():
+    with pytest.raises(SolverError):
+        thomas_solve(np.zeros(2), np.zeros(2), np.zeros(2), np.ones(2))
+
+
+def test_pcr_singular_raises():
+    with pytest.raises(SolverError):
+        pcr_solve(np.zeros(3), np.zeros(3), np.zeros(3), np.ones(3))
+
+
+@pytest.mark.parametrize("solver", [thomas_solve, pcr_solve])
+def test_nonsymmetric_bands(solver, rng):
+    n = 33
+    dl = rng.uniform(-0.5, -0.1, n)
+    du = rng.uniform(-1.0, -0.3, n)
+    dl[0] = du[-1] = 0.0
+    d = np.abs(dl) + np.abs(du) + 1.0
+    b = rng.standard_normal(n)
+    np.testing.assert_allclose(solver(dl, d, du, b), _scipy_solve(dl, d, du, b), atol=1e-9)
+
+
+def test_pcr_does_not_mutate_inputs(rng):
+    dl, d, du, b = _random_dd_system(rng, 16)
+    copies = [a.copy() for a in (dl, d, du, b)]
+    pcr_solve(dl, d, du, b)
+    for orig, cop in zip((dl, d, du, b), copies):
+        np.testing.assert_array_equal(orig, cop)

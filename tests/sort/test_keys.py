@@ -1,0 +1,46 @@
+"""Unit tests for (path id, position) key packing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sort import pack_keys, unpack_keys
+
+
+def test_round_trip(rng):
+    path_id = rng.integers(0, 2**31, 100)
+    position = rng.integers(0, 2**31, 100)
+    p, q = unpack_keys(pack_keys(path_id, position))
+    np.testing.assert_array_equal(p, path_id)
+    np.testing.assert_array_equal(q, position)
+
+
+def test_ordering_is_lexicographic():
+    keys = pack_keys(np.array([1, 0, 0]), np.array([0, 5, 2]))
+    order = np.argsort(keys)
+    np.testing.assert_array_equal(order, [2, 1, 0])
+
+
+def test_path_id_major():
+    low = pack_keys(np.array([0]), np.array([2**32 - 1]))
+    high = pack_keys(np.array([1]), np.array([0]))
+    assert low[0] < high[0]
+
+
+def test_rejects_negative():
+    with pytest.raises(ShapeError):
+        pack_keys(np.array([-1]), np.array([0]))
+
+
+def test_rejects_position_overflow():
+    with pytest.raises(ShapeError):
+        pack_keys(np.array([0]), np.array([2**32]))
+
+
+def test_rejects_shape_mismatch():
+    with pytest.raises(ShapeError):
+        pack_keys(np.array([0, 1]), np.array([0]))
+
+
+def test_empty():
+    assert pack_keys(np.array([], dtype=int), np.array([], dtype=int)).size == 0

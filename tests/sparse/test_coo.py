@@ -1,0 +1,83 @@
+"""Unit tests for the COO format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse import COOMatrix
+
+
+def test_basic_construction():
+    m = COOMatrix(row=[0, 1], col=[1, 0], val=[2.0, 3.0], shape=(2, 2))
+    assert m.nnz == 2
+    assert m.n_rows == 2
+    assert m.n_cols == 2
+
+
+def test_row_out_of_range_raises():
+    with pytest.raises(FormatError):
+        COOMatrix(row=[2], col=[0], val=[1.0], shape=(2, 2))
+
+
+def test_col_out_of_range_raises():
+    with pytest.raises(FormatError):
+        COOMatrix(row=[0], col=[5], val=[1.0], shape=(2, 2))
+
+
+def test_length_mismatch_raises():
+    with pytest.raises(ShapeError):
+        COOMatrix(row=[0, 1], col=[0], val=[1.0], shape=(2, 2))
+
+
+def test_sum_duplicates_merges_and_orders():
+    m = COOMatrix(row=[1, 0, 1, 1], col=[1, 0, 1, 0], val=[1.0, 2.0, 3.0, 4.0], shape=(2, 2))
+    d = m.sum_duplicates()
+    assert d.nnz == 3
+    dense = d.to_dense()
+    assert dense[1, 1] == 4.0
+    assert dense[0, 0] == 2.0
+    assert dense[1, 0] == 4.0
+
+
+def test_sum_duplicates_empty():
+    m = COOMatrix(row=[], col=[], val=[], shape=(3, 3))
+    assert m.sum_duplicates().nnz == 0
+
+
+def test_drop_zeros():
+    m = COOMatrix(row=[0, 1], col=[0, 1], val=[0.0, 5.0], shape=(2, 2))
+    d = m.drop_zeros()
+    assert d.nnz == 1
+    assert d.val[0] == 5.0
+
+
+def test_transpose_swaps_shape_and_coords():
+    m = COOMatrix(row=[0], col=[2], val=[7.0], shape=(2, 3))
+    t = m.transpose()
+    assert t.shape == (3, 2)
+    assert t.row[0] == 2 and t.col[0] == 0
+
+
+def test_to_csr_round_trip(rng):
+    n = 17
+    k = 60
+    m = COOMatrix(
+        row=rng.integers(0, n, k), col=rng.integers(0, n, k),
+        val=rng.standard_normal(k), shape=(n, n),
+    )
+    np.testing.assert_allclose(m.to_csr().to_dense(), m.to_dense())
+
+
+def test_from_dense_round_trip(small_dense):
+    m = COOMatrix.from_dense(small_dense)
+    np.testing.assert_array_equal(m.to_dense(), small_dense)
+
+
+def test_from_dense_rejects_1d():
+    with pytest.raises(ShapeError):
+        COOMatrix.from_dense(np.ones(3))
+
+
+def test_to_dense_sums_duplicates():
+    m = COOMatrix(row=[0, 0], col=[0, 0], val=[1.0, 2.0], shape=(1, 1))
+    assert m.to_dense()[0, 0] == 3.0

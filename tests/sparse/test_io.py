@@ -1,0 +1,91 @@
+"""Unit tests for Matrix Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse import from_dense, read_matrix_market, write_matrix_market
+
+
+def test_round_trip_general(small_dense, tmp_path):
+    a = from_dense(small_dense)
+    path = tmp_path / "m.mtx"
+    write_matrix_market(a, path)
+    b = read_matrix_market(path)
+    np.testing.assert_allclose(b.to_dense(), small_dense)
+
+
+def test_round_trip_symmetric(tmp_path):
+    dense = np.array([[2.0, -1.0, 0.0], [-1.0, 2.0, -1.0], [0.0, -1.0, 2.0]])
+    a = from_dense(dense)
+    path = tmp_path / "s.mtx"
+    write_matrix_market(a, path, symmetry="symmetric")
+    text = path.read_text()
+    assert "symmetric" in text.splitlines()[0]
+    b = read_matrix_market(path)
+    np.testing.assert_allclose(b.to_dense(), dense)
+
+
+def test_write_symmetric_rejects_asymmetric():
+    a = from_dense(np.array([[0.0, 1.0], [2.0, 0.0]]))
+    with pytest.raises(FormatError):
+        write_matrix_market(a, io.StringIO(), symmetry="symmetric")
+
+
+def test_read_pattern_field():
+    text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 1\n"
+    a = read_matrix_market(io.StringIO(text))
+    np.testing.assert_allclose(a.to_dense(), [[1.0, 0.0], [1.0, 0.0]])
+
+
+def test_read_skew_symmetric():
+    text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n"
+    a = read_matrix_market(io.StringIO(text))
+    np.testing.assert_allclose(a.to_dense(), [[0.0, -3.0], [3.0, 0.0]])
+
+
+def test_read_with_comments():
+    text = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment line\n"
+        "2 2 1\n"
+        "1 2 -4.5\n"
+    )
+    a = read_matrix_market(io.StringIO(text))
+    assert a.to_dense()[0, 1] == -4.5
+
+
+def test_read_rejects_bad_header():
+    with pytest.raises(FormatError):
+        read_matrix_market(io.StringIO("not a header\n1 1 0\n"))
+
+
+def test_read_rejects_wrong_entry_count():
+    text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+    with pytest.raises(FormatError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_read_rejects_unsupported_field():
+    text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 0.0\n"
+    with pytest.raises(FormatError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_read_rejects_array_format():
+    text = "%%MatrixMarket matrix array real general\n1 1\n1.0\n"
+    with pytest.raises(FormatError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_round_trip_preserves_exact_values(tmp_path, rng):
+    dense = rng.standard_normal((6, 6))
+    dense[np.abs(dense) < 0.8] = 0.0
+    a = from_dense(dense)
+    buf = io.StringIO()
+    write_matrix_market(a, buf)
+    buf.seek(0)
+    b = read_matrix_market(buf)
+    np.testing.assert_array_equal(b.to_dense(), dense)

@@ -1,0 +1,89 @@
+"""The proposition expressed as a generalized SpMV must equal the fused
+kernel — the paper's Section 4.1 equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelFactorConfig, parallel_factor
+from repro.core.charge import vertex_charges
+from repro.core.factor import propose_edges
+from repro.core.structures import NO_PARTNER
+from repro.errors import ShapeError
+from repro.graphs import random_weighted_graph
+from repro.sparse import from_edges, prepare_graph, proposition_spmv, top_n_merge
+
+
+def test_top_n_merge_orders_by_value():
+    left = (np.array([5.0]), np.array([1.0]), np.array([3]), np.array([7]))
+    right = (np.array([4.0]), np.array([2.0]), np.array([0]), np.array([9]))
+    v0, v1, c0, c1 = top_n_merge(left, right)
+    assert (v0[0], c0[0]) == (5.0, 3)
+    assert (v1[0], c1[0]) == (4.0, 0)
+
+
+def test_top_n_merge_tie_prefers_left():
+    left = (np.array([2.0]), np.array([-np.inf]), np.array([8]), np.array([-1]))
+    right = (np.array([2.0]), np.array([-np.inf]), np.array([1]), np.array([-1]))
+    v0, v1, c0, c1 = top_n_merge(left, right)
+    assert c0[0] == 8  # left wins the tie (earlier CSR position)
+    assert c1[0] == 1
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_matches_fused_kernel_fresh(rng, n):
+    g = random_weighted_graph(60, 300, rng)
+    confirmed = np.full((60, n), NO_PARTNER, dtype=np.int64)
+    charges = vertex_charges(60, 0)
+    a = propose_edges(g, confirmed, n, charges=charges)
+    b = proposition_spmv(g, confirmed, n, charges=charges)
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+@pytest.mark.parametrize("n", [1, 2, 4])
+def test_matches_fused_kernel_partially_confirmed(rng, n):
+    g = random_weighted_graph(50, 250, rng)
+    confirmed = parallel_factor(
+        g, ParallelFactorConfig(n=n, max_iterations=2)
+    ).factor.neighbors
+    charges = vertex_charges(50, 3)
+    a = propose_edges(g, confirmed, n, charges=charges)
+    b = proposition_spmv(g, confirmed, n, charges=charges)
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+def test_matches_fused_kernel_with_ties(rng):
+    u = rng.integers(0, 25, 100)
+    v = rng.integers(0, 25, 100)
+    keep = u != v
+    g = prepare_graph(from_edges(25, u[keep], v[keep], np.ones(int(keep.sum()))))
+    confirmed = np.full((25, 2), NO_PARTNER, dtype=np.int64)
+    a = propose_edges(g, confirmed, 2)
+    b = proposition_spmv(g, confirmed, 2)
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+def test_uncharged_round(rng):
+    g = random_weighted_graph(30, 120, rng)
+    confirmed = np.full((30, 3), NO_PARTNER, dtype=np.int64)
+    a = propose_edges(g, confirmed, 3, charges=None)
+    b = proposition_spmv(g, confirmed, 3, charges=None)
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+def test_shape_validation(path_graph):
+    with pytest.raises(ShapeError):
+        proposition_spmv(path_graph, np.zeros((5, 2), dtype=np.int64), 0)
+    with pytest.raises(ShapeError):
+        proposition_spmv(path_graph, np.zeros((4, 2), dtype=np.int64), 2)
+
+
+def test_empty_graph():
+    g = prepare_graph(from_edges(4, [], [], []))
+    confirmed = np.full((4, 2), NO_PARTNER, dtype=np.int64)
+    cols, vals, counts = proposition_spmv(g, confirmed, 2)
+    assert counts.sum() == 0
+    assert (cols == NO_PARTNER).all()

@@ -1,0 +1,112 @@
+"""Unit tests for the generalized SpMV (semirings, segmented reductions)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import (
+    MIN_PLUS,
+    PLUS_TIMES,
+    Semiring,
+    from_dense,
+    generalized_spmv,
+    segment_reduce,
+    segment_reduce_generic,
+)
+
+
+def test_plus_times_equals_spmv(small_csr, small_dense, rng):
+    x = rng.standard_normal(5)
+    np.testing.assert_allclose(
+        generalized_spmv(small_csr, x, PLUS_TIMES), small_dense @ x
+    )
+
+
+def test_min_plus_is_one_relaxation_step():
+    # graph: 0 -> 1 (w 2), 0 -> 2 (w 5), 1 -> 2 (w 1)
+    inf = np.inf
+    dense = np.array([[0.0, 2.0, 5.0], [0.0, 0.0, 1.0], [0.0, 0.0, 0.0]]).T
+    a = from_dense(dense)  # a[j, i] = weight(i -> j): rows gather incoming
+    dist = np.array([0.0, inf, inf])
+    relaxed = generalized_spmv(a, dist, MIN_PLUS)
+    np.testing.assert_allclose(relaxed, [inf, 2.0, 5.0])
+    dist = np.minimum(dist, relaxed)
+    relaxed = generalized_spmv(a, dist, MIN_PLUS)
+    np.testing.assert_allclose(np.minimum(dist, relaxed), [0.0, 2.0, 3.0])
+
+
+def test_segment_reduce_with_empty_segments():
+    values = np.array([1.0, 2.0, 3.0])
+    indptr = np.array([0, 0, 2, 2, 3])
+    out = segment_reduce(values, indptr, np.add, 0.0)
+    np.testing.assert_allclose(out, [0.0, 3.0, 0.0, 3.0])
+
+
+def test_segment_reduce_min_identity():
+    values = np.array([5.0, -1.0])
+    indptr = np.array([0, 2, 2])
+    out = segment_reduce(values, indptr, np.minimum, np.inf)
+    np.testing.assert_allclose(out, [-1.0, np.inf])
+
+
+def test_segment_reduce_generic_matches_ufunc(rng):
+    nnz = 257
+    n_segments = 40
+    boundaries = np.sort(rng.integers(0, nnz + 1, n_segments - 1))
+    indptr = np.concatenate([[0], boundaries, [nnz]])
+    values = rng.standard_normal(nnz)
+    expected = segment_reduce(values, indptr, np.add, 0.0)
+    (got,) = segment_reduce_generic(
+        (values,), indptr, lambda l, r: (l[0] + r[0],), (0.0,)
+    )
+    np.testing.assert_allclose(got, expected, atol=1e-12)
+
+
+def test_segment_reduce_generic_multiple_fields(rng):
+    # argmax accumulator: (value, index) pairs
+    nnz = 100
+    indptr = np.array([0, 30, 30, 100])
+    values = rng.standard_normal(nnz)
+    idx = np.arange(nnz)
+
+    def combine(left, right):
+        lv, li = left
+        rv, ri = right
+        take_r = rv > lv
+        return (np.where(take_r, rv, lv), np.where(take_r, ri, li))
+
+    got_v, got_i = segment_reduce_generic(
+        (values, idx), indptr, combine, (-np.inf, -1)
+    )
+    assert got_v[0] == values[:30].max()
+    assert got_i[0] == values[:30].argmax()
+    assert got_v[1] == -np.inf and got_i[1] == -1
+    assert got_v[2] == values[30:].max()
+    assert got_i[2] == 30 + values[30:].argmax()
+
+
+def test_segment_reduce_generic_identity_arity_mismatch():
+    with pytest.raises(ShapeError):
+        segment_reduce_generic(
+            (np.ones(2), np.ones(2)), np.array([0, 2]), lambda l, r: l, (0.0,)
+        )
+
+
+def test_generalized_spmv_custom_non_ufunc_reduce(small_csr, small_dense, rng):
+    x = rng.standard_normal(5)
+    semiring = Semiring(
+        multiply=lambda data, cols, x_: data * x_[cols],
+        reduce=lambda l, r: np.maximum(l, r),
+        identity=-np.inf,
+        name="max-times",
+    )
+    got = generalized_spmv(small_csr, x, semiring)
+    dense = small_dense.copy()
+    products = np.where(dense != 0.0, dense * x[None, :], -np.inf)
+    expected = products.max(axis=1)
+    np.testing.assert_allclose(got, expected)
+
+
+def test_generalized_spmv_shape_check(small_csr):
+    with pytest.raises(ShapeError):
+        generalized_spmv(small_csr, np.ones(4), PLUS_TIMES)

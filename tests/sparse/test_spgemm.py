@@ -1,0 +1,81 @@
+"""Unit tests for sparse matrix-matrix multiplication."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import CSRMatrix, from_dense, spgemm
+
+
+def test_small_known_product():
+    a = from_dense(np.array([[1.0, 2.0], [0.0, 3.0]]))
+    b = from_dense(np.array([[4.0, 0.0], [1.0, 5.0]]))
+    np.testing.assert_allclose(
+        spgemm(a, b).to_dense(), np.array([[6.0, 10.0], [3.0, 15.0]])
+    )
+
+
+def test_matches_dense_random(rng):
+    for _ in range(5):
+        m, k, n = rng.integers(1, 20, 3)
+        da = rng.standard_normal((m, k))
+        db = rng.standard_normal((k, n))
+        da[rng.random((m, k)) < 0.6] = 0.0
+        db[rng.random((k, n)) < 0.6] = 0.0
+        got = spgemm(from_dense(da), from_dense(db)).to_dense()
+        np.testing.assert_allclose(got, da @ db, atol=1e-12)
+
+
+def test_identity_is_neutral(small_csr, small_dense):
+    eye = from_dense(np.eye(5))
+    np.testing.assert_allclose(spgemm(small_csr, eye).to_dense(), small_dense)
+    np.testing.assert_allclose(spgemm(eye, small_csr).to_dense(), small_dense)
+
+
+def test_cancellation_drops_entries():
+    a = from_dense(np.array([[1.0, 1.0]]))
+    b = from_dense(np.array([[1.0], [-1.0]]))
+    c = spgemm(a, b)
+    assert c.nnz == 0 or np.allclose(c.to_dense(), 0.0)
+
+
+def test_empty_operands():
+    a = CSRMatrix(indptr=[0, 0], indices=[], data=[], shape=(1, 3))
+    b = CSRMatrix(indptr=[0, 0, 0, 0], indices=[], data=[], shape=(3, 2))
+    c = spgemm(a, b)
+    assert c.shape == (1, 2)
+    assert c.nnz == 0
+
+
+def test_shape_mismatch():
+    a = from_dense(np.ones((2, 3)))
+    b = from_dense(np.ones((2, 3)))
+    with pytest.raises(ShapeError):
+        spgemm(a, b)
+
+
+def test_rectangular_chain(rng):
+    da = rng.standard_normal((4, 7))
+    db = rng.standard_normal((7, 3))
+    dc = rng.standard_normal((3, 5))
+    da[np.abs(da) < 0.7] = 0.0
+    db[np.abs(db) < 0.7] = 0.0
+    dc[np.abs(dc) < 0.7] = 0.0
+    a, b, c = from_dense(da), from_dense(db), from_dense(dc)
+    np.testing.assert_allclose(
+        spgemm(spgemm(a, b), c).to_dense(), da @ db @ dc, atol=1e-12
+    )
+
+
+def test_galerkin_triple_product(rng):
+    """The AMG use-case: P^T A P with a piecewise-constant P."""
+    n, nc = 10, 4
+    agg = rng.integers(0, nc, n)
+    p_dense = np.zeros((n, nc))
+    p_dense[np.arange(n), agg] = 1.0
+    da = rng.standard_normal((n, n))
+    da[np.abs(da) < 0.8] = 0.0
+    a = from_dense(da)
+    p = from_dense(p_dense)
+    got = spgemm(spgemm(p.transpose(), a), p).to_dense()
+    np.testing.assert_allclose(got, p_dense.T @ da @ p_dense, atol=1e-12)

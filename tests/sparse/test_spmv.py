@@ -1,0 +1,63 @@
+"""Unit tests for the plain CSR SpMV."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import CSRMatrix, from_dense, spmv
+
+
+def test_matches_dense(small_csr, small_dense, rng):
+    x = rng.standard_normal(5)
+    np.testing.assert_allclose(spmv(small_csr, x), small_dense @ x)
+
+
+def test_accumulates_into_y(small_csr, small_dense, rng):
+    x = rng.standard_normal(5)
+    y = rng.standard_normal(5)
+    np.testing.assert_allclose(spmv(small_csr, x, y), small_dense @ x + y)
+    # input y must not be mutated
+    out = spmv(small_csr, x, y)
+    assert out is not y
+
+
+def test_empty_rows_produce_zero():
+    a = from_dense(np.array([[0.0, 0.0], [1.0, 0.0]]))
+    np.testing.assert_allclose(spmv(a, np.array([1.0, 1.0])), [0.0, 1.0])
+
+
+def test_trailing_empty_rows():
+    a = CSRMatrix(indptr=[0, 1, 1, 1], indices=[0], data=[2.0], shape=(3, 3))
+    np.testing.assert_allclose(spmv(a, np.ones(3)), [2.0, 0.0, 0.0])
+
+
+def test_all_empty_matrix():
+    a = CSRMatrix(indptr=[0, 0, 0], indices=[], data=[], shape=(2, 2))
+    np.testing.assert_allclose(spmv(a, np.ones(2)), [0.0, 0.0])
+
+
+def test_rectangular(rng):
+    dense = rng.standard_normal((3, 7))
+    dense[np.abs(dense) < 0.7] = 0.0
+    a = from_dense(dense)
+    x = rng.standard_normal(7)
+    np.testing.assert_allclose(spmv(a, x), dense @ x)
+
+
+def test_wrong_x_shape(small_csr):
+    with pytest.raises(ShapeError):
+        spmv(small_csr, np.ones(4))
+
+
+def test_wrong_y_shape(small_csr):
+    with pytest.raises(ShapeError):
+        spmv(small_csr, np.ones(5), np.ones(4))
+
+
+def test_random_large(rng):
+    n = 400
+    dense = rng.standard_normal((n, n))
+    dense[rng.random((n, n)) < 0.97] = 0.0
+    a = from_dense(dense)
+    x = rng.standard_normal(n)
+    np.testing.assert_allclose(spmv(a, x), dense @ x, atol=1e-12)

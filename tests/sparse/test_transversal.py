@@ -1,0 +1,105 @@
+"""Unit tests for the maximum product transversal (MC64 family)."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.errors import SolverError
+from repro.sparse import from_dense
+from repro.sparse.transversal import maximum_transversal, transversal_scaling
+
+
+def _optimal_log_product(dense):
+    with np.errstate(divide="ignore"):
+        logs = np.where(dense != 0.0, np.log(np.abs(dense)), -1e18)
+    rows, cols = linear_sum_assignment(-logs)
+    return logs[rows, cols].sum()
+
+
+def test_identity_matrix():
+    a = from_dense(np.diag([2.0, 3.0, 4.0]))
+    t = maximum_transversal(a)
+    np.testing.assert_array_equal(t.col_of_row, [0, 1, 2])
+
+
+def test_anti_diagonal():
+    dense = np.fliplr(np.diag([1.0, 2.0, 3.0]))
+    t = maximum_transversal(from_dense(dense))
+    np.testing.assert_array_equal(t.col_of_row, [2, 1, 0])
+
+
+def test_prefers_large_entries():
+    dense = np.array([[1.0, 100.0], [1.0, 1.0]])
+    t = maximum_transversal(from_dense(dense))
+    # σ(0)=1 (the 100) forces σ(1)=0
+    np.testing.assert_array_equal(t.col_of_row, [1, 0])
+
+
+def test_matches_scipy_on_random_dense(rng):
+    for _ in range(10):
+        n = int(rng.integers(2, 12))
+        dense = np.exp(rng.normal(0, 2, (n, n)))
+        a = from_dense(dense)
+        t = maximum_transversal(a)
+        got = np.log(np.abs(dense[np.arange(n), t.col_of_row])).sum()
+        assert got == pytest.approx(_optimal_log_product(dense), abs=1e-8)
+
+
+def test_matches_scipy_on_random_sparse(rng):
+    for _ in range(10):
+        n = int(rng.integers(3, 15))
+        dense = np.exp(rng.normal(0, 2, (n, n)))
+        dense[rng.random((n, n)) < 0.5] = 0.0
+        np.fill_diagonal(dense, np.exp(rng.normal(0, 2, n)))  # keep feasible
+        a = from_dense(dense)
+        t = maximum_transversal(a)
+        sel = dense[np.arange(n), t.col_of_row]
+        assert (sel != 0.0).all()
+        got = np.log(np.abs(sel)).sum()
+        assert got == pytest.approx(_optimal_log_product(dense), abs=1e-8)
+
+
+def test_permutation_validity(rng):
+    n = 10
+    dense = np.exp(rng.normal(0, 1, (n, n)))
+    t = maximum_transversal(from_dense(dense))
+    assert np.array_equal(np.sort(t.col_of_row), np.arange(n))
+    assert np.array_equal(t.row_of_col()[t.col_of_row], np.arange(n))
+
+
+def test_structurally_singular_raises():
+    dense = np.array([[1.0, 2.0], [0.0, 0.0]])
+    with pytest.raises(SolverError):
+        maximum_transversal(from_dense(dense))
+
+
+def test_no_perfect_matching_raises():
+    # both rows can only use column 0
+    dense = np.array([[1.0, 0.0], [1.0, 0.0]])
+    with pytest.raises(SolverError):
+        maximum_transversal(from_dense(dense))
+
+
+def test_scaling_property(rng):
+    """MC64 scaling: dr_i |a_ij| dc_j <= 1 with equality on the diagonal."""
+    for _ in range(5):
+        n = int(rng.integers(2, 10))
+        dense = np.exp(rng.normal(0, 2, (n, n)))
+        dense[rng.random((n, n)) < 0.4] = 0.0
+        np.fill_diagonal(dense, np.exp(rng.normal(0, 2, n)))
+        a = from_dense(dense)
+        t = maximum_transversal(a)
+        dr, dc = transversal_scaling(a, t)
+        scaled = dr[:, None] * np.abs(dense) * dc[None, :]
+        matched = scaled[np.arange(n), t.col_of_row]
+        np.testing.assert_allclose(matched, 1.0, rtol=1e-8)
+        assert (scaled <= 1.0 + 1e-8).all()
+
+
+def test_diagonal_product_helper(rng):
+    n = 6
+    dense = np.exp(rng.normal(0, 1, (n, n)))
+    a = from_dense(dense)
+    t = maximum_transversal(a)
+    expected = np.prod(np.abs(dense[np.arange(n), t.col_of_row]))
+    assert t.diagonal_product(a) == pytest.approx(expected)

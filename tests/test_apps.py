@@ -1,0 +1,99 @@
+"""Unit tests for the application helpers (repro.apps)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    assemble_superstring,
+    build_overlap_graph,
+    directional_coarsening,
+    orientation_histogram,
+)
+from repro.graphs import aniso1
+
+ALPHABET = np.array(list("ACGT"))
+
+
+def _reads_from_genome(rng, genome_len=300, n_reads=30, read_len=30):
+    genome = "".join(rng.choice(ALPHABET, genome_len))
+    starts = rng.integers(0, genome_len - read_len, n_reads)
+    return genome, [genome[s : s + read_len] for s in starts]
+
+
+# --- superstring ------------------------------------------------------------
+
+
+def test_overlap_graph_structure(rng):
+    _, reads = _reads_from_genome(rng)
+    ov = build_overlap_graph(reads)
+    assert ov.n_reads == len(reads)
+    assert ov.graph.shape == (len(reads), len(reads))
+    # directed overlaps stored for both directions of every edge
+    for (i, j) in list(ov.directed_overlaps)[:10]:
+        assert (j, i) in ov.directed_overlaps
+
+
+def test_overlap_values_are_true_overlaps():
+    reads = ["AAACGT", "CGTTTT", "TTTTGG"]
+    ov = build_overlap_graph(reads, min_overlap=3)
+    assert ov.directed_overlaps[(0, 1)] == 3  # AAACGT / CGTTTT share CGT
+    assert ov.directed_overlaps[(1, 2)] == 4  # CGTTTT / TTTTGG share TTTT
+
+
+def test_superstring_contains_every_read(rng):
+    _, reads = _reads_from_genome(rng, n_reads=25)
+    ov = build_overlap_graph(reads)
+    result = assemble_superstring(ov)
+    for r in reads:
+        assert r in result.superstring
+    # each read used exactly once across the chains
+    used = [v for chain in result.chains for v in chain]
+    assert sorted(used) == list(range(len(reads)))
+
+
+def test_superstring_shorter_than_concatenation(rng):
+    _, reads = _reads_from_genome(rng, genome_len=200, n_reads=40, read_len=30)
+    ov = build_overlap_graph(reads)
+    result = assemble_superstring(ov)
+    assert result.length < sum(len(r) for r in reads)
+    assert 0.0 < result.overlap_coverage <= 1.0
+
+
+def test_superstring_no_overlaps_degenerates_to_concatenation():
+    reads = ["AAAA", "CCCC", "GGGG"]
+    ov = build_overlap_graph(reads)
+    result = assemble_superstring(ov)
+    assert result.length == 12
+    assert len(result.chains) == 3
+
+
+# --- coarsening -------------------------------------------------------------
+
+
+def test_hierarchy_shrinks_and_matches():
+    a = aniso1(16)
+    levels = directional_coarsening(a, levels=3)
+    assert len(levels) == 3
+    sizes = [lvl.n_fine for lvl in levels] + [levels[-1].n_coarse]
+    assert all(b < a_ for a_, b in zip(sizes, sizes[1:]))
+    assert levels[0].matched_fraction > 0.6
+    assert 0.5 <= levels[0].coarsening_ratio < 1.0
+
+
+def test_orientation_follows_strong_direction():
+    grid = 24
+    a = aniso1(grid)
+    levels = directional_coarsening(a, levels=1)
+    hist = orientation_histogram(levels[0].coarse, grid)
+    pairs = hist["horizontal"] + hist["vertical"] + hist["diagonal"]
+    # ANISO1's strong direction is horizontal (-1.0 on (0, +-1))
+    assert hist["horizontal"] > 0.6 * pairs
+    assert hist["horizontal"] > 5 * max(hist["vertical"], 1)
+
+
+def test_coarsening_handles_edgeless_graph():
+    from repro.sparse import from_dense
+
+    a = from_dense(np.diag([1.0, 2.0, 3.0]))
+    levels = directional_coarsening(a, levels=3)
+    assert levels == []

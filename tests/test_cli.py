@@ -1,0 +1,101 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.sparse import read_matrix_market, write_matrix_market
+from repro.graphs import aniso2
+
+
+@pytest.fixture
+def mtx_path(tmp_path):
+    path = tmp_path / "aniso2.mtx"
+    write_matrix_market(aniso2(10), path, symmetry="symmetric")
+    return str(path)
+
+
+def test_extract(mtx_path, tmp_path, capsys):
+    perm_path = tmp_path / "perm.txt"
+    bands_path = tmp_path / "bands.txt"
+    rc = main([
+        "extract", mtx_path, "--perm-out", str(perm_path),
+        "--bands-out", str(bands_path), "-M", "6",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "linear-forest coverage" in out
+    perm = np.loadtxt(perm_path, dtype=int)
+    assert np.array_equal(np.sort(perm), np.arange(100))
+    bands = np.loadtxt(bands_path)
+    assert bands.shape == (100, 3)
+
+
+def test_factor_parallel_and_greedy(mtx_path, capsys):
+    assert main(["factor", mtx_path, "-n", "2"]) == 0
+    out_par = capsys.readouterr().out
+    assert "parallel (Algorithm 2)" in out_par
+    assert main(["factor", mtx_path, "-n", "2", "--greedy"]) == 0
+    out_seq = capsys.readouterr().out
+    assert "greedy (Algorithm 1)" in out_seq
+    cov_par = float(out_par.split("coverage:")[1])
+    cov_seq = float(out_seq.split("coverage:")[1])
+    assert abs(cov_par - cov_seq) < 0.1
+
+
+def test_solve_all_preconditioners(mtx_path, capsys):
+    for name in ("none", "jacobi", "triscal", "algtriscal", "algtriblock"):
+        rc = main(["solve", mtx_path, "--preconditioner", name, "--tol", "1e-8"])
+        out = capsys.readouterr().out
+        assert rc == 0, (name, out)
+        assert "converged: True" in out
+
+
+def test_solve_with_explicit_rhs(mtx_path, tmp_path, capsys):
+    rhs_path = tmp_path / "b.txt"
+    np.savetxt(rhs_path, np.ones(100))
+    sol_path = tmp_path / "x.txt"
+    rc = main([
+        "solve", mtx_path, "--rhs", str(rhs_path),
+        "--solution-out", str(sol_path), "--preconditioner", "jacobi",
+    ])
+    assert rc == 0
+    x = np.loadtxt(sol_path)
+    a = read_matrix_market(mtx_path)
+    np.testing.assert_allclose(a.matvec(x), np.ones(100), atol=1e-5)
+
+
+def test_generate_round_trip(tmp_path, capsys):
+    out = tmp_path / "eco.mtx"
+    rc = main(["generate", "ecology1", "--scale", "0.2", "-o", str(out)])
+    assert rc == 0
+    a = read_matrix_market(out)
+    assert a.n_rows > 20
+    assert a.is_symmetric(tol=0.0)
+
+
+def test_transversal(mtx_path, tmp_path, capsys):
+    perm_path = tmp_path / "col_perm.txt"
+    scal_path = tmp_path / "scal.txt"
+    rc = main([
+        "transversal", mtx_path, "--perm-out", str(perm_path),
+        "--scaling-out", str(scal_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "transversal" in out
+    perm = np.loadtxt(perm_path, dtype=int)
+    assert np.array_equal(np.sort(perm), np.arange(100))
+    scal = np.loadtxt(scal_path)
+    assert scal.shape == (100, 2)
+    assert (scal > 0).all()
+
+
+def test_unknown_generate_name_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["generate", "nope", "-o", str(tmp_path / "x.mtx")])
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

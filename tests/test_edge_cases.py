@@ -1,0 +1,158 @@
+"""Cross-cutting edge cases not covered by the per-module suites."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Factor,
+    ParallelFactorConfig,
+    break_cycles,
+    extract_linear_forest,
+    greedy_factor,
+    identify_paths,
+    parallel_factor,
+)
+from repro.graphs import random_weighted_graph
+from repro.sparse import from_dense, from_edges, prepare_graph
+
+
+def test_complete_graph_factor_and_forest(rng):
+    """K_n: maximal [0,2]-factor is a Hamiltonian-ish cycle/path cover."""
+    n = 12
+    u, v, w = [], [], []
+    for i in range(n):
+        for j in range(i + 1, n):
+            u.append(i)
+            v.append(j)
+            w.append(float(rng.uniform(1, 2)))
+    g = prepare_graph(from_edges(n, u, v, w))
+    res = parallel_factor(g, ParallelFactorConfig(n=2, max_iterations=60))
+    assert res.converged
+    # maximal on K_n: at most one vertex pair left unfilled
+    assert int((res.factor.degrees < 2).sum()) <= 2
+    broken = break_cycles(res.factor, g)
+    info = identify_paths(broken.forest)
+    assert info.path_sizes().sum() == n
+
+
+def test_bipartite_double_star():
+    """Two hubs sharing all leaves: n=2 factor saturates the hubs only."""
+    n_leaves = 6
+    hubs = [0, 1]
+    u, v, w = [], [], []
+    for leaf in range(2, 2 + n_leaves):
+        for hub in hubs:
+            u.append(hub)
+            v.append(leaf)
+            w.append(float(leaf))
+    g = prepare_graph(from_edges(2 + n_leaves, u, v, w))
+    res = parallel_factor(g, ParallelFactorConfig(n=2, max_iterations=30))
+    assert res.converged
+    assert res.factor.degrees[0] == 2
+    assert res.factor.degrees[1] == 2
+    assert int(res.factor.degrees[2:].max()) <= 2
+
+
+def test_two_vertex_graph_all_algorithms():
+    a = from_edges(2, [0], [1], [3.0], diagonal=np.array([4.0, 4.0]))
+    result = extract_linear_forest(a)
+    assert result.paths.n_paths == 1
+    np.testing.assert_array_equal(result.perm, [0, 1])
+    np.testing.assert_allclose(result.tridiagonal.to_dense(), [[4.0, 3.0], [3.0, 4.0]])
+
+
+def test_greedy_equals_parallel_on_strictly_decreasing_chain():
+    """A path with strictly decreasing weights: *without charging* the
+    propose/confirm cascade locks pairs from the heavy end inward and
+    reproduces the greedy matching exactly.  (With charging enabled the
+    parallel algorithm may legitimately settle a different maximal
+    matching — a real, documented behaviour of Algorithm 2.)"""
+    n = 14
+    w = np.linspace(9.0, 1.0, n - 1)
+    g = prepare_graph(from_edges(n, np.arange(n - 1), np.arange(1, n), w))
+    f_seq = greedy_factor(g, 1)
+    f_par = parallel_factor(
+        g, ParallelFactorConfig(n=1, max_iterations=40, m=1, k_m=0)
+    ).factor
+    assert f_seq == f_par
+    # with the default charged schedule the result is still maximal
+    charged = parallel_factor(g, ParallelFactorConfig(n=1, max_iterations=40)).factor
+    u, v = np.arange(n - 1), np.arange(1, n)
+    addable = (charged.degrees[u] < 1) & (charged.degrees[v] < 1)
+    assert not addable.any()
+
+
+def test_factor_slot_order_never_matters(rng):
+    g = random_weighted_graph(30, 120, rng)
+    res = parallel_factor(g, ParallelFactorConfig(n=3, max_iterations=10))
+    shuffled = res.factor.neighbors.copy()
+    rng.shuffle(shuffled.T)  # permute slot columns
+    assert Factor(shuffled) == res.factor
+
+
+def test_extraction_with_duplicate_path_structure():
+    """Two identical disjoint paths: permutation orders by min end id."""
+    a = from_edges(6, [0, 1, 3, 4], [1, 2, 4, 5], [1.0, 2.0, 1.0, 2.0])
+    result = extract_linear_forest(a, ParallelFactorConfig(n=2, max_iterations=10))
+    assert result.paths.n_paths == 2
+    np.testing.assert_array_equal(result.perm, [0, 1, 2, 3, 4, 5])
+
+
+def test_scan_on_maximum_path_through_all_vertices():
+    n = 257  # crosses a power-of-two boundary
+    f = Factor.from_edge_list(n, 2, np.arange(n - 1), np.arange(1, n))
+    info = identify_paths(f)
+    np.testing.assert_array_equal(info.position, np.arange(1, n + 1))
+    assert info.n_paths == 1
+
+
+def test_weights_spanning_many_orders_of_magnitude(rng):
+    u = rng.integers(0, 40, 150)
+    v = rng.integers(0, 40, 150)
+    keep = u != v
+    w = 10.0 ** rng.uniform(-9, 9, int(keep.sum()))
+    g = prepare_graph(from_edges(40, u[keep], v[keep], w))
+    res = parallel_factor(g, ParallelFactorConfig(n=2, max_iterations=30))
+    res.factor.validate(g)
+    # the heaviest edge must always be in a maximal factor reached without
+    # charging interference (weight dominates every alternative)
+    if res.converged and g.nnz:
+        i = int(np.argmax(g.data))
+        hu, hv = int(g.nnz_rows[i]), int(g.indices[i])
+        assert res.factor.contains_edges(np.array([hu]), np.array([hv]))[0]
+
+
+def test_pipeline_idempotent_on_already_tridiagonal_matrix():
+    n = 10
+    dense = np.zeros((n, n))
+    idx = np.arange(n)
+    dense[idx, idx] = 4.0
+    dense[idx[:-1], idx[:-1] + 1] = -2.0
+    dense[idx[1:], idx[1:] - 1] = -2.0
+    a = from_dense(dense)
+    result = extract_linear_forest(a)
+    # already tridiagonal with uniform strong couplings: full coverage and
+    # the identity (or reversal-free) ordering
+    assert result.coverage == pytest.approx(1.0)
+    np.testing.assert_array_equal(result.perm, np.arange(n))
+    np.testing.assert_allclose(result.tridiagonal.to_dense(), dense)
+
+
+def test_block_preconditioner_on_tiny_matrix():
+    from repro.solvers import AlgTriBlockPrecond
+
+    a = from_edges(3, [0, 1], [1, 2], [1.0, 2.0], diagonal=np.array([3.0, 3.0, 3.0]))
+    p = AlgTriBlockPrecond(a)
+    z = p.apply(np.ones(3))
+    assert np.isfinite(z).all()
+
+
+def test_charge_hash_no_collision_bias_on_parity():
+    """Charges must not correlate with vertex parity (a structured graph
+    would otherwise systematically favour one sublattice)."""
+    from repro.core import vertex_charges
+
+    c = vertex_charges(100_000, 3)
+    even = c[0::2].mean()
+    odd = c[1::2].mean()
+    assert abs(even - odd) < 0.02

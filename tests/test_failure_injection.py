@@ -1,0 +1,120 @@
+"""Failure injection: malformed inputs must fail loudly, not corrupt."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Factor,
+    ParallelFactorConfig,
+    extract_linear_forest,
+    identify_paths,
+    parallel_factor,
+)
+from repro.errors import (
+    FactorError,
+    FormatError,
+    ScanError,
+    ShapeError,
+    SolverError,
+)
+from repro.solvers import JacobiPrecond, bicgstab, pcr_solve
+from repro.sparse import CSRMatrix, from_dense, from_edges, prepare_graph
+
+
+def test_factor_on_graph_with_negative_weights():
+    g = from_edges(3, [0, 1], [1, 2], [1.0, -2.0], symmetric=True)
+    with pytest.raises(FactorError):
+        parallel_factor(g)
+
+
+def test_pipeline_on_rectangular_matrix():
+    a = CSRMatrix(indptr=[0, 1, 1], indices=[0], data=[1.0], shape=(2, 3))
+    with pytest.raises(ShapeError):
+        extract_linear_forest(a)
+
+
+def test_scan_on_wide_factor_rejected():
+    with pytest.raises(ScanError):
+        identify_paths(Factor.empty(3, 3))
+
+
+def test_identify_paths_on_cyclic_factor_rejected():
+    u = np.arange(5)
+    f = Factor.from_edge_list(5, 2, u, (u + 1) % 5)
+    with pytest.raises(ScanError):
+        identify_paths(f)
+
+
+def test_solver_zero_diagonal_everywhere():
+    a = from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+    with pytest.raises(SolverError):
+        JacobiPrecond(a)
+
+
+def test_pcr_on_singular_tridiagonal():
+    n = 4
+    with pytest.raises(SolverError):
+        pcr_solve(np.zeros(n), np.zeros(n), np.zeros(n), np.ones(n))
+
+
+def test_bicgstab_with_nan_rhs_does_not_hang(rng):
+    from repro.graphs import random_spd_system
+
+    a, _, b = random_spd_system(20, rng)
+    b = b.copy()
+    b[0] = np.nan
+    res = bicgstab(a, b, max_iterations=10)
+    assert not res.converged
+
+
+def test_malformed_csr_rejected_at_construction():
+    with pytest.raises(FormatError):
+        CSRMatrix(indptr=[0, 2, 1], indices=[0, 1], data=[1.0, 2.0], shape=(2, 2))
+
+
+def test_factor_with_corrupted_mutuality_detected():
+    neigh = np.array([[1, -1], [2, -1], [1, -1]])  # 0->1 not reciprocated
+    with pytest.raises(FactorError):
+        Factor(neigh).validate()
+
+
+def test_prepare_graph_drops_explicit_zeros():
+    a = from_dense(np.array([[0.0, 0.0, 1.0], [0.0, 0.0, 0.0], [1.0, 0.0, 0.0]]))
+    g = prepare_graph(a)
+    assert g.nnz == 2  # only the {0,2} edge, both directions
+
+
+def test_pipeline_on_diagonal_only_matrix():
+    """No edges at all: every vertex is a singleton path; the extracted
+    system is the diagonal itself."""
+    a = from_dense(np.diag([2.0, 3.0, 4.0]))
+    result = extract_linear_forest(a)
+    assert result.paths.n_paths == 3
+    assert result.coverage == 0.0
+    np.testing.assert_allclose(result.tridiagonal.d, [2.0, 3.0, 4.0])
+    assert not result.tridiagonal.dl.any()
+
+
+def test_pipeline_on_single_vertex():
+    a = from_dense(np.array([[5.0]]))
+    result = extract_linear_forest(a)
+    assert result.paths.n_paths == 1
+    np.testing.assert_array_equal(result.perm, [0])
+
+
+def test_config_out_of_range_probability():
+    from repro.core import vertex_charges
+
+    with pytest.raises(ValueError):
+        vertex_charges(10, 0, p=-0.1)
+
+
+def test_huge_n_factor_width_is_allowed(rng):
+    """n larger than any degree: the factor simply saturates."""
+    from repro.graphs import random_weighted_graph
+
+    g = random_weighted_graph(20, 60, rng)
+    res = parallel_factor(g, ParallelFactorConfig(n=16, max_iterations=40))
+    res.factor.validate(g)
+    # maximal factor with huge n contains every edge
+    assert res.factor.edge_count * 2 == g.nnz

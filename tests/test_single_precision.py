@@ -1,0 +1,97 @@
+"""Single-precision paths (the paper benchmarks in single precision;
+Figure 4 deliberately switches to double to show convergence floors)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelFactorConfig, extract_linear_forest, parallel_factor
+from repro.graphs import aniso2
+from repro.solvers import pcr_solve, thomas_solve
+from repro.sparse import from_dense, prepare_graph
+
+
+def test_csr_preserves_float32():
+    a = from_dense(np.array([[0.0, 1.5], [1.5, 0.0]], dtype=np.float32))
+    assert a.dtype == np.float32
+    assert a.astype(np.float64).dtype == np.float64
+
+
+def test_astype_round_trip(small_dense):
+    a = from_dense(small_dense)
+    b = a.astype(np.float32).astype(np.float64)
+    np.testing.assert_allclose(b.to_dense(), small_dense, rtol=1e-6)
+
+
+def test_astype_rejects_ints(small_dense):
+    from repro.errors import ShapeError
+
+    with pytest.raises(ShapeError):
+        from_dense(small_dense).astype(np.int32)
+
+
+def test_factor_identical_in_float32():
+    """ANISO2's stencil values are exactly representable in float32, so the
+    factor (a combinatorial object) must be identical in both precisions."""
+    a64 = aniso2(12)
+    a32 = a64.astype(np.float32)
+    cfg = ParallelFactorConfig(n=2, max_iterations=5)
+    f64 = parallel_factor(prepare_graph(a64), cfg).factor
+    f32 = parallel_factor(prepare_graph(a32), cfg).factor
+    assert f64 == f32
+
+
+def test_pipeline_runs_in_float32():
+    a = aniso2(10).astype(np.float32)
+    result = extract_linear_forest(a)
+    assert 0.0 < result.coverage <= 1.0
+    result.forest.validate(result.graph)
+
+
+@pytest.mark.parametrize("solver", [thomas_solve, pcr_solve])
+def test_tridiagonal_solve_float32_dtype_and_accuracy(solver, rng):
+    n = 200
+    dl = -rng.uniform(0.1, 1.0, n).astype(np.float32)
+    du = -rng.uniform(0.1, 1.0, n).astype(np.float32)
+    dl[0] = du[-1] = 0.0
+    d = (np.abs(dl) + np.abs(du) + 1.0).astype(np.float32)
+    x_true = rng.standard_normal(n).astype(np.float32)
+    b = (d * x_true).astype(np.float32)
+    b[1:] += dl[1:] * x_true[:-1]
+    b[:-1] += du[:-1] * x_true[1:]
+    x = solver(dl, d, du, b)
+    assert x.dtype == np.float32
+    np.testing.assert_allclose(x, x_true, atol=5e-4)
+
+
+def test_float32_solve_has_larger_error_floor(rng):
+    """The paper's precision point: single precision caps the attainable
+    accuracy; double precision goes further."""
+    n = 300
+    dl = -rng.uniform(0.1, 1.0, n)
+    du = -rng.uniform(0.1, 1.0, n)
+    dl[0] = du[-1] = 0.0
+    d = np.abs(dl) + np.abs(du) + 0.5
+    x_true = rng.standard_normal(n)
+    b = d * x_true
+    b[1:] += dl[1:] * x_true[:-1]
+    b[:-1] += du[:-1] * x_true[1:]
+    err64 = np.abs(pcr_solve(dl, d, du, b) - x_true).max()
+    err32 = np.abs(
+        pcr_solve(
+            dl.astype(np.float32), d.astype(np.float32),
+            du.astype(np.float32), b.astype(np.float32),
+        ).astype(np.float64)
+        - x_true
+    ).max()
+    assert err64 < 1e-10
+    assert err32 > err64 * 10
+    assert err32 < 1e-2
+
+
+def test_mixed_precision_promotes_to_double(rng):
+    n = 8
+    dl = np.zeros(n, dtype=np.float32)
+    du = np.zeros(n, dtype=np.float32)
+    d = np.full(n, 2.0)  # float64
+    x = pcr_solve(dl, d, du, np.ones(n, dtype=np.float32))
+    assert x.dtype == np.float64
