@@ -50,11 +50,13 @@ def test_fig5_scan_throughput_and_speedup(results_dir, matrices, benchmark):
         launches = dev.records("bidirectional-scan")
         n_vertices = g.n_rows
         # model the GPU traffic of each launch (Table 2-style 4-byte types);
-        # the first half of the launches belong to the cycle scan
-        half = len(launches) // 2
+        # kernel names carry the operator label (bidirectional-scan[add|step=i]),
+        # so classify by label rather than by launch position — with the
+        # convergence-aware engine the two scans no longer split 50/50.
         throughputs = []
-        for i, rec in enumerate(launches):
-            variant = "cycles" if i < half else "paths"
+        for rec in launches:
+            label = rec.name.split("[", 1)[1].split("|", 1)[0]
+            variant = "cycles" if "min-edge" in label else "paths"
             traffic = scan_traffic(n_vertices, variant=variant)
             throughputs.append(traffic / max(rec.seconds, 1e-9) / 1e9)
         stats = boxplot_stats(throughputs)

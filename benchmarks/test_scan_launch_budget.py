@@ -1,0 +1,80 @@
+"""Regression gate on the pipeline's bidirectional-scan launch/traffic budget.
+
+``scan_launch_budget.json`` stores, per suite matrix, the number of
+bidirectional-scan launches and the bytes they move during a full
+``extract_linear_forest`` run at the default bench scale.  The budget was
+seeded from the first convergence-aware engine run; any change that makes
+the pipeline launch more scans, or move more bytes (beyond a small
+tolerance), fails here before it lands.
+
+Regenerate deliberately with ``REPRO_UPDATE_BUDGET=1`` after an intentional
+cost change, and commit the refreshed JSON together with that change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis import render_table
+from repro.core import extract_linear_forest
+from repro.device import Device
+
+from .conftest import bench_scale, bench_suite, emit
+
+BUDGET_PATH = Path(__file__).parent / "scan_launch_budget.json"
+
+# Launches are exact (integer, deterministic); bytes get a small headroom so
+# an unrelated dtype/accounting tweak does not flake the gate.
+BYTES_TOLERANCE = 1.02
+
+
+def _measure(matrix):
+    dev = Device()
+    extract_linear_forest(matrix, device=dev)
+    records = dev.records("bidirectional-scan")
+    return {
+        "launches": len(records),
+        "bytes": int(sum(r.bytes_total for r in records)),
+    }
+
+
+def test_scan_launch_budget(results_dir, matrices):
+    if bench_scale() != 1.0:
+        import pytest
+
+        pytest.skip("budget is recorded at REPRO_BENCH_SCALE=1.0")
+
+    measured = {name: _measure(matrices[name]) for name in bench_suite()}
+
+    if os.environ.get("REPRO_UPDATE_BUDGET", "0") == "1" or not BUDGET_PATH.exists():
+        budget = {"scale": 1.0, "budgets": measured}
+        BUDGET_PATH.write_text(json.dumps(budget, indent=2, sort_keys=True) + "\n")
+        print(f"[bench] seeded scan launch budget: {BUDGET_PATH}")
+
+    budget = json.loads(BUDGET_PATH.read_text())["budgets"]
+
+    headers = ["matrix", "launches", "budget", "MB", "budget MB", "ok"]
+    rows = []
+    failures = []
+    for name, m in measured.items():
+        b = budget.get(name)
+        if b is None:
+            rows.append([name, m["launches"], None, m["bytes"] / 1e6, None, True])
+            continue
+        ok = m["launches"] <= b["launches"] and m["bytes"] <= b["bytes"] * BYTES_TOLERANCE
+        rows.append([
+            name, m["launches"], b["launches"], m["bytes"] / 1e6, b["bytes"] / 1e6, ok,
+        ])
+        if not ok:
+            failures.append((name, m, b))
+
+    emit(
+        results_dir,
+        "scan_launch_budget",
+        render_table(headers, rows, title="Pipeline bidirectional-scan launch/traffic budget"),
+    )
+    assert not failures, (
+        "pipeline scan cost regressed beyond the stored budget "
+        f"({BUDGET_PATH.name}): {failures}; if intentional, regenerate with "
+        "REPRO_UPDATE_BUDGET=1 and commit the refreshed budget"
+    )

@@ -27,11 +27,17 @@ from .cycles import break_cycles, detect_cycles
 from .extraction import TridiagonalSystem, extract_tridiagonal
 from .factor import ParallelFactorConfig, ParallelFactorResult, parallel_factor
 from .greedy import greedy_factor
-from .paths import PathInfo, identify_paths
+from .paths import PathInfo, identify_paths, paths_from_scan
 from .permutation import forest_permutation, is_tridiagonal_under
 from .pipeline import LinearForestResult, extract_linear_forest
 from .rcm import band_weight_fraction, bandwidth, rcm_ordering
-from .scan import AddOperator, BidirectionalScan, MinEdgeOperator
+from .scan import (
+    AddOperator,
+    BidirectionalScan,
+    FusedOperator,
+    MinEdgeOperator,
+    ScanResult,
+)
 from .sequential_forest import sequential_linear_forest
 from .serialization import (
     load_factor,
@@ -45,8 +51,10 @@ __all__ = [
     "AddOperator",
     "BidirectionalScan",
     "Factor",
+    "FusedOperator",
     "LinearForestResult",
     "MinEdgeOperator",
+    "ScanResult",
     "ParallelFactorConfig",
     "ParallelFactorResult",
     "PathInfo",
@@ -72,6 +80,7 @@ __all__ = [
     "load_factor",
     "load_forest_ordering",
     "parallel_factor",
+    "paths_from_scan",
     "rcm_ordering",
     "save_factor",
     "save_forest_ordering",

@@ -23,6 +23,12 @@ ablation benchmarks quantify the claims:
   value of a neighboring vertex ... after the update ... has already
   overwritten the original input value"*.  This variant shares one buffer and
   demonstrates the resulting corruption.
+* :class:`ReferenceScan` — the paper's *exhaustive* scan engine: always
+  ⌈log₂N⌉ launches, full ping-pong buffer copies every step, no frontier
+  compaction.  It is the oracle the convergence-aware
+  :class:`~repro.core.scan.BidirectionalScan` is property-tested against
+  (results must be bit-identical) and the traffic baseline of the
+  convergence benchmarks.
 """
 
 from __future__ import annotations
@@ -32,22 +38,107 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import INDEX_DTYPE, VALUE_DTYPE
+from ..device.buffers import PingPong
 from ..errors import ScanError
 from ..sparse.csr import CSRMatrix
 from .charge import vertex_charges
 from .factor import ParallelFactorConfig, ParallelFactorResult
 from .paths import PathInfo
-from .scan import BidirectionalScan, Payload, decode_end, is_path_end
+from .scan import (
+    BidirectionalScan,
+    Payload,
+    ScanResult,
+    decode_end,
+    is_path_end,
+    operator_label,
+    scan_steps,
+)
 from .structures import NO_PARTNER, Factor
 
 __all__ = [
     "MergedForestResult",
     "MergedOperator",
+    "ReferenceScan",
     "UnsafeInPlaceScan",
     "merged_linear_forest",
     "propose_accept_factor",
     "propose_edges_segmented_sort",
 ]
+
+
+class ReferenceScan(BidirectionalScan):
+    """The exhaustive Section-4.2 scan: every step launches, full copies.
+
+    This preserves the pre-compaction engine exactly: ⌈log₂N⌉ launches
+    regardless of convergence, and each launch copies the complete ``(N, 2)``
+    ping-pong buffers of ``q`` and every payload array.  The convergence
+    tests assert :class:`~repro.core.scan.BidirectionalScan` is bit-identical
+    to this engine on every topology; the convergence benchmarks use it as
+    the launch/traffic baseline.
+    """
+
+    def run(self, operator, graph=None, *, steps=None):
+        n_vertices = self.factor.n_vertices
+        n_steps = scan_steps(n_vertices) if steps is None else steps
+        ids = self._ids
+        label = operator_label(operator)
+        q_pp = PingPong(self._q0)
+        payload0 = operator.init(self.factor, graph)
+        payload_pp = {name: PingPong(arr) for name, arr in payload0.items()}
+        launches = 0
+        active_history: list[int] = []
+
+        for step in range(n_steps):
+            q_back = q_pp.back
+            p_back = {name: pp.back for name, pp in payload_pp.items()}
+            q_front = q_pp.front
+            p_front = {name: pp.front for name, pp in payload_pp.items()}
+            reads = [q_back, *p_back.values()]
+            writes = [q_front, *p_front.values()]
+            n_active = int((q_back >= 0).sum())
+            active_history.append(n_active)
+            with self.device.launch(
+                f"bidirectional-scan[{label}|step={step}]",
+                reads=reads,
+                writes=writes,
+                active_lanes=n_active,
+                total_lanes=2 * n_vertices,
+            ):
+                q_front[...] = q_back
+                for name in p_front:
+                    p_front[name][...] = p_back[name]
+                for lane in (0, 1):
+                    w = q_back[:, lane]
+                    active = ~is_path_end(w)
+                    idx = np.flatnonzero(active)
+                    if idx.size == 0:
+                        continue
+                    far = w[idx]
+                    far_q = q_back[far]  # (m, 2) — the neighbour's snapshot
+                    far_p = {name: p_back[name][far] for name in p_back}
+                    for j in (0, 1):
+                        extend = far_q[:, j] != ids[idx]
+                        sub = idx[extend]
+                        if sub.size == 0:
+                            continue
+                        current = {name: p_front[name][sub, lane] for name in p_front}
+                        contribution = {name: far_p[name][extend, j] for name in far_p}
+                        merged = operator.combine(current, contribution)
+                        for name in p_front:
+                            p_front[name][sub, lane] = merged[name]
+                        q_front[sub, lane] = far_q[extend, j]
+            launches += 1
+            q_pp.swap()
+            for pp in payload_pp.values():
+                pp.swap()
+
+        return ScanResult(
+            q=q_pp.back.copy(),
+            payload={name: pp.back.copy() for name, pp in payload_pp.items()},
+            steps=n_steps,
+            launches=launches,
+            active_per_launch=tuple(active_history),
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -6,6 +6,11 @@ the factor weight ω_π as large as possible.  Both the detection (a lane that
 is still positive after ⌈log₂N⌉ scan steps never reached a path end) and the
 per-cycle minimum (the :class:`~repro.core.scan.MinEdgeOperator` payload) run
 on the bidirectional scan.
+
+Both entry points accept a precomputed ``scan_result`` so a caller that has
+already run a scan of the *same factor* — e.g. a
+:class:`~repro.core.scan.FusedOperator` pass that carried the weakest-edge
+payload alongside another one — does not pay for a second butterfly.
 """
 
 from __future__ import annotations
@@ -14,17 +19,30 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._validation import INDEX_DTYPE
 from ..device.device import Device
 from ..errors import ScanError
 from ..sparse.csr import CSRMatrix
-from .scan import BidirectionalScan, MinEdgeOperator, NullOperator
+from .scan import BidirectionalScan, MinEdgeOperator, NullOperator, ScanResult
 from .structures import Factor
 
 __all__ = ["BrokenCycles", "break_cycles", "detect_cycles"]
 
 
-def detect_cycles(factor: Factor, *, device: Device | None = None) -> np.ndarray:
-    """Boolean mask of vertices that lie on a cycle of the [0,2]-factor."""
+def detect_cycles(
+    factor: Factor,
+    *,
+    device: Device | None = None,
+    scan_result: ScanResult | None = None,
+) -> np.ndarray:
+    """Boolean mask of vertices that lie on a cycle of the [0,2]-factor.
+
+    ``scan_result`` may be the outcome of *any* completed bidirectional scan
+    of ``factor`` (the cycle mask only depends on the lane pointers, not on
+    the payload); when given, no scan is run.
+    """
+    if scan_result is not None:
+        return scan_result.cycle_mask
     scan = BidirectionalScan(factor, device=device)
     return scan.run(NullOperator()).cycle_mask
 
@@ -45,9 +63,10 @@ class BrokenCycles:
 
 def break_cycles(
     factor: Factor,
-    graph: CSRMatrix,
+    graph: CSRMatrix | None = None,
     *,
     device: Device | None = None,
+    scan_result: ScanResult | None = None,
 ) -> BrokenCycles:
     """Remove the weakest edge of every cycle of a [0,2]-factor.
 
@@ -55,15 +74,31 @@ def break_cycles(
     vertices of a cycle agree on its weakest edge because edges are ordered
     by the unique triple (|weight|, min id, max id); each cycle therefore
     loses exactly one edge, and the result is a linear forest.
+
+    ``scan_result`` skips the scan: it must be a completed scan of ``factor``
+    whose payload carries the :class:`~repro.core.scan.MinEdgeOperator`
+    fields ``w``/``u``/``v`` (e.g. from a fused pass); ``graph`` is then
+    unused and may be omitted.
     """
-    scan = BidirectionalScan(factor, device=device)
-    result = scan.run(MinEdgeOperator(), graph)
+    if scan_result is None:
+        if graph is None:
+            raise ScanError("break_cycles requires the weighted graph (or a scan_result)")
+        scan = BidirectionalScan(factor, device=device)
+        result = scan.run(MinEdgeOperator(), graph)
+    else:
+        missing = {"w", "u", "v"} - set(scan_result.payload)
+        if missing:
+            raise ScanError(
+                f"scan_result payload lacks the weakest-edge fields {sorted(missing)}; "
+                "run (or fuse) MinEdgeOperator"
+            )
+        result = scan_result
     cycle_mask = result.cycle_mask
     if not bool(cycle_mask.any()):
         return BrokenCycles(
             forest=factor,
-            removed_u=np.empty(0, dtype=np.int64),
-            removed_v=np.empty(0, dtype=np.int64),
+            removed_u=np.empty(0, dtype=INDEX_DTYPE),
+            removed_v=np.empty(0, dtype=INDEX_DTYPE),
             cycle_mask=cycle_mask,
         )
     w = result.payload["w"]
@@ -73,8 +108,8 @@ def break_cycles(
     lane1_smaller = (w[:, 1] < w[:, 0]) | (
         (w[:, 1] == w[:, 0]) & ((u[:, 1] < u[:, 0]) | ((u[:, 1] == u[:, 0]) & (v[:, 1] < v[:, 0])))
     )
-    lane = lane1_smaller.astype(np.int64)
-    rows = np.arange(factor.n_vertices, dtype=np.int64)
+    lane = lane1_smaller.astype(INDEX_DTYPE)
+    rows = np.arange(factor.n_vertices, dtype=INDEX_DTYPE)
     min_u = u[rows, lane]
     min_v = v[rows, lane]
     cyc = np.flatnonzero(cycle_mask)

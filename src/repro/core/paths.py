@@ -15,12 +15,13 @@ from functools import cached_property
 
 import numpy as np
 
+from .._validation import INDEX_DTYPE
 from ..device.device import Device
 from ..errors import ScanError
-from .scan import AddOperator, BidirectionalScan, decode_end
+from .scan import AddOperator, BidirectionalScan, ScanResult, decode_end
 from .structures import Factor
 
-__all__ = ["PathInfo", "identify_paths"]
+__all__ = ["PathInfo", "identify_paths", "paths_from_scan"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,31 @@ class PathInfo:
         return members[np.argsort(self.position[members], kind="stable")]
 
 
+def paths_from_scan(result: ScanResult) -> PathInfo:
+    """Algorithm 3's epilogue: path ids and positions from a finished scan.
+
+    ``result`` must be a completed scan of a *linear forest* whose payload
+    carries the :class:`~repro.core.scan.AddOperator` accumulator ``r`` —
+    either a solo position scan or a fused pass that included one.  Raises
+    :class:`~repro.errors.ScanError` on cycles or a missing payload.
+    """
+    if "r" not in result.payload:
+        raise ScanError(
+            "scan payload lacks the position accumulator 'r'; run (or fuse) AddOperator"
+        )
+    if bool(result.cycle_mask.any()):
+        n_bad = int(result.cycle_mask.sum())
+        raise ScanError(
+            f"{n_bad} vertices lie on cycles; identify_paths requires a linear forest"
+        )
+    ends = decode_end(result.q)  # (N, 2) end vertex ids per lane
+    r = result.payload["r"]
+    # Alg. 3 lines 30-32: choose the lane pointing at the smaller end id.
+    lane = np.argmin(ends, axis=1)
+    rows = np.arange(ends.shape[0], dtype=INDEX_DTYPE)
+    return PathInfo(path_id=ends[rows, lane], position=r[rows, lane])
+
+
 def identify_paths(
     forest: Factor,
     *,
@@ -64,15 +90,4 @@ def identify_paths(
     cycle — run :func:`repro.core.cycles.break_cycles` first.
     """
     scan = BidirectionalScan(forest, device=device)
-    result = scan.run(AddOperator())
-    if bool(result.cycle_mask.any()):
-        n_bad = int(result.cycle_mask.sum())
-        raise ScanError(
-            f"{n_bad} vertices lie on cycles; identify_paths requires a linear forest"
-        )
-    ends = decode_end(result.q)  # (N, 2) end vertex ids per lane
-    r = result.payload["r"]
-    # Alg. 3 lines 30-32: choose the lane pointing at the smaller end id.
-    lane = np.argmin(ends, axis=1)
-    rows = np.arange(forest.n_vertices, dtype=np.int64)
-    return PathInfo(path_id=ends[rows, lane], position=r[rows, lane])
+    return paths_from_scan(scan.run(AddOperator()))

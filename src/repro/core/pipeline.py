@@ -21,8 +21,9 @@ from .coverage import coverage as coverage_of
 from .cycles import BrokenCycles, break_cycles
 from .extraction import TridiagonalSystem, extract_tridiagonal
 from .factor import ParallelFactorConfig, ParallelFactorResult, parallel_factor
-from .paths import PathInfo, identify_paths
+from .paths import PathInfo, identify_paths, paths_from_scan
 from .permutation import forest_permutation
+from .scan import AddOperator, BidirectionalScan, FusedOperator, MinEdgeOperator
 from .structures import Factor
 
 __all__ = ["LinearForestResult", "extract_linear_forest"]
@@ -75,12 +76,20 @@ def extract_linear_forest(
     config: ParallelFactorConfig | None = None,
     *,
     device: Device | None = None,
+    merged_scan: bool = True,
 ) -> LinearForestResult:
     """Run the complete pipeline of the paper on an input matrix ``A``.
 
     ``config.n`` must be 2 (linear forests come from [0,2]-factors); the
     remaining parameters default to the paper's default configuration
     (M = 5, m = 5, k_m = 0, p = 0.5).
+
+    With ``merged_scan`` (the default) the cycle scan carries the position
+    accumulator as a fused payload.  When the factor turns out acyclic — the
+    common case on well-charged factors — the path identification comes for
+    free from that single butterfly pass; with cycles present, the position
+    scan re-runs on the broken forest exactly as in the paper.  Results are
+    bit-identical either way; only launch counts and bytes moved differ.
     """
     config = config or ParallelFactorConfig(n=2)
     if config.n != 2:
@@ -93,8 +102,18 @@ def extract_linear_forest(
         factor_result = parallel_factor(graph, config, device=device)
 
     with timings.phase(PHASE_SCANS):
-        broken = break_cycles(factor_result.factor, graph, device=device)
-        paths = identify_paths(broken.forest, device=device)
+        if merged_scan:
+            scan = BidirectionalScan(factor_result.factor, device=device)
+            fused = scan.run(FusedOperator((MinEdgeOperator(), AddOperator())), graph)
+            broken = break_cycles(factor_result.factor, scan_result=fused)
+            if broken.n_cycles == 0:
+                # forest == factor: the fused pass already holds the positions
+                paths = paths_from_scan(fused)
+            else:
+                paths = identify_paths(broken.forest, device=device)
+        else:
+            broken = break_cycles(factor_result.factor, graph, device=device)
+            paths = identify_paths(broken.forest, device=device)
         perm = forest_permutation(paths)
 
     with timings.phase(PHASE_EXTRACT):

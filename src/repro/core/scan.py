@@ -14,25 +14,48 @@ Encoding (Section 4.2): a lane that has reached a path end stores the
 *negative 1-based id* of the end vertex, ``-(end + 1)``; a lane that is still
 positive after the final step proves its vertex lies on a cycle.
 
-All lane state lives in ping-pong buffers: a kernel reads the previous
-launch's snapshot (``q'``, ``r'`` in the paper) and writes fresh buffers, so
-no thread can observe a half-updated neighbour.
+Convergence awareness (deviation from the paper — the paper always runs the
+full ⌈log₂N⌉ launches):
+
+* **Early exit** — the paper itself notes the butterfly needs ⌈log₂N⌉ steps
+  only if all vertices lie on one path.  On real factors most paths are
+  short, so the engine stops launching as soon as every lane holds a
+  path-end marker (``(q < 0).all()``); :attr:`ScanResult.launches` reports
+  the launches actually executed against the nominal :attr:`ScanResult.steps`.
+  Cycle lanes never clamp, so factors with cycles still run all steps and
+  the cycle-detection semantics of the paper are untouched.
+* **Frontier compaction** — clamped lanes are dead weight: their tuples
+  never change again.  Instead of copying every ping-pong buffer in full
+  each step, the engine keeps one live buffer per array, gathers the far
+  tuples of the *active* (vertex, lane) pairs into compacted snapshots, and
+  scatters only the merged results back.  The gathered snapshot plays the
+  role of the paper's input ("back") buffer: all reads of a step complete
+  before any write, so the race the ping-pong buffers guard against cannot
+  occur, while global-memory traffic shrinks with the frontier.
+* **Telemetry** — every launch reports its frontier size to the
+  :class:`~repro.device.device.Device` (``active_lanes``/``total_lanes``),
+  so ``render_trace`` shows the convergence curve of a run.
+
+Results are bit-identical to the exhaustive engine (kept as
+:class:`~repro.core.ablations.ReferenceScan`): extra launches past
+convergence are no-ops, and the gather/scatter step performs exactly the
+reads and writes of Algorithm 3 lines 15–20 in the same order.
 
 The payload and its ⊕ are pluggable (the scan is "parameterized on the
 operation" like ``thrust::inclusive_scan``): :class:`AddOperator` computes
 path positions (step 2 of Section 3.3), :class:`MinEdgeOperator` finds the
-weakest edge of each cycle (step 1).
+weakest edge of each cycle (step 1), and :class:`FusedOperator` runs several
+payloads through one butterfly pass.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Protocol
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence
 
 import numpy as np
 
 from .._validation import INDEX_DTYPE, VALUE_DTYPE
-from ..device.buffers import PingPong
 from ..device.device import Device, default_device
 from ..errors import ScanError
 from ..sparse.csr import CSRMatrix
@@ -41,6 +64,7 @@ from .structures import NO_PARTNER, Factor
 __all__ = [
     "AddOperator",
     "BidirectionalScan",
+    "FusedOperator",
     "MaxVertexOperator",
     "MinEdgeOperator",
     "NullOperator",
@@ -48,6 +72,7 @@ __all__ = [
     "WeightedAddOperator",
     "decode_end",
     "is_path_end",
+    "operator_label",
     "scan_steps",
 ]
 
@@ -85,8 +110,30 @@ class ScanOperator(Protocol):
     def combine(self, current: Payload, far: Payload) -> Payload: ...
 
 
+def operator_label(operator: ScanOperator) -> str:
+    """Short kernel-name tag for an operator (e.g. ``min-edge``).
+
+    Operators may define a ``label`` attribute; the fallback derives a
+    kebab-case slug from the class name (``MinEdgeOperator`` → ``min-edge``).
+    """
+    label = getattr(operator, "label", None)
+    if label:
+        return str(label)
+    name = type(operator).__name__
+    if name.endswith("Operator"):
+        name = name[: -len("Operator")]
+    out = []
+    for i, ch in enumerate(name):
+        if ch.isupper() and i > 0:
+            out.append("-")
+        out.append(ch.lower())
+    return "".join(out) or "op"
+
+
 class NullOperator:
     """No payload — used when only connectivity (cycle detection) matters."""
+
+    label = "null"
 
     def init(self, factor: Factor, graph: CSRMatrix | None) -> Payload:
         return {}
@@ -102,6 +149,8 @@ class AddOperator:
     ``dist(v, e) + 1`` — the 1-based position of ``v`` counted from ``e``
     (Algorithm 3 lines 2 and 17).
     """
+
+    label = "add"
 
     def init(self, factor: Factor, graph: CSRMatrix | None) -> Payload:
         return {"r": np.ones((factor.n_vertices, 2), dtype=INDEX_DTYPE)}
@@ -120,6 +169,8 @@ class WeightedAddOperator:
     finally holds ``weight(v .. e) + 1`` — the ``+1`` mirrors the unit
     initialisation of Algorithm 3 so that path ends report 1.)
     """
+
+    label = "weighted-add"
 
     def init(self, factor: Factor, graph: CSRMatrix | None) -> Payload:
         if graph is None:
@@ -146,6 +197,8 @@ class MaxVertexOperator:
     The paper notes the scan can "find and broadcast a specific value" —
     this is that use: an idempotent maximum, valid on paths *and* cycles.
     """
+
+    label = "max-vertex"
 
     def init(self, factor: Factor, graph: CSRMatrix | None) -> Payload:
         n_vertices = factor.n_vertices
@@ -174,6 +227,8 @@ class MinEdgeOperator:
     produces on cycles is harmless.
     """
 
+    label = "min-edge"
+
     _INF = np.iinfo(INDEX_DTYPE).max
 
     def init(self, factor: Factor, graph: CSRMatrix | None) -> Payload:
@@ -185,7 +240,10 @@ class MinEdgeOperator:
         u = np.full((n_vertices, 2), self._INF, dtype=INDEX_DTYPE)
         v = np.full((n_vertices, 2), self._INF, dtype=INDEX_DTYPE)
         for lane in (0, 1):
-            nbr = factor.neighbors[:, lane] if lane < factor.n else np.full(n_vertices, NO_PARTNER)
+            if lane < factor.n:
+                nbr = factor.neighbors[:, lane]
+            else:
+                nbr = np.full(n_vertices, NO_PARTNER, dtype=INDEX_DTYPE)
             valid = nbr != NO_PARTNER
             vv = ids[valid]
             nn = nbr[valid]
@@ -206,23 +264,110 @@ class MinEdgeOperator:
         }
 
 
+class FusedOperator:
+    """Run several operators' payloads through one butterfly pass.
+
+    ``FusedOperator((MinEdgeOperator(), AddOperator()))`` carries both the
+    weakest-edge triple and the position accumulator per lane, halving the
+    number of scans when a caller needs both results of the *same* factor.
+    The stride-q pointers are shared; each constituent's ``combine`` sees
+    exactly the selections it would see in a solo run, so every fused payload
+    is bit-identical to its separate-scan counterpart.
+
+    Payload names must be disjoint across the constituents; pass ``prefixes``
+    to namespace them when they collide (e.g. two :class:`AddOperator`\\ s).
+    """
+
+    def __init__(
+        self,
+        operators: Sequence[ScanOperator],
+        prefixes: Sequence[str] | None = None,
+    ):
+        operators = tuple(operators)
+        if not operators:
+            raise ScanError("FusedOperator requires at least one operator")
+        if prefixes is None:
+            prefixes = ("",) * len(operators)
+        else:
+            prefixes = tuple(prefixes)
+            if len(prefixes) != len(operators):
+                raise ScanError(
+                    f"got {len(prefixes)} prefixes for {len(operators)} operators"
+                )
+        self.operators = operators
+        self.prefixes = prefixes
+        # per operator: the payload base names, filled in by init()
+        self._fields: list[tuple[str, ...]] = []
+
+    @property
+    def label(self) -> str:
+        return "fused(" + "+".join(operator_label(op) for op in self.operators) + ")"
+
+    def init(self, factor: Factor, graph: CSRMatrix | None) -> Payload:
+        out: Payload = {}
+        self._fields = []
+        for op, prefix in zip(self.operators, self.prefixes):
+            payload = op.init(factor, graph)
+            self._fields.append(tuple(payload))
+            for base, arr in payload.items():
+                name = prefix + base
+                if name in out:
+                    raise ScanError(
+                        f"fused payload name collision on {name!r}; "
+                        "disambiguate with prefixes"
+                    )
+                out[name] = arr
+        return out
+
+    def combine(self, current: Payload, far: Payload) -> Payload:
+        out: Payload = {}
+        for op, prefix, names in zip(self.operators, self.prefixes, self._fields):
+            if not names:
+                continue
+            merged = op.combine(
+                {base: current[prefix + base] for base in names},
+                {base: far[prefix + base] for base in names},
+            )
+            for base in names:
+                out[prefix + base] = merged[base]
+        return out
+
+
 @dataclass(frozen=True)
 class ScanResult:
-    """Final lane state of a bidirectional scan."""
+    """Final lane state of a bidirectional scan.
+
+    ``steps`` is the nominal (clamped) step count of the run; ``launches``
+    counts the kernel launches actually executed — smaller when the scan
+    converged early.  ``active_per_launch`` holds the frontier size (number
+    of unconverged lanes) at each executed launch.
+    """
 
     q: np.ndarray  # (N, 2) — markers -(end+1), or positive ids on cycles
     payload: Mapping[str, np.ndarray]  # each (N, 2)
     steps: int
     launches: int
+    active_per_launch: tuple[int, ...] = field(default=())
 
     @property
     def cycle_mask(self) -> np.ndarray:
         """Vertices whose lanes never reached a path end lie on a cycle."""
         return (self.q >= 0).any(axis=1)
 
+    @property
+    def converged(self) -> bool:
+        """True iff every lane clamped to a path-end marker."""
+        return bool((self.q < 0).all())
+
 
 class BidirectionalScan:
-    """Runs Algorithm 3's butterfly pointer jumping on a [0,≤2]-factor."""
+    """Runs Algorithm 3's butterfly pointer jumping on a [0,≤2]-factor.
+
+    This is the convergence-aware engine (early exit + frontier compaction,
+    see the module docstring); the paper's exhaustive formulation survives as
+    :class:`~repro.core.ablations.ReferenceScan` and the two are
+    property-tested to produce bit-identical results.
+    """
 
     def __init__(self, factor: Factor, *, device: Device | None = None):
         if factor.n > 2:
@@ -255,36 +400,63 @@ class BidirectionalScan:
 
         ``steps`` defaults to ⌈log₂(N)⌉ — enough for a single path spanning
         all vertices; pass a smaller value only for illustration (e.g. the
-        Figure 2 trace).
+        Figure 2 trace).  Values above ⌈log₂(N)⌉ are clamped: the extra
+        launches could only ever be no-ops.  The scan additionally stops as
+        soon as every lane has clamped to a path-end marker, so
+        ``result.launches ≤ result.steps``.
         """
         n_vertices = self.factor.n_vertices
-        n_steps = scan_steps(n_vertices) if steps is None else steps
+        nominal = scan_steps(n_vertices)
+        n_steps = nominal if steps is None else max(0, min(int(steps), nominal))
         ids = self._ids
-        q_pp = PingPong(self._q0)
-        payload0 = operator.init(self.factor, graph)
-        payload_pp = {name: PingPong(arr) for name, arr in payload0.items()}
+        label = operator_label(operator)
+        total_lanes = 2 * n_vertices
+
+        # Live state: one buffer per array.  The per-step gathers below
+        # snapshot everything a launch reads before it writes, which is the
+        # compacted equivalent of the paper's ping-pong back buffer.
+        q = self._q0.copy()
+        payload = {
+            name: np.array(arr, copy=True)
+            for name, arr in operator.init(self.factor, graph).items()
+        }
+        names = tuple(payload)
         launches = 0
+        active_history: list[int] = []
 
         for step in range(n_steps):
-            q_back = q_pp.back
-            p_back = {name: pp.back for name, pp in payload_pp.items()}
-            q_front = q_pp.front
-            p_front = {name: pp.front for name, pp in payload_pp.items()}
-            reads = [q_back, *p_back.values()]
-            writes = [q_front, *p_front.values()]
-            with self.device.launch(f"bidirectional-scan[step={step}]", reads=reads, writes=writes):
-                q_front[...] = q_back
-                for name in p_front:
-                    p_front[name][...] = p_back[name]
-                for lane in (0, 1):
-                    w = q_back[:, lane]
-                    active = ~is_path_end(w)
-                    idx = np.flatnonzero(active)
+            # Host-side convergence check (a device-side reduction + copy of
+            # one word in CUDA terms): lanes holding markers never change.
+            idx0 = np.flatnonzero(q[:, 0] >= 0)
+            idx1 = np.flatnonzero(q[:, 1] >= 0)
+            n_active = int(idx0.size + idx1.size)
+            if n_active == 0:
+                break  # every lane is a path end — the scan has converged
+            active_history.append(n_active)
+            with self.device.launch(
+                f"bidirectional-scan[{label}|step={step}]",
+                active_lanes=n_active,
+                total_lanes=total_lanes,
+            ) as kl:
+                # Gather phase: snapshot the far tuples of every active lane
+                # (fancy indexing copies), completing all reads of the step
+                # before any write — the role of the ping-pong back buffer.
+                gathered = []
+                for lane, idx in ((0, idx0), (1, idx1)):
                     if idx.size == 0:
+                        gathered.append(None)
                         continue
-                    far = w[idx]
-                    far_q = q_back[far]  # (m, 2) — the neighbour's snapshot
-                    far_p = {name: p_back[name][far] for name in p_back}
+                    far = q[idx, lane]
+                    far_q = q[far]  # (m, 2) — the neighbour's snapshot
+                    far_p = {name: payload[name][far] for name in names}
+                    kl.reads(idx, far, far_q, *far_p.values())
+                    gathered.append((idx, far_q, far_p))
+                # Scatter phase: lane 0 writes only column 0 and lane 1 only
+                # column 1, so the in-place updates cannot alias a gather.
+                for lane, pack in ((0, gathered[0]), (1, gathered[1])):
+                    if pack is None:
+                        continue
+                    idx, far_q, far_p = pack
                     # Alg. 3 lines 15-20: both tuple entries of the far
                     # neighbour are inspected; the one that is not this very
                     # vertex extends the segment (sequential j = 0, 1
@@ -294,20 +466,22 @@ class BidirectionalScan:
                         sub = idx[extend]
                         if sub.size == 0:
                             continue
-                        current = {name: p_front[name][sub, lane] for name in p_front}
+                        current = {name: payload[name][sub, lane] for name in names}
+                        kl.reads(*current.values())
                         contribution = {name: far_p[name][extend, j] for name in far_p}
                         merged = operator.combine(current, contribution)
-                        for name in p_front:
-                            p_front[name][sub, lane] = merged[name]
-                        q_front[sub, lane] = far_q[extend, j]
+                        for name in names:
+                            payload[name][sub, lane] = merged[name]
+                            kl.writes(merged[name])
+                        new_q = far_q[extend, j]
+                        q[sub, lane] = new_q
+                        kl.writes(new_q)
             launches += 1
-            q_pp.swap()
-            for pp in payload_pp.values():
-                pp.swap()
 
         return ScanResult(
-            q=q_pp.back.copy(),
-            payload={name: pp.back.copy() for name, pp in payload_pp.items()},
+            q=q,
+            payload=payload,
             steps=n_steps,
             launches=launches,
+            active_per_launch=tuple(active_history),
         )

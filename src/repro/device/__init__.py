@@ -27,13 +27,14 @@ from .costmodel import (
     scan_traffic,
     spmv_traffic,
 )
-from .device import Device, KernelRecord, default_device
+from .device import Device, KernelLaunch, KernelRecord, default_device
 from .profiler import PhaseTimer, TimingBreakdown
 from .trace import KernelSummary, render_trace, summarize
 
 __all__ = [
     "CostModel",
     "Device",
+    "KernelLaunch",
     "KernelRecord",
     "KernelSummary",
     "PhaseTimer",

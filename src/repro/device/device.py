@@ -7,7 +7,14 @@ Every data-parallel step of the paper's algorithms is executed through
   (simulated) global memory, mirroring the traffic analysis of Table 2 of the
   paper, and
 * the wall-clock time of the vectorized NumPy body, which is the "real"
-  measurement used by the performance benchmarks.
+  measurement used by the performance benchmarks, and
+* optional *convergence telemetry*: how many scan lanes were still active
+  when the launch fired (the frontier size of the convergence-aware
+  bidirectional scan), against the total lane count.
+
+Records survive kernel failures: a body that raises still leaves its
+:class:`KernelRecord` in the log (with the time spent up to the exception),
+so a partially failed run keeps a truthful Figure-6 style breakdown.
 
 The device does not try to emulate warps or shared memory — the algorithms in
 the paper are specified at the granularity of whole kernel launches over all
@@ -24,7 +31,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-__all__ = ["Device", "KernelRecord", "default_device"]
+__all__ = ["Device", "KernelLaunch", "KernelRecord", "default_device"]
 
 
 def _nbytes(arrays: Iterable[np.ndarray]) -> int:
@@ -43,10 +50,69 @@ class KernelRecord:
     bytes_written: int
     seconds: float
     launch_index: int
+    #: Lanes still unconverged when the launch fired (scan kernels only).
+    active_lanes: int | None = None
+    #: Total lane count the frontier is measured against (scan kernels only).
+    total_lanes: int | None = None
 
     @property
     def bytes_total(self) -> int:
         return self.bytes_read + self.bytes_written
+
+    @property
+    def active_fraction(self) -> float | None:
+        """Frontier occupancy of this launch, or ``None`` without telemetry."""
+        if self.active_lanes is None or not self.total_lanes:
+            return None
+        return self.active_lanes / self.total_lanes
+
+
+class KernelLaunch:
+    """Handle yielded by :meth:`Device.launch`.
+
+    Kernels whose buffer footprint is only known *inside* the body (e.g. the
+    compacted gathers of the frontier-based scan) register their traffic on
+    this handle instead of declaring full arrays up front.  On a
+    non-recording device the handle is inert.
+    """
+
+    __slots__ = ("enabled", "bytes_read", "bytes_written", "active_lanes", "total_lanes")
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        active_lanes: int | None = None,
+        total_lanes: int | None = None,
+    ):
+        self.enabled = enabled
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.active_lanes = active_lanes
+        self.total_lanes = total_lanes
+
+    def reads(self, *arrays: np.ndarray) -> None:
+        """Register additional buffers read by this launch."""
+        if self.enabled:
+            self.bytes_read += _nbytes(arrays)
+
+    def writes(self, *arrays: np.ndarray) -> None:
+        """Register additional buffers written by this launch."""
+        if self.enabled:
+            self.bytes_written += _nbytes(arrays)
+
+    def telemetry(
+        self, *, active_lanes: int | None = None, total_lanes: int | None = None
+    ) -> None:
+        """Attach (or override) the frontier telemetry of this launch."""
+        if active_lanes is not None:
+            self.active_lanes = int(active_lanes)
+        if total_lanes is not None:
+            self.total_lanes = int(total_lanes)
+
+
+#: Shared inert handle for non-recording devices.
+_DISABLED_LAUNCH = KernelLaunch(enabled=False)
 
 
 class Device:
@@ -74,30 +140,43 @@ class Device:
         *,
         reads: Iterable[np.ndarray] = (),
         writes: Iterable[np.ndarray] = (),
-    ) -> Iterator[None]:
+        active_lanes: int | None = None,
+        total_lanes: int | None = None,
+    ) -> Iterator[KernelLaunch]:
         """Run one kernel launch.
 
         The body of the ``with`` block is the kernel; ``reads``/``writes``
         declare the global-memory buffers it touches.  Bytes are metered from
-        the declared arrays, wall-clock time from the block itself.
+        the declared arrays, wall-clock time from the block itself.  The
+        yielded :class:`KernelLaunch` lets the body register buffers whose
+        size is only known mid-kernel, and attach frontier telemetry.
+
+        The record is written even when the body raises — the exception
+        still propagates, but timing and traffic of the failed launch stay
+        in the log.
         """
         if not self.record:
-            yield
+            yield _DISABLED_LAUNCH
             return
-        bytes_read = _nbytes(reads)
-        bytes_written = _nbytes(writes)
+        handle = KernelLaunch(active_lanes=active_lanes, total_lanes=total_lanes)
+        handle.bytes_read = _nbytes(reads)
+        handle.bytes_written = _nbytes(writes)
         start = time.perf_counter()
-        yield
-        seconds = time.perf_counter() - start
-        self.kernels.append(
-            KernelRecord(
-                name=name,
-                bytes_read=bytes_read,
-                bytes_written=bytes_written,
-                seconds=seconds,
-                launch_index=len(self.kernels),
+        try:
+            yield handle
+        finally:
+            seconds = time.perf_counter() - start
+            self.kernels.append(
+                KernelRecord(
+                    name=name,
+                    bytes_read=handle.bytes_read,
+                    bytes_written=handle.bytes_written,
+                    seconds=seconds,
+                    launch_index=len(self.kernels),
+                    active_lanes=handle.active_lanes,
+                    total_lanes=handle.total_lanes,
+                )
             )
-        )
 
     # -- queries -----------------------------------------------------------
     @property
@@ -115,6 +194,15 @@ class Device:
 
     def total_seconds(self, name_prefix: str | None = None) -> float:
         return sum(k.seconds for k in self.records(name_prefix))
+
+    def convergence_history(self, name_prefix: str | None = None) -> list[int]:
+        """Active-lane counts of the launches that carry frontier telemetry,
+        in launch order — the convergence curve of a scan."""
+        return [
+            k.active_lanes
+            for k in self.records(name_prefix)
+            if k.active_lanes is not None
+        ]
 
     def reset(self) -> None:
         self.kernels.clear()

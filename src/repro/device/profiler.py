@@ -21,9 +21,13 @@ class PhaseTimer:
     @contextmanager
     def measure(self) -> Iterator[None]:
         start = time.perf_counter()
-        yield
-        self.seconds += time.perf_counter() - start
-        self.calls += 1
+        try:
+            yield
+        finally:
+            # Record even when the body raises: a partially failed run must
+            # keep a truthful Figure-6 breakdown (the exception propagates).
+            self.seconds += time.perf_counter() - start
+            self.calls += 1
 
 
 @dataclass

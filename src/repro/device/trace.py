@@ -3,7 +3,9 @@
 The paper measures its kernels with NVIDIA Nsight Compute; this module is
 the simulator's analogue: aggregate the :class:`~repro.device.device.Device`
 launch log by kernel name and render runtimes, traffic and achieved
-throughput, plus modeled GPU-time under the roofline cost model.
+throughput, plus modeled GPU-time under the roofline cost model and — for
+kernels that report it — the mean frontier occupancy ("active %", the
+fraction of scan lanes still unconverged when the launches fired).
 """
 
 from __future__ import annotations
@@ -25,12 +27,23 @@ class KernelSummary:
     launches: int
     seconds: float
     bytes_total: int
+    #: Summed active-lane telemetry over launches that report it (else None).
+    active_lanes: int | None = None
+    #: Summed total-lane telemetry over launches that report it (else None).
+    total_lanes: int | None = None
 
     @property
     def achieved_gbs(self) -> float:
         if self.seconds <= 0.0:
             return 0.0
         return self.bytes_total / self.seconds / 1e9
+
+    @property
+    def active_fraction(self) -> float | None:
+        """Mean frontier occupancy across the telemetered launches."""
+        if self.active_lanes is None or not self.total_lanes:
+            return None
+        return self.active_lanes / self.total_lanes
 
     def modeled_seconds(self, cost: CostModel) -> float:
         return cost.seconds(self.bytes_total)
@@ -48,12 +61,21 @@ def summarize(device: Device) -> list[KernelSummary]:
         acc.setdefault(_base_name(rec), []).append(rec)
     out = []
     for name, records in acc.items():
+        telemetered = [r for r in records if r.active_lanes is not None]
+        active = sum(r.active_lanes for r in telemetered) if telemetered else None
+        total = (
+            sum(r.total_lanes for r in telemetered if r.total_lanes is not None)
+            if telemetered
+            else None
+        )
         out.append(
             KernelSummary(
                 name=name,
                 launches=len(records),
                 seconds=sum(r.seconds for r in records),
                 bytes_total=sum(r.bytes_total for r in records),
+                active_lanes=active,
+                total_lanes=total or None,
             )
         )
     out.sort(key=lambda s: s.seconds, reverse=True)
@@ -65,6 +87,7 @@ def render_trace(device: Device, *, cost: CostModel | None = None) -> str:
     cost = cost or CostModel()
     rows = []
     for s in summarize(device):
+        fraction = s.active_fraction
         rows.append(
             [
                 s.name,
@@ -73,10 +96,11 @@ def render_trace(device: Device, *, cost: CostModel | None = None) -> str:
                 s.bytes_total,
                 s.achieved_gbs,
                 s.modeled_seconds(cost) * 1e3,
+                None if fraction is None else 100.0 * fraction,
             ]
         )
     return render_table(
-        ["kernel", "launches", "time (ms)", "bytes", "GB/s", "modeled (ms)"],
+        ["kernel", "launches", "time (ms)", "bytes", "GB/s", "modeled (ms)", "active %"],
         rows,
         digits=3,
         title=f"device trace: {device.name}",

@@ -146,12 +146,63 @@ def test_ping_pong_isolation_under_adversarial_order():
         assert result.payload["r"][vtx, lane] == pos
 
 
-def test_launch_count_is_log2_n(rng):
+def test_launch_count_bounded_by_log2_n(rng):
     gt = random_linear_forest(33, rng)
     dev = Device()
     result = BidirectionalScan(gt.factor, device=dev).run(AddOperator())
-    assert result.launches == scan_steps(33) == 6
-    assert len(dev.records("bidirectional-scan")) == 6
+    # nominal step count is ceil(log2 N); the engine may converge earlier
+    assert result.steps == scan_steps(33) == 6
+    assert 0 < result.launches <= 6
+    assert len(dev.records("bidirectional-scan")) == result.launches
+    assert len(result.active_per_launch) == result.launches
+
+
+def test_worst_case_single_path_needs_all_launches():
+    """The paper's bound is tight: one path spanning all N vertices cannot
+    converge before step ⌈log₂N⌉."""
+    n = 32
+    f = _path_factor(list(range(n)))
+    result = BidirectionalScan(f).run(AddOperator())
+    assert result.launches == result.steps == scan_steps(n) == 5
+    assert result.converged
+
+
+def test_early_exit_on_short_paths():
+    """Many short paths converge after ~log2(longest path) launches."""
+    # 30 disjoint 2-vertex paths: one launch clamps every lane
+    u = np.arange(0, 60, 2)
+    f = Factor.from_edge_list(60, 2, u, u + 1)
+    dev = Device()
+    result = BidirectionalScan(f, device=dev).run(AddOperator())
+    assert result.steps == scan_steps(60) == 6
+    assert result.launches == 1
+    assert result.converged
+    assert dev.launch_count == 1
+    # frontier telemetry: one live lane per vertex (the other slot is
+    # already a path-end marker) out of 2N total
+    assert result.active_per_launch == (60,)
+    assert dev.kernels[0].active_lanes == 60
+    assert dev.kernels[0].total_lanes == 120
+
+
+def test_all_singletons_need_no_launches():
+    result = BidirectionalScan(Factor.empty(9, 2)).run(AddOperator())
+    assert result.launches == 0
+    assert result.steps == scan_steps(9)
+    assert result.converged
+    np.testing.assert_array_equal(result.payload["r"], np.ones((9, 2)))
+
+
+def test_cycles_disable_early_exit():
+    """Cycle lanes never clamp, so a factor with a cycle runs all steps —
+    the paper's cycle-detection semantics are untouched."""
+    n = 16
+    u = np.arange(n)
+    f = Factor.from_edge_list(n, 2, u, (u + 1) % n)
+    result = BidirectionalScan(f).run(NullOperator())
+    assert result.launches == result.steps == scan_steps(n)
+    assert not result.converged
+    assert result.cycle_mask.all()
 
 
 def test_explicit_steps_override():
@@ -160,3 +211,15 @@ def test_explicit_steps_override():
     assert result.steps == 1
     # after one step not all lanes can have reached the ends
     assert (result.q >= 0).any()
+
+
+def test_explicit_steps_clamped_to_nominal():
+    """steps beyond ⌈log₂N⌉ could only buy no-op launches — they are clamped
+    and the result reports the real launch count."""
+    f = _path_factor(list(range(8)))
+    result = BidirectionalScan(f).run(AddOperator(), steps=50)
+    assert result.steps == scan_steps(8) == 3
+    assert result.launches == 3
+    reference = BidirectionalScan(f).run(AddOperator())
+    np.testing.assert_array_equal(result.q, reference.q)
+    np.testing.assert_array_equal(result.payload["r"], reference.payload["r"])

@@ -1,6 +1,7 @@
 """Unit tests for the simulated device (kernel-launch accounting)."""
 
 import numpy as np
+import pytest
 
 from repro.device import Device, default_device
 
@@ -66,3 +67,75 @@ def test_launch_indices_increment():
         with dev.launch("k"):
             pass
     assert [r.launch_index for r in dev.kernels] == [0, 1, 2]
+
+
+def test_launch_records_survive_exception():
+    """A kernel that faults must still leave a truthful record behind."""
+    dev = Device()
+    a = np.zeros(25, dtype=np.float64)
+    with pytest.raises(RuntimeError, match="boom"):
+        with dev.launch("faulty", reads=(a,)):
+            raise RuntimeError("boom")
+    assert dev.launch_count == 1
+    rec = dev.kernels[0]
+    assert rec.name == "faulty"
+    assert rec.bytes_read == 200
+    assert rec.seconds >= 0.0
+
+
+def test_launch_handle_deferred_registration():
+    """Bytes known only mid-body register through the launch handle."""
+    dev = Device()
+    with dev.launch("gather") as kl:
+        idx = np.arange(8, dtype=np.int64)
+        kl.reads(idx)
+        out = np.zeros(8, dtype=np.float64)
+        kl.writes(out)
+    rec = dev.kernels[0]
+    assert rec.bytes_read == 64
+    assert rec.bytes_written == 64
+
+
+def test_launch_handle_registration_survives_exception():
+    dev = Device()
+    with pytest.raises(ValueError):
+        with dev.launch("gather") as kl:
+            kl.reads(np.zeros(4, dtype=np.float64))
+            raise ValueError
+    assert dev.kernels[0].bytes_read == 32
+
+
+def test_launch_telemetry_fields():
+    dev = Device()
+    with dev.launch("scan", active_lanes=6, total_lanes=20):
+        pass
+    rec = dev.kernels[0]
+    assert rec.active_lanes == 6
+    assert rec.total_lanes == 20
+    assert rec.active_fraction == pytest.approx(0.3)
+
+
+def test_launch_telemetry_via_handle():
+    dev = Device()
+    with dev.launch("scan") as kl:
+        kl.telemetry(active_lanes=3, total_lanes=12)
+    assert dev.kernels[0].active_fraction == pytest.approx(0.25)
+
+
+def test_untelemetered_launch_has_no_active_fraction():
+    dev = Device()
+    with dev.launch("k"):
+        pass
+    rec = dev.kernels[0]
+    assert rec.active_lanes is None
+    assert rec.active_fraction is None
+
+
+def test_convergence_history():
+    dev = Device()
+    for lanes in (10, 4, 1):
+        with dev.launch("scan[step]", active_lanes=lanes, total_lanes=10):
+            pass
+    with dev.launch("other", active_lanes=99, total_lanes=99):
+        pass
+    assert dev.convergence_history("scan") == [10, 4, 1]

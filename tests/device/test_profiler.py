@@ -44,6 +44,17 @@ def test_as_dict():
     assert d["only"] >= 0.0
 
 
+def test_measure_records_on_exception():
+    """A failed phase body must still contribute seconds and calls."""
+    tb = TimingBreakdown()
+    with pytest.raises(RuntimeError, match="mid-phase"):
+        with tb.phase("p"):
+            time.sleep(0.005)
+            raise RuntimeError("mid-phase")
+    assert tb.phases["p"].calls == 1
+    assert tb.phases["p"].seconds >= 0.005
+
+
 def test_merge():
     a = TimingBreakdown()
     b = TimingBreakdown()

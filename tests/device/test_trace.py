@@ -46,6 +46,30 @@ def test_render_trace_contains_kernels():
     assert "GB/s" in text
 
 
+def test_summarize_aggregates_lane_telemetry():
+    dev = Device()
+    with dev.launch("scan[step=0]", active_lanes=8, total_lanes=10):
+        pass
+    with dev.launch("scan[step=1]", active_lanes=2, total_lanes=10):
+        pass
+    s = {x.name: x for x in summarize(dev)}["scan"]
+    assert s.active_lanes == 10
+    assert s.total_lanes == 20
+    assert s.active_fraction == 0.5
+
+
+def test_render_trace_shows_active_percent_column():
+    dev = _loaded_device()  # no telemetry → "-" in the column
+    with dev.launch("scan[step=0]", active_lanes=5, total_lanes=20):
+        pass
+    text = render_trace(dev)
+    assert "active %" in text
+    assert "25.000" in text  # 5 / 20 lanes live
+    # untelemetered kernels render a placeholder, not a bogus number
+    propose_line = next(l for l in text.splitlines() if l.startswith("propose"))
+    assert propose_line.rstrip().endswith("-")
+
+
 def test_empty_device():
     assert summarize(Device()) == []
     assert "device trace" in render_trace(Device())
