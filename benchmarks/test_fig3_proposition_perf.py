@@ -16,6 +16,8 @@ import time
 
 import numpy as np
 
+import pytest
+
 from repro.analysis import render_table, series_to_tsv
 from repro.core.charge import vertex_charges
 from repro.core.factor import propose_edges
@@ -24,6 +26,8 @@ from repro.device import CostModel, proposition_traffic, spmv_traffic
 from repro.sparse import prepare_graph, spmv
 
 from .conftest import bench_suite, emit
+
+pytestmark = pytest.mark.budget
 
 
 def _time(fn, repeats=3):

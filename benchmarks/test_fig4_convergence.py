@@ -11,6 +11,8 @@ findings.
 
 import numpy as np
 
+import pytest
+
 from repro.analysis import render_table, series_to_tsv
 from repro.graphs import SUITE, build_matrix
 from repro.solvers import (
@@ -22,6 +24,8 @@ from repro.solvers import (
 )
 
 from .conftest import bench_scale, emit
+
+pytestmark = pytest.mark.budget
 
 TOL = 1e-10
 MAX_IT = 3000

@@ -15,6 +15,8 @@ import time
 
 import numpy as np
 
+import pytest
+
 from repro.analysis import boxplot_stats, render_table, series_to_tsv
 from repro.core import break_cycles, forest_permutation, identify_paths, parallel_factor
 from repro.core import ParallelFactorConfig
@@ -23,6 +25,8 @@ from repro.device import Device, scan_traffic
 from repro.sparse import prepare_graph
 
 from .conftest import bench_suite, emit
+
+pytestmark = pytest.mark.budget
 
 
 def test_fig5_scan_throughput_and_speedup(results_dir, matrices, benchmark):

@@ -5,11 +5,15 @@ Per matrix: the fraction of the AlgTriScalPrecond setup spent in the
 extraction (paper: extraction is at most ~10%), plus the absolute total.
 """
 
+import pytest
+
 from repro.analysis import render_table, series_to_tsv
 from repro.core import ParallelFactorConfig, extract_linear_forest
 from repro.core.pipeline import PHASE_EXTRACT, PHASE_FACTOR, PHASE_SCANS
 
 from .conftest import bench_suite, emit
+
+pytestmark = pytest.mark.budget
 
 
 def test_fig6_setup_breakdown(results_dir, matrices, benchmark):

@@ -15,11 +15,15 @@ import json
 import os
 from pathlib import Path
 
+import pytest
+
 from repro.analysis import render_table
 from repro.core import extract_linear_forest
 from repro.device import Device
 
 from .conftest import bench_scale, bench_suite, emit
+
+pytestmark = pytest.mark.budget
 
 BUDGET_PATH = Path(__file__).parent / "scan_launch_budget.json"
 
@@ -40,8 +44,6 @@ def _measure(matrix):
 
 def test_scan_launch_budget(results_dir, matrices):
     if bench_scale() != 1.0:
-        import pytest
-
         pytest.skip("budget is recorded at REPRO_BENCH_SCALE=1.0")
 
     measured = {name: _measure(matrices[name]) for name in bench_suite()}

@@ -29,6 +29,12 @@ ablation benchmarks quantify the claims:
   :class:`~repro.core.scan.BidirectionalScan` is property-tested against
   (results must be bit-identical) and the traffic baseline of the
   convergence benchmarks.
+* :func:`reference_parallel_factor` — the paper-exact Algorithm 2 round
+  loop: every round launches charge/propose/mutualize over the *full*
+  nonzero array (:func:`~repro.core.factor.propose_edges` re-masks all nnz
+  entries each call), with no frontier compaction and no empty-frontier
+  early exit.  The oracle and traffic baseline for the convergence-aware
+  :class:`~repro.core.proposer.PropositionEngine`.
 """
 
 from __future__ import annotations
@@ -63,6 +69,7 @@ __all__ = [
     "merged_linear_forest",
     "propose_accept_factor",
     "propose_edges_segmented_sort",
+    "reference_parallel_factor",
 ]
 
 
@@ -139,6 +146,93 @@ class ReferenceScan(BidirectionalScan):
             launches=launches,
             active_per_launch=tuple(active_history),
         )
+
+
+# ---------------------------------------------------------------------------
+# paper-exact Algorithm 2 rounds (no frontier compaction)
+# ---------------------------------------------------------------------------
+
+
+def reference_parallel_factor(
+    graph: CSRMatrix,
+    config: ParallelFactorConfig | None = None,
+    *,
+    device=None,
+    coverage_matrix: CSRMatrix | None = None,
+) -> ParallelFactorResult:
+    """The paper-exact Algorithm 2 loop: full-nnz rounds, no early exit.
+
+    Every iteration launches charge (when scheduled), propose and mutualize
+    kernels whose reads cover the complete CSR arrays — the proposition
+    re-masks all nonzeros each round, exactly as the paper's kernels do.
+    The only exit before ``M`` is the paper's own maximality test (zero
+    propositions on an un-charged round).  Results are bit-identical to
+    :func:`repro.core.factor.parallel_factor`, which this function serves as
+    oracle and launch/traffic baseline for.
+    """
+    from ..device.device import default_device
+    from .coverage import coverage as coverage_of
+    from .factor import _confirm_mutual, propose_edges
+
+    config = config or ParallelFactorConfig()
+    device = device or default_device()
+    n_vertices = graph.n_rows
+    n = config.n
+
+    confirmed = np.full((n_vertices, n), NO_PARTNER, dtype=INDEX_DTYPE)
+    coverage_history: list[float] = []
+    proposals_history: list[int] = []
+    m_max: int | None = None
+    converged = False
+    iterations = 0
+
+    for k in range(config.max_iterations):
+        charging = config.charging_enabled(k)
+        charges = None
+        if charging:
+            with device.launch(f"charge[k={k}]", writes=()):
+                charges = vertex_charges(n_vertices, k, p=config.p, seed=config.seed)
+
+        with device.launch(
+            f"propose[k={k}]",
+            reads=(graph.data, graph.indices, graph.indptr, confirmed),
+        ) as kl:
+            prop_cols, prop_vals, prop_counts = propose_edges(
+                graph, confirmed, n, charges=charges
+            )
+            if charges is not None:
+                kl.reads(charges)
+            kl.writes(prop_cols, prop_vals, prop_counts)
+        total_proposals = int(prop_counts.sum())
+        proposals_history.append(total_proposals)
+        iterations = k + 1
+
+        if total_proposals == 0 and not charging:
+            m_max = k + 1
+            converged = True
+            if coverage_matrix is not None:
+                coverage_history.append(
+                    coverage_of(coverage_matrix, Factor(confirmed))
+                )
+            break
+
+        degree = (confirmed != NO_PARTNER).sum(axis=1).astype(INDEX_DTYPE)
+        with device.launch(
+            f"mutualize[k={k}]", reads=(prop_cols,), writes=(confirmed,)
+        ):
+            _confirm_mutual(confirmed, degree, prop_cols)
+
+        if coverage_matrix is not None:
+            coverage_history.append(coverage_of(coverage_matrix, Factor(confirmed)))
+
+    return ParallelFactorResult(
+        factor=Factor(confirmed),
+        iterations=iterations,
+        m_max=m_max,
+        converged=converged,
+        coverage_history=coverage_history,
+        proposals_per_iteration=proposals_history,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import VALUE_DTYPE, check_square
+from .._validation import VALUE_DTYPE, as_value_array, check_square
 from ..device.device import Device, default_device
 from ..errors import ShapeError
 from ..sparse.csr import CSRMatrix
@@ -37,9 +37,16 @@ class TridiagonalSystem:
     du: np.ndarray
 
     def __post_init__(self) -> None:
-        dl = np.ascontiguousarray(self.dl, dtype=VALUE_DTYPE)
-        d = np.ascontiguousarray(self.d, dtype=VALUE_DTYPE)
-        du = np.ascontiguousarray(self.du, dtype=VALUE_DTYPE)
+        # float32 is preserved the same way CSRMatrix does it: only when
+        # every band comes in as float32 does the system stay single
+        # precision; any other dtype mix coerces to VALUE_DTYPE.
+        all_f32 = all(
+            np.asarray(b).dtype == np.float32 for b in (self.dl, self.d, self.du)
+        )
+        value_dtype = np.float32 if all_f32 else VALUE_DTYPE
+        dl = np.ascontiguousarray(self.dl, dtype=value_dtype)
+        d = np.ascontiguousarray(self.d, dtype=value_dtype)
+        du = np.ascontiguousarray(self.du, dtype=value_dtype)
         if not (dl.shape == d.shape == du.shape) or d.ndim != 1:
             raise ShapeError("dl, d, du must be equal-length 1-D arrays")
         object.__setattr__(self, "dl", dl)
@@ -47,11 +54,16 @@ class TridiagonalSystem:
         object.__setattr__(self, "du", du)
 
     @property
+    def value_dtype(self) -> np.dtype:
+        """The band precision (float32 or float64)."""
+        return self.d.dtype
+
+    @property
     def n(self) -> int:
         return int(self.d.size)
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=VALUE_DTYPE)
+        x = as_value_array(x, name="x")
         if x.shape != (self.n,):
             raise ShapeError(f"x must have shape ({self.n},)")
         y = self.d * x
@@ -66,7 +78,7 @@ class TridiagonalSystem:
         return pcr_solve(self.dl, self.d, self.du, b)
 
     def to_dense(self) -> np.ndarray:
-        dense = np.zeros((self.n, self.n), dtype=VALUE_DTYPE)
+        dense = np.zeros((self.n, self.n), dtype=self.d.dtype)
         idx = np.arange(self.n)
         dense[idx, idx] = self.d
         dense[idx[1:], idx[1:] - 1] = self.dl[1:]
@@ -91,13 +103,16 @@ def extract_tridiagonal(
     n = check_square(a.shape)
     device = device or default_device()
     new_index = inverse_permutation(perm)
-    dl = np.zeros(n, dtype=VALUE_DTYPE)
-    du = np.zeros(n, dtype=VALUE_DTYPE)
+    # the bands inherit the input precision: a float32 matrix yields a
+    # float32 system (the paper's single-precision benchmark path)
+    band_dtype = a.data.dtype
+    dl = np.zeros(n, dtype=band_dtype)
+    du = np.zeros(n, dtype=band_dtype)
     coo = a.to_coo()
     with device.launch(
         "extract-coefficients", reads=(coo.row, coo.col, coo.val), writes=(dl, du)
     ):
-        d = np.zeros(n, dtype=VALUE_DTYPE)
+        d = np.zeros(n, dtype=band_dtype)
         on_diag = coo.row == coo.col
         d[new_index[coo.row[on_diag]]] = coo.val[on_diag]
         off = ~on_diag

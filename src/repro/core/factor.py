@@ -17,6 +17,15 @@ Each iteration ``k`` runs three kernel launches:
 
 If an un-charged round proposes nothing, the factor is maximal and the
 algorithm returns ``M_max = k + 1`` (Alg. 2 lines 23-24).
+
+:func:`parallel_factor` drives the rounds through the convergence-aware
+:class:`~repro.core.proposer.PropositionEngine` (a documented deviation from
+the paper, which re-masks every nonzero each round): the active edge
+frontier shrinks monotonically as vertices saturate and pairs confirm, each
+``propose``/``mutualize`` launch reports its frontier occupancy to the
+device, and rounds whose frontier is empty never launch at all.  Results
+are bit-identical to :func:`propose_edges`, the property-tested reference;
+the paper-exact full-nnz round survives in :mod:`repro.core.ablations`.
 """
 
 from __future__ import annotations
@@ -29,7 +38,7 @@ from .._validation import INDEX_DTYPE, require
 from ..device.device import Device, default_device
 from ..errors import FactorError, ShapeError
 from ..sparse.csr import CSRMatrix
-from ..sparse.topn import top_n_per_row
+from ..sparse.topn import top_n_per_row, validate_proposition_weights
 from .charge import vertex_charges
 from .coverage import coverage as coverage_of
 from .structures import NO_PARTNER, Factor
@@ -91,11 +100,24 @@ class ParallelFactorResult:
     converged: bool
     coverage_history: list[float] = field(default_factory=list)
     proposals_per_iteration: list[int] = field(default_factory=list)
+    #: Active-edge frontier size at the start of each round (one entry per
+    #: executed iteration) — the convergence curve of the proposition engine.
+    frontier_history: list[int] = field(default_factory=list)
 
     @property
     def coverage(self) -> float | None:
         """Final coverage, when history tracking was enabled."""
         return self.coverage_history[-1] if self.coverage_history else None
+
+    @property
+    def final_frontier_fraction(self) -> float | None:
+        """Last frontier size over the initial one, or ``None`` untracked."""
+        if not self.frontier_history:
+            return None
+        total = self.frontier_history[0]
+        if total <= 0:
+            return 0.0
+        return self.frontier_history[-1] / total
 
 
 def propose_edges(
@@ -124,6 +146,7 @@ def propose_edges(
     n_vertices = graph.n_rows
     if confirmed.shape != (n_vertices, n):
         raise ShapeError(f"confirmed must have shape {(n_vertices, n)}")
+    validate_proposition_weights(graph.data)
     rows_nnz = graph.nnz_rows
     cols = graph.indices
     degree = (confirmed != NO_PARTNER).sum(axis=1).astype(INDEX_DTYPE)
@@ -196,53 +219,87 @@ def parallel_factor(
     n = config.n
     if graph.n_rows != graph.n_cols:
         raise ShapeError("graph adjacency must be square")
-    if graph.nnz and bool((graph.data < 0).any()):
-        raise FactorError("graph weights must be non-negative; run prepare_graph first")
+    validate_proposition_weights(graph.data)
 
     confirmed = np.full((n_vertices, n), NO_PARTNER, dtype=INDEX_DTYPE)
     coverage_history: list[float] = []
     proposals_history: list[int] = []
+    frontier_history: list[int] = []
     m_max: int | None = None
     converged = False
     iterations = 0
 
     # the proposition's sort key depends only on the graph: hoist it out of
-    # the rounds (see repro.core.proposer)
-    from .proposer import PreparedProposer
+    # the rounds, and keep only the still-active edge frontier in play
+    # (see repro.core.proposer for the frontier invariant)
+    from .proposer import PropositionEngine
 
-    proposer = PreparedProposer(graph)
+    engine = PropositionEngine(graph, n)
 
     for k in range(config.max_iterations):
         charging = config.charging_enabled(k)
+        frontier_history.append(engine.frontier_size)
+        iterations = k + 1
+
+        if engine.frontier_size == 0:
+            # Every edge retired: no round can ever propose again.  The
+            # outcome of the paper's launches is fully known, so none fire.
+            proposals_history.append(0)
+            if not charging:
+                # |π(V)| = |π'(V)| on an un-charged round: maximal factor
+                m_max = k + 1
+                converged = True
+                if coverage_matrix is not None:
+                    coverage_history.append(
+                        coverage_of(coverage_matrix, Factor(confirmed))
+                    )
+                break
+            if coverage_matrix is not None:
+                coverage_history.append(
+                    coverage_of(coverage_matrix, Factor(confirmed))
+                )
+            continue
+
         charges = None
         if charging:
             with device.launch(f"charge[k={k}]", writes=()):
                 charges = vertex_charges(n_vertices, k, p=config.p, seed=config.seed)
 
-        with device.launch(
-            f"propose[k={k}]",
-            reads=(graph.data, graph.indices, graph.indptr, confirmed),
-        ):
-            prop_cols, _prop_vals, prop_counts = proposer.propose(
-                confirmed, n, charges=charges
+        with device.launch(f"propose[k={k}]") as kl:
+            prop_cols, _prop_vals, prop_counts = engine.propose(
+                confirmed, charges=charges, launch=kl
             )
         total_proposals = int(prop_counts.sum())
         proposals_history.append(total_proposals)
-        iterations = k + 1
 
-        if total_proposals == 0 and not charging:
-            # |π(V)| = |π'(V)| on an un-charged round: the factor is maximal
-            m_max = k + 1
-            converged = True
+        if total_proposals == 0:
+            if not charging:
+                # |π(V)| = |π'(V)| on an un-charged round: maximal factor
+                m_max = k + 1
+                converged = True
+                if coverage_matrix is not None:
+                    coverage_history.append(
+                        coverage_of(coverage_matrix, Factor(confirmed))
+                    )
+                break
+            # charge starvation: nothing to mutualize, the factor (and
+            # therefore the frontier) is unchanged — skip both launches
             if coverage_matrix is not None:
                 coverage_history.append(
                     coverage_of(coverage_matrix, Factor(confirmed))
                 )
-            break
+            continue
 
         degree = (confirmed != NO_PARTNER).sum(axis=1).astype(INDEX_DTYPE)
-        with device.launch(f"mutualize[k={k}]", reads=(prop_cols,), writes=(confirmed,)):
-            _confirm_mutual(confirmed, degree, prop_cols)
+        with device.launch(
+            f"mutualize[k={k}]", reads=(prop_cols,), writes=(confirmed,)
+        ) as kl:
+            n_new = _confirm_mutual(confirmed, degree, prop_cols)
+            if n_new:
+                engine.compact(confirmed, launch=kl)
+            kl.telemetry(
+                active_lanes=engine.frontier_size, total_lanes=engine.total_edges
+            )
 
         if coverage_matrix is not None:
             coverage_history.append(coverage_of(coverage_matrix, Factor(confirmed)))
@@ -254,4 +311,5 @@ def parallel_factor(
         converged=converged,
         coverage_history=coverage_history,
         proposals_per_iteration=proposals_history,
+        frontier_history=frontier_history,
     )

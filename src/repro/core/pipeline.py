@@ -70,6 +70,11 @@ class LinearForestResult:
     def forest(self) -> Factor:
         return self.broken.forest
 
+    @property
+    def frontier_history(self) -> list[int]:
+        """Active-edge frontier per factor round (proposition convergence)."""
+        return self.factor_result.frontier_history
+
 
 def extract_linear_forest(
     a: CSRMatrix,

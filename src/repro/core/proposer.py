@@ -1,16 +1,43 @@
-"""Amortized edge proposition: sort once, propose every round in O(nnz).
+"""Convergence-aware edge proposition — the Algorithm 2 analogue of the
+scan engine.
 
-Profiling the pipeline (cf. the optimization workflow the repo follows:
-measure first) shows Algorithm 2's rounds are dominated by the global
-``lexsort`` inside :func:`repro.sparse.topn.top_n_per_row` — yet the sort
-key ``(row, -|weight|, position)`` depends only on the *graph*, not on the
-round.  :class:`PreparedProposer` hoists that sort out of the iteration:
-per round, only the eligibility mask and a segmented cumulative count remain
-(pure O(nnz) passes).
+Two layers of amortization live here, both observationally pure:
 
-Results are bit-identical to :func:`repro.core.factor.propose_edges` — the
-sorted order encodes exactly the Table 1 tie-breaking — which the test-suite
-asserts; :func:`repro.core.factor.parallel_factor` uses the prepared path.
+* :class:`PreparedProposer` hoists the round-invariant ``(row, -value,
+  position)`` sort out of Algorithm 2's iteration (profiling shows the
+  global ``lexsort`` inside :func:`repro.sparse.topn.top_n_per_row`
+  dominates a round); per round only the eligibility mask and a segmented
+  cumulative count remain — but still over the *full* nonzero array.
+* :class:`PropositionEngine` adds the frontier compaction that mirrors the
+  convergence-aware :class:`~repro.core.scan.BidirectionalScan`: most
+  eligibility conditions of Algorithm 2 are *monotone* — once they fail for
+  an edge they fail forever — so the engine maintains the **active edge
+  frontier** incrementally across rounds and recomputes only the one
+  transient condition (charge parity) per round.
+
+The frontier invariant (the deviation-from-paper argument, cf. DESIGN.md):
+an edge ``(v, w)`` of the prepared graph leaves the frontier permanently as
+soon as
+
+* ``v`` is saturated (``|π'(v)| = n``) — degrees never decrease, so the
+  edge can never be proposed by ``v`` again (capacity stays 0);
+* ``w`` is saturated — ``w`` is never an eligible target again;
+* the pair is already confirmed — confirmed partners are never dropped; or
+* ``v == w`` — self loops are never eligible.
+
+Only the charge test ``charge(v) != charge(w)`` changes from round to
+round, so it is the only mask the per-round kernel computes.  Because every
+removed edge is *ineligible* under Algorithm 2's full mask, the rank of the
+surviving eligible entries inside their row segment is unchanged, and the
+compacted proposal is bit-identical to
+:func:`repro.core.factor.propose_edges` — the property-tested reference
+(a paper-exact full-nnz round is preserved in
+:mod:`repro.core.ablations` as the traffic baseline).
+
+Compaction is gather-then-scatter on the pre-sorted arrays: the keep-mask
+gathers the surviving ``(row, col, value)`` triples into fresh compact
+buffers, preserving the sorted order (and therefore the Table 1
+tie-breaking) exactly.
 """
 
 from __future__ import annotations
@@ -18,17 +45,66 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import INDEX_DTYPE, VALUE_DTYPE
-from ..errors import ShapeError
+from ..device.device import KernelLaunch
+from ..errors import FactorError, ShapeError
 from ..sparse.csr import CSRMatrix
+from ..sparse.topn import validate_proposition_weights
 from .structures import NO_PARTNER
 
-__all__ = ["PreparedProposer"]
+__all__ = ["PreparedProposer", "PropositionEngine"]
+
+
+def _segmented_rank(
+    rows: np.ndarray,
+    eligible: np.ndarray,
+    row_starts: np.ndarray,
+    row_counts: np.ndarray,
+    n_vertices: int,
+) -> np.ndarray:
+    """Rank of each entry among its row's *eligible* entries, in array order.
+
+    ``rows`` must be sorted; ``row_starts``/``row_counts`` describe its
+    segments.  Ineligible entries receive meaningless (but harmless) ranks.
+    """
+    elig_int = eligible.astype(INDEX_DTYPE)
+    cum = np.cumsum(elig_int)
+    base = np.zeros(n_vertices, dtype=INDEX_DTYPE)
+    non_empty = row_counts > 0
+    starts = row_starts[non_empty]
+    base[non_empty] = cum[starts] - elig_int[starts]
+    return cum - 1 - base[rows]
+
+
+def _scatter_proposals(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    selected: np.ndarray,
+    rank: np.ndarray,
+    n_vertices: int,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Write the selected entries into the ``(N, n)`` proposal slots."""
+    prop_cols = np.full((n_vertices, n), NO_PARTNER, dtype=INDEX_DTYPE)
+    prop_vals = np.zeros((n_vertices, n), dtype=VALUE_DTYPE)
+    counts = np.zeros(n_vertices, dtype=INDEX_DTYPE)
+    sel = np.flatnonzero(selected)
+    prop_cols[rows[sel], rank[sel]] = cols[sel]
+    prop_vals[rows[sel], rank[sel]] = vals[sel]
+    np.add.at(counts, rows[sel], 1)
+    return prop_cols, prop_vals, counts
 
 
 class PreparedProposer:
-    """Pre-sorted proposition kernel for repeated rounds on one graph."""
+    """Pre-sorted proposition kernel for repeated rounds on one graph.
+
+    Stateless across rounds (the full nonzero array is re-masked every
+    call); :class:`PropositionEngine` is the stateful frontier-compacted
+    variant used by :func:`repro.core.factor.parallel_factor`.
+    """
 
     def __init__(self, graph: CSRMatrix):
+        validate_proposition_weights(graph.data)
         self.graph = graph
         rows = graph.nnz_rows
         nnz = graph.nnz
@@ -36,7 +112,7 @@ class PreparedProposer:
         order = np.lexsort((position, -graph.data, rows))
         self._rows = rows[order]
         self._cols = graph.indices[order]
-        self._vals = graph.data[order]
+        self._vals = np.asarray(graph.data, dtype=VALUE_DTYPE)[order]
         # segment extents are unchanged (row is the primary sort key)
         self._row_starts = graph.indptr[:-1]
         self._row_lengths = graph.row_lengths
@@ -63,22 +139,163 @@ class PreparedProposer:
         eligible &= ~(confirmed[rows] == cols[:, None]).any(axis=1)
 
         capacity = n - degree
-        # rank of each nonzero among its row's eligible entries, in the
-        # pre-sorted (descending-value) order
-        elig_int = eligible.astype(INDEX_DTYPE)
-        cum = np.cumsum(elig_int)
-        base = np.zeros(n_vertices, dtype=INDEX_DTYPE)
-        non_empty = self._row_lengths > 0
-        starts = self._row_starts[non_empty]
-        base[non_empty] = cum[starts] - elig_int[starts]
-        rank = cum - 1 - base[rows]
+        rank = _segmented_rank(
+            rows, eligible, self._row_starts, self._row_lengths, n_vertices
+        )
         selected = eligible & (rank < capacity[rows])
+        return _scatter_proposals(
+            rows, cols, vals, selected, rank, n_vertices, n
+        )
 
-        prop_cols = np.full((n_vertices, n), NO_PARTNER, dtype=INDEX_DTYPE)
-        prop_vals = np.zeros((n_vertices, n), dtype=VALUE_DTYPE)
-        counts = np.zeros(n_vertices, dtype=INDEX_DTYPE)
-        sel = np.flatnonzero(selected)
-        prop_cols[rows[sel], rank[sel]] = cols[sel]
-        prop_vals[rows[sel], rank[sel]] = vals[sel]
-        np.add.at(counts, rows[sel], 1)
+
+class PropositionEngine:
+    """Frontier-compacted proposition rounds for Algorithm 2.
+
+    The engine owns compacted copies of the pre-sorted nonzero arrays (the
+    *frontier*).  Per round:
+
+    * :meth:`propose` evaluates only the charge mask over the frontier and
+      selects the top-``capacity`` eligible entries per row — bit-identical
+      to :func:`repro.core.factor.propose_edges` as long as the frontier is
+      in sync with ``confirmed`` (see :meth:`compact`);
+    * :meth:`compact` (called after the mutualize step) gathers the
+      still-live edges into fresh compact buffers, permanently retiring
+      edges with a saturated endpoint or a confirmed pair.
+
+    The contract between the two: ``propose(confirmed, ...)`` requires that
+    the last ``compact(confirmed)`` saw the same ``confirmed`` array —
+    exactly the discipline of Algorithm 2's round loop, where the factor
+    only changes in the mutualize step.  A fresh engine is in sync with any
+    all-empty ``confirmed``.
+
+    ``frontier_size`` / ``total_edges`` expose the telemetry the factor
+    loop threads into :meth:`repro.device.device.Device.launch`.
+    """
+
+    def __init__(self, graph: CSRMatrix, n: int):
+        if n < 1:
+            raise ShapeError(f"n must be >= 1, got {n}")
+        validate_proposition_weights(graph.data)
+        self.graph = graph
+        self.n = int(n)
+        self._n_vertices = graph.n_rows
+        rows = graph.nnz_rows
+        nnz = graph.nnz
+        position = np.arange(nnz, dtype=INDEX_DTYPE)
+        order = np.lexsort((position, -graph.data, rows))
+        rows = rows[order]
+        cols = graph.indices[order]
+        vals = np.asarray(graph.data, dtype=VALUE_DTYPE)[order]
+        # self loops are permanently ineligible: retire them up front
+        live = cols != rows
+        if not bool(live.all()):
+            rows, cols, vals = rows[live], cols[live], vals[live]
+        self._rows = rows
+        self._cols = cols
+        self._vals = vals
+        self._recompute_segments()
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def frontier_size(self) -> int:
+        """Number of directed edges still in the active frontier."""
+        return int(self._rows.size)
+
+    @property
+    def total_edges(self) -> int:
+        """The frontier denominator: all nonzeros of the prepared graph."""
+        return self.graph.nnz
+
+    def _recompute_segments(self) -> None:
+        counts = np.bincount(self._rows, minlength=self._n_vertices).astype(
+            INDEX_DTYPE
+        )
+        starts = np.zeros(self._n_vertices, dtype=INDEX_DTYPE)
+        if self._n_vertices > 1:
+            np.cumsum(counts[:-1], out=starts[1:])
+        self._row_starts = starts
+        self._row_counts = counts
+
+    # -- kernels -------------------------------------------------------------
+    def propose(
+        self,
+        confirmed: np.ndarray,
+        *,
+        charges: np.ndarray | None = None,
+        launch: KernelLaunch | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One frontier-compacted proposition round.
+
+        Same output contract as :func:`repro.core.factor.propose_edges`.
+        Only the charge mask is recomputed: the frontier invariant
+        guarantees every remaining edge has two unsaturated endpoints and
+        is not yet confirmed.
+        """
+        n = self.n
+        n_vertices = self._n_vertices
+        if confirmed.shape != (n_vertices, n):
+            raise ShapeError(f"confirmed must have shape {(n_vertices, n)}")
+        rows, cols, vals = self._rows, self._cols, self._vals
+        degree = (confirmed != NO_PARTNER).sum(axis=1).astype(INDEX_DTYPE)
+        capacity = n - degree
+
+        if charges is None:
+            eligible = np.ones(rows.size, dtype=bool)
+        else:
+            eligible = charges[rows] != charges[cols]
+
+        rank = _segmented_rank(
+            rows, eligible, self._row_starts, self._row_counts, n_vertices
+        )
+        selected = eligible & (rank < capacity[rows])
+        prop_cols, prop_vals, counts = _scatter_proposals(
+            rows, cols, vals, selected, rank, n_vertices, n
+        )
+        if launch is not None:
+            # The pre-sorted frontier makes the selection purely rank-based:
+            # the kernel never compares values, so the value array is *not*
+            # streamed — only the selected weights are gathered.  Likewise
+            # the frontier invariant reduces the per-vertex state to the
+            # degree vector (no confirmed-pair lookups remain).
+            launch.reads(rows, cols, degree, vals[: int(counts.sum())])
+            if charges is not None:
+                launch.reads(charges)
+            launch.writes(prop_cols, prop_vals, counts)
+            launch.telemetry(
+                active_lanes=self.frontier_size, total_lanes=self.total_edges
+            )
         return prop_cols, prop_vals, counts
+
+    def compact(
+        self,
+        confirmed: np.ndarray,
+        *,
+        launch: KernelLaunch | None = None,
+    ) -> int:
+        """Retire permanently ineligible edges; returns the number dropped.
+
+        Must be called whenever ``confirmed`` gained entries (after the
+        mutualize step).  Monotone: the frontier never grows.
+        """
+        n = self.n
+        if confirmed.shape != (self._n_vertices, n):
+            raise ShapeError(f"confirmed must have shape {(self._n_vertices, n)}")
+        rows, cols = self._rows, self._cols
+        if rows.size == 0:
+            return 0
+        degree = (confirmed != NO_PARTNER).sum(axis=1).astype(INDEX_DTYPE)
+        keep = (degree[rows] < n) & (degree[cols] < n)
+        keep &= ~(confirmed[rows] == cols[:, None]).any(axis=1)
+        dropped = int(rows.size - keep.sum())
+        if dropped:
+            if launch is not None:
+                # the gather reads the old frontier triple (the keep mask is
+                # computed in-kernel), the scatter writes the compacted one
+                launch.reads(rows, cols, self._vals, confirmed)
+            self._rows = rows[keep]
+            self._cols = cols[keep]
+            self._vals = self._vals[keep]
+            self._recompute_segments()
+            if launch is not None:
+                launch.writes(self._rows, self._cols, self._vals)
+        return dropped

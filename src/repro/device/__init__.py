@@ -29,7 +29,7 @@ from .costmodel import (
 )
 from .device import Device, KernelLaunch, KernelRecord, default_device
 from .profiler import PhaseTimer, TimingBreakdown
-from .trace import KernelSummary, render_trace, summarize
+from .trace import KernelSummary, render_convergence, render_trace, summarize
 
 __all__ = [
     "CostModel",
@@ -44,6 +44,7 @@ __all__ = [
     "TimingBreakdown",
     "default_device",
     "proposition_traffic",
+    "render_convergence",
     "render_trace",
     "scan_traffic",
     "spmv_traffic",

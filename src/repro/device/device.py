@@ -197,11 +197,21 @@ class Device:
 
     def convergence_history(self, name_prefix: str | None = None) -> list[int]:
         """Active-lane counts of the launches that carry frontier telemetry,
-        in launch order — the convergence curve of a scan."""
+        in launch order — the convergence curve of a scan (or of the
+        proposition engine, via the ``propose``/``mutualize`` prefixes)."""
         return [
             k.active_lanes
             for k in self.records(name_prefix)
             if k.active_lanes is not None
+        ]
+
+    def frontier_fractions(self, name_prefix: str | None = None) -> list[float]:
+        """Per-launch frontier occupancy (active / total lanes), in launch
+        order, for the launches that report both counts."""
+        return [
+            f
+            for f in (k.active_fraction for k in self.records(name_prefix))
+            if f is not None
         ]
 
     def reset(self) -> None:

@@ -16,7 +16,7 @@ from ..analysis.tables import render_table
 from .costmodel import CostModel
 from .device import Device, KernelRecord
 
-__all__ = ["KernelSummary", "render_trace", "summarize"]
+__all__ = ["KernelSummary", "render_convergence", "render_trace", "summarize"]
 
 
 @dataclass(frozen=True)
@@ -104,4 +104,33 @@ def render_trace(device: Device, *, cost: CostModel | None = None) -> str:
         rows,
         digits=3,
         title=f"device trace: {device.name}",
+    )
+
+
+def render_convergence(device: Device, name_prefix: str | None = None) -> str:
+    """Per-launch frontier table for the telemetered kernels.
+
+    Where :func:`render_trace` aggregates by kernel base name, this keeps
+    every launch as its own row — the per-round convergence curve of a scan
+    or of the proposition engine (``name_prefix="propose"``).
+    """
+    rows = []
+    for rec in device.records(name_prefix):
+        fraction = rec.active_fraction
+        if rec.active_lanes is None:
+            continue
+        rows.append(
+            [
+                rec.name,
+                rec.active_lanes,
+                rec.total_lanes,
+                None if fraction is None else 100.0 * fraction,
+                rec.bytes_total,
+            ]
+        )
+    return render_table(
+        ["launch", "active", "total", "active %", "bytes"],
+        rows,
+        digits=2,
+        title=f"frontier convergence: {device.name}",
     )

@@ -43,7 +43,7 @@ from .semiring import (
 from .proposition_semiring import proposition_spmv, top_n_merge
 from .spgemm import spgemm
 from .spmv import spmv
-from .topn import top_n_per_row
+from .topn import top_n_per_row, validate_proposition_weights
 from .transversal import Transversal, maximum_transversal, transversal_scaling
 
 __all__ = [
@@ -71,6 +71,7 @@ __all__ = [
     "symmetrize",
     "top_n_merge",
     "top_n_per_row",
+    "validate_proposition_weights",
     "transversal_scaling",
     "write_matrix_market",
 ]

@@ -108,9 +108,13 @@ class CSRMatrix:
         return self.indices[lo:hi], self.data[lo:hi]
 
     def diagonal(self) -> np.ndarray:
-        """The main diagonal as a dense vector (missing entries are 0)."""
+        """The main diagonal as a dense vector (missing entries are 0).
+
+        Allocated in the matrix value dtype, so float32 matrices keep their
+        precision (the ``__post_init__`` promise).
+        """
         n = min(self.shape)
-        diag = np.zeros(n, dtype=VALUE_DTYPE)
+        diag = np.zeros(n, dtype=self.data.dtype)
         rows = self.nnz_rows
         mask = rows == self.indices
         diag_rows = rows[mask]

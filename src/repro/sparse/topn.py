@@ -21,9 +21,36 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import INDEX_DTYPE, VALUE_DTYPE
-from ..errors import ShapeError
+from ..errors import FactorError, ShapeError
 
-__all__ = ["top_n_per_row", "top_n_per_row_insertion"]
+__all__ = [
+    "top_n_per_row",
+    "top_n_per_row_insertion",
+    "validate_proposition_weights",
+]
+
+
+def validate_proposition_weights(values: np.ndarray) -> None:
+    """Reject weights the ``(row, -value, position)`` lexsort mis-ranks.
+
+    The Table 1 accumulator assumes the paper's ``A' = |A|`` convention:
+    NaNs make the sort order (and therefore the whole proposition)
+    unpredictable, and negative weights invert the descending-value
+    tie-breaking relative to the insertion reference.  Both are input
+    errors — run :func:`repro.sparse.build.prepare_graph` first.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return
+    if bool(np.isnan(values).any()):
+        raise FactorError(
+            "proposition weights contain NaN; run prepare_graph first"
+        )
+    if bool((values < 0).any()):
+        raise FactorError(
+            "proposition weights must be non-negative (the paper's A' = |A| "
+            "convention); run prepare_graph first"
+        )
 
 
 def top_n_per_row(
@@ -64,6 +91,7 @@ def top_n_per_row(
     indptr = np.asarray(indptr, dtype=INDEX_DTYPE)
     indices = np.asarray(indices, dtype=INDEX_DTYPE)
     values = np.asarray(values, dtype=VALUE_DTYPE)
+    validate_proposition_weights(values)
     n_rows = indptr.size - 1
     nnz = indices.size
     cols_out = np.full((n_rows, n), -1, dtype=INDEX_DTYPE)
@@ -125,6 +153,7 @@ def top_n_per_row_insertion(
     indptr = np.asarray(indptr, dtype=INDEX_DTYPE)
     indices = np.asarray(indices, dtype=INDEX_DTYPE)
     values = np.asarray(values, dtype=VALUE_DTYPE)
+    validate_proposition_weights(values)
     n_rows = indptr.size - 1
     nnz = indices.size
     if eligible is None:

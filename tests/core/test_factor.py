@@ -107,11 +107,35 @@ def test_rejects_rectangular():
 
 def test_device_launch_accounting(path_graph):
     dev = Device()
-    parallel_factor(path_graph, ParallelFactorConfig(n=2, max_iterations=3), device=dev)
+    # m=2, k_m=1: round 0 is charged, so the charge kernel fires while the
+    # frontier is still live
+    parallel_factor(
+        path_graph,
+        ParallelFactorConfig(n=2, max_iterations=3, m=2, k_m=1),
+        device=dev,
+    )
     assert len(dev.records("propose")) >= 1
-    # charged rounds also record a charge kernel
     names = [r.name for r in dev.kernels]
     assert any(name.startswith("charge") for name in names)
+
+
+def test_empty_frontier_rounds_launch_nothing(path_graph):
+    """Once every edge is retired, later rounds run no kernels at all."""
+    dev = Device()
+    res = parallel_factor(
+        path_graph, ParallelFactorConfig(n=2, max_iterations=10), device=dev
+    )
+    # round 0 (un-charged) confirms the whole path; rounds 1..4 are charged
+    # with an empty frontier and must not launch; round 5 (un-charged)
+    # certifies maximality without launching either
+    assert res.converged and res.m_max == 6
+    assert res.iterations == 6
+    assert len(dev.records("propose")) == 1
+    assert len(dev.records("mutualize")) == 1
+    assert len(dev.records("charge")) == 0
+    assert res.frontier_history[0] == path_graph.nnz
+    assert res.frontier_history[1:] == [0] * 5
+    assert res.final_frontier_fraction == 0.0
 
 
 def test_propose_edges_respects_capacity(path_graph):
@@ -149,6 +173,77 @@ def test_no_charging_config_never_charges(path_graph):
         path_graph, ParallelFactorConfig(n=2, max_iterations=4, m=1, k_m=0), device=dev
     )
     assert len(dev.records("charge")) == 0
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_confirm_mutual_slot_packing_partial_capacity(n):
+    """New partners pack densely after the existing entries (no holes),
+    even when multiple mutual edges land on a partially filled vertex."""
+    from repro.core.factor import _confirm_mutual
+
+    n_vertices = 5
+    confirmed = np.full((n_vertices, n), NO_PARTNER, dtype=np.int64)
+    # vertex 0 already holds one partner (4), vertex 1 holds two
+    confirmed[0, 0] = 4
+    confirmed[4, 0] = 0
+    confirmed[1, 0] = 4
+    confirmed[1, 1] = 0  # fabricated pre-state; only packing is under test
+    prop_cols = np.full((n_vertices, n), NO_PARTNER, dtype=np.int64)
+    # mutual pairs: (0,2), (0,3), (1,2); non-mutual: 3 -> 1
+    prop_cols[0, :2] = [2, 3]
+    prop_cols[2, :2] = [0, 1]
+    prop_cols[3, :2] = [0, 1]
+    prop_cols[1, 0] = 2
+    degree = (confirmed != NO_PARTNER).sum(axis=1)
+    added = _confirm_mutual(confirmed, degree, prop_cols)
+    assert added == 6  # three undirected edges, both directions
+    # vertex 0: old partner in slot 0, new ones packed into slots 1, 2
+    assert list(confirmed[0, :3]) == [4, 2, 3]
+    # vertex 1: slots 0-1 untouched, new partner in slot 2
+    assert list(confirmed[1, :3]) == [4, 0, 2]
+    # vertex 2 was empty: packed from slot 0, proposal order preserved
+    assert list(confirmed[2, :2]) == [0, 1]
+    # vertex 3's proposal to 1 was not mutual
+    assert list(confirmed[3, :2]) == [0, NO_PARTNER]
+    # no slot beyond the packed prefix was written
+    for v in range(n_vertices):
+        deg_v = int((confirmed[v] != NO_PARTNER).sum())
+        assert (confirmed[v, deg_v:] == NO_PARTNER).all()
+
+
+@pytest.mark.parametrize("p", [0.0, 1.0])
+def test_charged_round_starvation(path_graph, p):
+    """p=0 / p=1 make all charges equal: charged rounds propose nothing.
+    parallel_factor must still terminate and report convergence honestly."""
+    res = parallel_factor(
+        path_graph,
+        ParallelFactorConfig(n=2, max_iterations=11, m=2, k_m=1, p=p),
+    )
+    # charged rounds (k even under m=2,k_m=1) starve; un-charged rounds do
+    # all the work.  The path saturates on the first un-charged round and
+    # the next un-charged round certifies maximality.
+    assert res.converged
+    assert res.m_max is not None
+    # the maximality certificate only fires on un-charged rounds
+    assert (res.m_max - 1) % 2 == 1
+    assert res.factor.edge_count == 4
+    # starved rounds really proposed nothing
+    charged = [k for k in range(res.iterations) if k % 2 == 0]
+    assert all(res.proposals_per_iteration[k] == 0 for k in charged)
+
+
+@pytest.mark.parametrize("p", [0.0, 1.0])
+def test_all_charged_rounds_never_converge(path_graph, p):
+    """With charging on every round and degenerate p, nothing is ever
+    proposed — the loop must run to M and report non-convergence."""
+    cfg = ParallelFactorConfig(n=2, max_iterations=6, m=7, k_m=6, p=p)
+    assert all(cfg.charging_enabled(k) for k in range(6))
+    res = parallel_factor(path_graph, cfg)
+    assert not res.converged
+    assert res.m_max is None
+    assert res.iterations == 6
+    assert res.proposals_per_iteration == [0] * 6
+    assert res.factor.edge_count == 0
 
 
 def test_uniform_ties_stall_without_charging():

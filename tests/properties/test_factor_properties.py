@@ -24,6 +24,28 @@ def weighted_graphs(draw, max_n=40):
     return random_weighted_graph(n, n_edges, rng)
 
 
+@given(
+    weighted_graphs(),
+    st.integers(1, 4),
+    st.sampled_from([(1, 0), (5, 0), (5, 1)]),
+)
+@settings(max_examples=40, deadline=None)
+def test_engine_factor_bit_identical_to_reference(graph, n, schedule):
+    """The frontier-compacted engine is observationally pure: parallel_factor
+    equals the paper-exact full-nnz loop on every graph and schedule."""
+    from repro.core.ablations import reference_parallel_factor
+
+    m, k_m = schedule
+    cfg = ParallelFactorConfig(n=n, max_iterations=6, m=m, k_m=k_m)
+    res = parallel_factor(graph, cfg)
+    ref = reference_parallel_factor(graph, cfg)
+    assert res.factor == ref.factor
+    assert res.iterations == ref.iterations
+    assert res.m_max == ref.m_max
+    assert res.converged == ref.converged
+    assert res.proposals_per_iteration == ref.proposals_per_iteration
+
+
 @given(weighted_graphs(), st.integers(1, 4))
 @settings(max_examples=40, deadline=None)
 def test_parallel_factor_invariants(graph, n):

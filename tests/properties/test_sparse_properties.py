@@ -65,11 +65,30 @@ def test_prepare_graph_invariants(dense):
 @given(dense_matrices(square=True), st.integers(1, 4))
 @settings(max_examples=60, deadline=None)
 def test_topn_matches_insertion(dense, n):
-    a = from_dense(dense)
+    # top-n requires the paper's A' = |A| convention (signed weights are
+    # rejected, see test_topn_rejects_signed_weights)
+    a = from_dense(np.abs(dense))
     got = top_n_per_row(a.indptr, a.indices, a.data, n)
     ref = top_n_per_row_insertion(a.indptr, a.indices, a.data, n)
     for g, r in zip(got, ref):
         assert np.array_equal(g, r)
+
+
+@given(dense_matrices(square=True), st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_topn_rejects_signed_weights(dense, n):
+    from hypothesis import assume
+
+    from repro.errors import FactorError
+
+    assume((dense < 0).any())
+    a = from_dense(dense)
+    for fn in (top_n_per_row, top_n_per_row_insertion):
+        try:
+            fn(a.indptr, a.indices, a.data, n)
+        except FactorError:
+            continue
+        raise AssertionError("negative weights must raise FactorError")
 
 
 @given(

@@ -87,6 +87,35 @@ def test_empty_matrix():
     np.testing.assert_array_equal(counts, [0, 0])
 
 
+def test_rejects_nan_weights():
+    from repro.errors import FactorError
+
+    indptr = np.array([0, 2])
+    indices = np.array([0, 1])
+    values = np.array([1.0, np.nan])
+    for fn in (top_n_per_row, top_n_per_row_insertion):
+        with pytest.raises(FactorError, match="NaN"):
+            fn(indptr, indices, values, 2)
+
+
+def test_rejects_negative_weights():
+    from repro.errors import FactorError
+
+    indptr = np.array([0, 2])
+    indices = np.array([0, 1])
+    values = np.array([1.0, -0.5])
+    for fn in (top_n_per_row, top_n_per_row_insertion):
+        with pytest.raises(FactorError, match="non-negative"):
+            fn(indptr, indices, values, 2)
+
+
+def test_validate_helper_accepts_empty_and_zero():
+    from repro.sparse import validate_proposition_weights
+
+    validate_proposition_weights(np.array([]))
+    validate_proposition_weights(np.array([0.0, 1.0]))
+
+
 @pytest.mark.parametrize("n", [1, 2, 3, 4])
 def test_matches_insertion_reference(rng, n):
     """The vectorized sort formulation equals the literal Table 1 insertion

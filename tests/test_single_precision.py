@@ -47,6 +47,51 @@ def test_pipeline_runs_in_float32():
     result.forest.validate(result.graph)
 
 
+def test_pipeline_extracts_float32_tridiagonal():
+    """End-to-end single precision: a float32 input must come out as a
+    float32 tridiagonal system (bands, dense form, matvec)."""
+    a = aniso2(10).astype(np.float32)
+    tri = extract_linear_forest(a).tridiagonal
+    assert tri.value_dtype == np.float32
+    assert tri.dl.dtype == tri.d.dtype == tri.du.dtype == np.float32
+    assert tri.to_dense().dtype == np.float32
+    y = tri.matvec(np.ones(tri.n, dtype=np.float32))
+    assert y.dtype == np.float32
+
+
+def test_tridiagonal_system_preserves_float32():
+    from repro.core.extraction import TridiagonalSystem
+
+    f32 = lambda *v: np.array(v, dtype=np.float32)  # noqa: E731
+    tri = TridiagonalSystem(dl=f32(0, -1), d=f32(2, 2), du=f32(-1, 0))
+    assert tri.value_dtype == np.float32
+    # a single float64 band promotes the whole system (CSRMatrix rule)
+    mixed = TridiagonalSystem(
+        dl=f32(0, -1), d=np.array([2.0, 2.0]), du=f32(-1, 0)
+    )
+    assert mixed.value_dtype == np.float64
+
+
+def test_diagonal_preserves_float32():
+    a = from_dense(np.array([[2.0, 1.0], [1.0, 3.0]], dtype=np.float32))
+    diag = a.diagonal()
+    assert diag.dtype == np.float32
+    np.testing.assert_array_equal(diag, np.array([2.0, 3.0], dtype=np.float32))
+    # float64 matrices keep returning float64
+    assert from_dense(np.eye(3)).diagonal().dtype == np.float64
+
+
+def test_jacobi_preconditioner_stays_float32(rng):
+    """The satellite regression: JacobiPrecond on a float32 matrix must not
+    upcast through diagonal()."""
+    from repro.solvers.preconditioners import JacobiPrecond
+
+    dense = np.diag(rng.uniform(1.0, 2.0, 8)).astype(np.float32)
+    precond = JacobiPrecond(from_dense(dense))
+    r = rng.standard_normal(8).astype(np.float32)
+    assert precond.apply(r).dtype == np.float32
+
+
 @pytest.mark.parametrize("solver", [thomas_solve, pcr_solve])
 def test_tridiagonal_solve_float32_dtype_and_accuracy(solver, rng):
     n = 200
