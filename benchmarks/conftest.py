@@ -20,6 +20,7 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -28,6 +29,17 @@ import pytest
 from repro.graphs import small_suite, suite_names
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_OBS_PATH = Path(__file__).parent.parent / "BENCH_observability.json"
+BENCH_OBS_SCHEMA = "repro.obs/bench-report/v1"
+
+# Run reports registered by test_observability.py during the session; the
+# autouse fixture below stitches them into BENCH_observability.json.
+_OBS_RUNS: list[dict] = []
+
+
+def record_observed_run(entry: dict) -> None:
+    """Register one instrumented benchmark run for BENCH_observability.json."""
+    _OBS_RUNS.append(entry)
 
 
 def bench_scale() -> float:
@@ -55,6 +67,21 @@ def _assemble_report():
 
         path = build_report(RESULTS_DIR)
         print(f"\n[bench] aggregated report: {path}")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _emit_observability_report():
+    """After the session, write the collected run reports to the repo root."""
+    yield
+    if not _OBS_RUNS:
+        return
+    payload = {
+        "schema": BENCH_OBS_SCHEMA,
+        "scale": bench_scale(),
+        "runs": sorted(_OBS_RUNS, key=lambda r: r.get("matrix", "")),
+    }
+    BENCH_OBS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[bench] observability report: {BENCH_OBS_PATH}")
 
 
 def emit(results_dir: Path, name: str, text: str) -> None:

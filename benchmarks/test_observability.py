@@ -1,0 +1,141 @@
+"""Observability gate: instrumented pipeline runs and BENCH_observability.json.
+
+Runs ``extract_linear_forest`` on two representative suite matrices with the
+full :mod:`repro.obs` surface attached — ambient tracer, metrics registry,
+recording device — and checks the three invariants the subsystem promises:
+
+1. the Chrome trace exported from the span stream nests kernels inside
+   Figure-6 phases inside the run root,
+2. the RunReport totals agree exactly with the device-side
+   :func:`repro.device.trace.summarize` aggregation (same launches, same
+   bytes), and
+3. the report is valid, schema-versioned JSON.
+
+Each run report is registered with the session collector in ``conftest.py``,
+which writes ``BENCH_observability.json`` at the repo root after the session
+— the machine-readable perf-trajectory artifact for this subsystem.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import extract_linear_forest
+from repro.device import Device
+from repro.device.trace import summarize
+from repro.obs import (
+    RUN_REPORT_SCHEMA,
+    MetricsRegistry,
+    Tracer,
+    build_run_report,
+    collect_run_metrics,
+    use_metrics,
+    use_tracer,
+)
+
+from .conftest import emit, record_observed_run
+
+pytestmark = pytest.mark.budget
+
+# Two structurally different representatives: a stencil and an irregular graph.
+_CANDIDATES = ("aniso2", "g3_circuit", "ecology1", "thermal2")
+
+
+def _observed_extract(matrix):
+    tracer = Tracer("bench")
+    metrics = MetricsRegistry()
+    device = Device()
+    with use_tracer(tracer), use_metrics(metrics):
+        result = extract_linear_forest(matrix, device=device)
+    collect_run_metrics(
+        metrics, device=device, timings=result.timings,
+        factor_result=result.factor_result,
+    )
+    report = build_run_report(
+        command="bench-extract",
+        inputs={"n_vertices": matrix.n_rows, "nnz": matrix.nnz},
+        device=device,
+        timings=result.timings,
+        factor_result=result.factor_result,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return tracer, device, result, report
+
+
+def _nests(inner, outer):
+    return (outer["ts"] <= inner["ts"]
+            and inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"])
+
+
+def test_observability_reports(results_dir, matrices):
+    names = [n for n in _CANDIDATES if n in matrices][:2] or list(matrices)[:1]
+
+    rows = []
+    for name in names:
+        tracer, device, result, report = _observed_extract(matrices[name])
+
+        # --- report is valid, schema-versioned JSON ---------------------
+        report = json.loads(json.dumps(report))
+        assert report["schema"] == RUN_REPORT_SCHEMA
+
+        # --- totals agree with the device-side view ---------------------
+        dev_summary = summarize(device)
+        assert report["totals"]["launches"] == sum(
+            s.launches for s in dev_summary)
+        assert report["totals"]["bytes"] == sum(
+            s.bytes_total for s in dev_summary)
+
+        # --- chrome trace nests kernel < phase < run --------------------
+        events = tracer.to_chrome_trace()["traceEvents"]
+        runs = [e for e in events if e["cat"] == "run"]
+        phases = [e for e in events if e["cat"] == "phase"]
+        kernels = [e for e in events if e["cat"] == "kernel"]
+        assert len(runs) == 1 and phases and kernels
+        assert all(_nests(p, runs[0]) for p in phases)
+        assert all(any(_nests(k, p) for p in phases) for k in kernels)
+
+        record_observed_run({
+            "matrix": name,
+            "n_vertices": matrix_n(report),
+            "totals": report["totals"],
+            "phases": report["phases"],
+            "factor_iterations": report["factor"]["iterations"],
+            "coverage": result.coverage,
+            "spans": report["spans"]["count"],
+        })
+        rows.append([
+            name, report["totals"]["launches"],
+            report["totals"]["bytes"] / 1e6,
+            report["factor"]["iterations"], report["spans"]["count"],
+        ])
+
+    emit(
+        results_dir,
+        "observability",
+        render_table(
+            ["matrix", "launches", "MB", "factor iters", "spans"], rows,
+            title="Instrumented extract_linear_forest runs (repro.obs)",
+        ),
+    )
+
+
+def matrix_n(report):
+    return report["inputs"]["n_vertices"]
+
+
+def test_observability_overhead(matrices):
+    """Tracing must not change the pipeline's launch count or traffic."""
+    name = next(n for n in _CANDIDATES if n in matrices)
+    matrix = matrices[name]
+
+    bare = Device()
+    extract_linear_forest(matrix, device=bare)
+    traced = Device()
+    with use_tracer(Tracer("overhead")):
+        extract_linear_forest(matrix, device=traced)
+
+    bare_s = {(s.name, s.launches, s.bytes_total) for s in summarize(bare)}
+    traced_s = {(s.name, s.launches, s.bytes_total) for s in summarize(traced)}
+    assert bare_s == traced_s

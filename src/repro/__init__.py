@@ -38,9 +38,12 @@ Subpackages
     ANISO stencils, synthetic SuiteSparse analogues, random test graphs.
 ``repro.analysis``
     Table/figure rendering for the benchmark harnesses.
+``repro.obs``
+    Tracing and metrics: nested spans, Chrome-trace/JSONL export, the
+    metrics registry, and machine-readable run reports.
 """
 
-from . import analysis, apps, core, device, graphs, solvers, sort, sparse
+from . import analysis, apps, core, device, graphs, obs, solvers, sort, sparse
 from .core import (
     Factor,
     LinearForestResult,
@@ -99,6 +102,7 @@ __all__ = [
     "greedy_factor",
     "identify_paths",
     "identity_coverage",
+    "obs",
     "parallel_factor",
     "prepare_graph",
     "solvers",

@@ -12,9 +12,16 @@ Four subcommands, all operating on Matrix Market files:
 * ``generate`` — write one of the bundled synthetic suite matrices to a
   Matrix Market file.
 
+``extract``, ``factor`` and ``solve`` take observability flags: ``--trace
+out.json`` writes the run's span tree as Chrome trace-event JSON (open in
+Perfetto or ``chrome://tracing``; use a ``.jsonl`` extension for JSONL
+spans instead), and ``--metrics-out report.json`` writes the
+schema-versioned RunReport (see ``docs/OBSERVABILITY.md``).
+
 Examples::
 
     python -m repro extract matrix.mtx --perm-out perm.txt
+    python -m repro extract matrix.mtx --trace trace.json --metrics-out report.json
     python -m repro factor matrix.mtx -n 3 --greedy
     python -m repro solve matrix.mtx --preconditioner algtriscal
     python -m repro generate aniso2 --scale 0.5 -o aniso2.mtx
@@ -24,6 +31,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -35,7 +44,17 @@ from .core import (
     identity_coverage,
     parallel_factor,
 )
+from .device import Device
 from .graphs import SUITE, build_matrix
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    build_run_report,
+    collect_run_metrics,
+    use_metrics,
+    use_tracer,
+    write_run_report,
+)
 from .solvers import (
     AlgTriBlockPrecond,
     AlgTriScalPrecond,
@@ -76,9 +95,62 @@ def _config_from(args, n: int) -> ParallelFactorConfig:
     )
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="OUT",
+        help="write the run's span tree here (Chrome trace-event JSON; "
+             "a .jsonl extension selects JSONL spans)")
+    parser.add_argument(
+        "--metrics-out", metavar="OUT",
+        help="write the machine-readable RunReport JSON here")
+
+
+@dataclass
+class _ObsRun:
+    """The observability surfaces of one instrumented CLI invocation."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+    device: Device
+
+    def finish(self, args, *, command: str, **report_sources) -> None:
+        """Write the requested trace/report files and announce them."""
+        if args.trace:
+            if str(args.trace).endswith(".jsonl"):
+                self.tracer.write_jsonl(args.trace)
+            else:
+                self.tracer.write_chrome_trace(args.trace)
+            print(f"trace written to {args.trace}")
+        if args.metrics_out:
+            collect_run_metrics(self.metrics, **report_sources)
+            report = build_run_report(
+                command=command,
+                inputs={"matrix": args.matrix},
+                tracer=self.tracer,
+                metrics=self.metrics,
+                **report_sources,
+            )
+            write_run_report(report, args.metrics_out)
+            print(f"run report written to {args.metrics_out}")
+
+
+def _observed(args, stack: ExitStack) -> _ObsRun | None:
+    """Install tracer + metrics for the command body when flags ask for it."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics_out", None)):
+        return None
+    run = _ObsRun(tracer=Tracer("repro"), metrics=MetricsRegistry(), device=Device())
+    stack.enter_context(use_tracer(run.tracer))
+    stack.enter_context(use_metrics(run.metrics))
+    return run
+
+
 def _cmd_extract(args) -> int:
     a = read_matrix_market(args.matrix)
-    result = extract_linear_forest(a, _config_from(args, 2))
+    with ExitStack() as stack:
+        obs = _observed(args, stack)
+        result = extract_linear_forest(
+            a, _config_from(args, 2), device=obs.device if obs else None
+        )
     print(f"matrix: N={a.n_rows}, nnz={a.nnz}")
     print(f"c_id (natural order):   {identity_coverage(a):.4f}")
     print(f"linear-forest coverage: {result.coverage:.4f}")
@@ -96,23 +168,40 @@ def _cmd_extract(args) -> int:
         tri = result.tridiagonal
         np.savetxt(args.bands_out, np.c_[tri.dl, tri.d, tri.du])
         print(f"tridiagonal bands (dl, d, du) written to {args.bands_out}")
+    if obs is not None:
+        obs.finish(
+            args, command="extract",
+            device=obs.device, timings=result.timings,
+            factor_result=result.factor_result,
+        )
     return 0
 
 
 def _cmd_factor(args) -> int:
     a = read_matrix_market(args.matrix)
     graph = prepare_graph(a)
-    if args.greedy:
-        factor = greedy_factor(graph, args.n)
-        label = "greedy (Algorithm 1)"
-    else:
-        res = parallel_factor(graph, _config_from(args, args.n))
-        factor = res.factor
-        label = f"parallel (Algorithm 2), {res.iterations} rounds" + (
-            f", maximal after {res.m_max}" if res.m_max else ""
-        )
+    factor_result = None
+    with ExitStack() as stack:
+        obs = _observed(args, stack)
+        if args.greedy:
+            factor = greedy_factor(graph, args.n)
+            label = "greedy (Algorithm 1)"
+        else:
+            res = parallel_factor(
+                graph, _config_from(args, args.n),
+                device=obs.device if obs else None,
+            )
+            factor_result = res
+            factor = res.factor
+            label = f"parallel (Algorithm 2), {res.iterations} rounds" + (
+                f", maximal after {res.m_max}" if res.m_max else ""
+            )
     print(f"[0,{args.n}]-factor via {label}")
     print(f"edges: {factor.edge_count}  coverage: {coverage(a, factor):.4f}")
+    if obs is not None:
+        obs.finish(
+            args, command="factor", device=obs.device, factor_result=factor_result,
+        )
     return 0
 
 
@@ -126,11 +215,13 @@ def _cmd_solve(args) -> int:
         x_t = np.sin(16.0 * np.pi * np.arange(n) / n)
         b = a.matvec(x_t)
         print("rhs built from the paper's test problem x_t[i] = sin(16*pi*i/N)")
-    precond = _PRECONDITIONERS[args.preconditioner](a)
-    res = bicgstab(
-        a, b, preconditioner=precond, tol=args.tol,
-        max_iterations=args.max_solver_iterations, true_solution=x_t,
-    )
+    with ExitStack() as stack:
+        obs = _observed(args, stack)
+        precond = _PRECONDITIONERS[args.preconditioner](a)
+        res = bicgstab(
+            a, b, preconditioner=precond, tol=args.tol,
+            max_iterations=args.max_solver_iterations, true_solution=x_t,
+        )
     h = res.history
     print(f"preconditioner: {precond.name} (coverage {precond.coverage:.3f})")
     print(f"converged: {res.converged} after {h.n_iterations} iterations")
@@ -140,6 +231,8 @@ def _cmd_solve(args) -> int:
     if args.solution_out:
         np.savetxt(args.solution_out, res.x)
         print(f"solution written to {args.solution_out}")
+    if obs is not None:
+        obs.finish(args, command="solve", solve_history=h)
     return 0 if res.converged else 1
 
 
@@ -183,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--perm-out", help="write the permutation here")
     p.add_argument("--bands-out", help="write the tridiagonal bands here")
     _add_config_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_extract)
 
     p = sub.add_parser("factor", help="compute a [0,n]-factor")
@@ -190,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=2, help="degree bound (default 2)")
     p.add_argument("--greedy", action="store_true", help="use sequential Algorithm 1")
     _add_config_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_factor)
 
     p = sub.add_parser("solve", help="BiCGStab with an algebraic preconditioner")
@@ -201,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-solver-iterations", type=int, default=2000)
     p.add_argument("--solution-out", help="write the solution here")
     _add_config_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser(

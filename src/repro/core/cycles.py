@@ -22,6 +22,7 @@ import numpy as np
 from .._validation import INDEX_DTYPE
 from ..device.device import Device
 from ..errors import ScanError
+from ..obs import trace_span
 from ..sparse.csr import CSRMatrix
 from .scan import BidirectionalScan, MinEdgeOperator, NullOperator, ScanResult
 from .structures import Factor
@@ -80,46 +81,56 @@ def break_cycles(
     fields ``w``/``u``/``v`` (e.g. from a fused pass); ``graph`` is then
     unused and may be omitted.
     """
-    if scan_result is None:
-        if graph is None:
-            raise ScanError("break_cycles requires the weighted graph (or a scan_result)")
-        scan = BidirectionalScan(factor, device=device)
-        result = scan.run(MinEdgeOperator(), graph)
-    else:
-        missing = {"w", "u", "v"} - set(scan_result.payload)
-        if missing:
-            raise ScanError(
-                f"scan_result payload lacks the weakest-edge fields {sorted(missing)}; "
-                "run (or fuse) MinEdgeOperator"
+    with trace_span(
+        "break-cycles",
+        category="stage",
+        n_vertices=factor.n_vertices,
+        reused_scan=scan_result is not None,
+    ) as span:
+        if scan_result is None:
+            if graph is None:
+                raise ScanError("break_cycles requires the weighted graph (or a scan_result)")
+            scan = BidirectionalScan(factor, device=device)
+            result = scan.run(MinEdgeOperator(), graph)
+        else:
+            missing = {"w", "u", "v"} - set(scan_result.payload)
+            if missing:
+                raise ScanError(
+                    f"scan_result payload lacks the weakest-edge fields {sorted(missing)}; "
+                    "run (or fuse) MinEdgeOperator"
+                )
+            result = scan_result
+        cycle_mask = result.cycle_mask
+        if not bool(cycle_mask.any()):
+            if span is not None:
+                span.attributes["n_cycles"] = 0
+            return BrokenCycles(
+                forest=factor,
+                removed_u=np.empty(0, dtype=INDEX_DTYPE),
+                removed_v=np.empty(0, dtype=INDEX_DTYPE),
+                cycle_mask=cycle_mask,
             )
-        result = scan_result
-    cycle_mask = result.cycle_mask
-    if not bool(cycle_mask.any()):
-        return BrokenCycles(
-            forest=factor,
-            removed_u=np.empty(0, dtype=INDEX_DTYPE),
-            removed_v=np.empty(0, dtype=INDEX_DTYPE),
-            cycle_mask=cycle_mask,
+        w = result.payload["w"]
+        u = result.payload["u"]
+        v = result.payload["v"]
+        # per cycle vertex: lexicographic min over the two lanes
+        lane1_smaller = (w[:, 1] < w[:, 0]) | (
+            (w[:, 1] == w[:, 0]) & ((u[:, 1] < u[:, 0]) | ((u[:, 1] == u[:, 0]) & (v[:, 1] < v[:, 0])))
         )
-    w = result.payload["w"]
-    u = result.payload["u"]
-    v = result.payload["v"]
-    # per cycle vertex: lexicographic min over the two lanes
-    lane1_smaller = (w[:, 1] < w[:, 0]) | (
-        (w[:, 1] == w[:, 0]) & ((u[:, 1] < u[:, 0]) | ((u[:, 1] == u[:, 0]) & (v[:, 1] < v[:, 0])))
-    )
-    lane = lane1_smaller.astype(INDEX_DTYPE)
-    rows = np.arange(factor.n_vertices, dtype=INDEX_DTYPE)
-    min_u = u[rows, lane]
-    min_v = v[rows, lane]
-    cyc = np.flatnonzero(cycle_mask)
-    if bool(np.isinf(w[cyc, lane[cyc]]).any()):
-        raise ScanError("cycle vertex without a resolved weakest edge")
-    pairs = np.stack([min_u[cyc], min_v[cyc]], axis=1)
-    pairs = np.unique(pairs, axis=0)
-    removed_u = pairs[:, 0]
-    removed_v = pairs[:, 1]
-    forest = factor.remove_edges(removed_u, removed_v)
-    return BrokenCycles(
-        forest=forest, removed_u=removed_u, removed_v=removed_v, cycle_mask=cycle_mask
-    )
+        lane = lane1_smaller.astype(INDEX_DTYPE)
+        rows = np.arange(factor.n_vertices, dtype=INDEX_DTYPE)
+        min_u = u[rows, lane]
+        min_v = v[rows, lane]
+        cyc = np.flatnonzero(cycle_mask)
+        if bool(np.isinf(w[cyc, lane[cyc]]).any()):
+            raise ScanError("cycle vertex without a resolved weakest edge")
+        pairs = np.stack([min_u[cyc], min_v[cyc]], axis=1)
+        pairs = np.unique(pairs, axis=0)
+        removed_u = pairs[:, 0]
+        removed_v = pairs[:, 1]
+        forest = factor.remove_edges(removed_u, removed_v)
+        if span is not None:
+            span.attributes["n_cycles"] = int(removed_u.size)
+        return BrokenCycles(
+            forest=forest, removed_u=removed_u, removed_v=removed_v, cycle_mask=cycle_mask
+        )

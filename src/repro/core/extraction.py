@@ -16,6 +16,7 @@ import numpy as np
 from .._validation import VALUE_DTYPE, as_value_array, check_square
 from ..device.device import Device, default_device
 from ..errors import ShapeError
+from ..obs import trace_span
 from ..sparse.csr import CSRMatrix
 from .permutation import inverse_permutation
 from .structures import Factor
@@ -109,7 +110,13 @@ def extract_tridiagonal(
     dl = np.zeros(n, dtype=band_dtype)
     du = np.zeros(n, dtype=band_dtype)
     coo = a.to_coo()
-    with device.launch(
+    with trace_span(
+        "extract-tridiagonal",
+        category="stage",
+        n=n,
+        nnz=a.nnz,
+        dtype=str(band_dtype),
+    ), device.launch(
         "extract-coefficients", reads=(coo.row, coo.col, coo.val), writes=(dl, du)
     ):
         d = np.zeros(n, dtype=band_dtype)

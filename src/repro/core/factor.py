@@ -36,6 +36,7 @@ import numpy as np
 
 from .._validation import INDEX_DTYPE, require
 from ..device.device import Device, default_device
+from ..obs import trace_span
 from ..errors import FactorError, ShapeError
 from ..sparse.csr import CSRMatrix
 from ..sparse.topn import top_n_per_row, validate_proposition_weights
@@ -236,73 +237,104 @@ def parallel_factor(
 
     engine = PropositionEngine(graph, n)
 
-    for k in range(config.max_iterations):
-        charging = config.charging_enabled(k)
-        frontier_history.append(engine.frontier_size)
-        iterations = k + 1
+    with trace_span(
+        "parallel-factor",
+        category="stage",
+        n=n,
+        max_iterations=config.max_iterations,
+        n_vertices=n_vertices,
+        total_edges=engine.total_edges,
+    ) as stage:
+        for k in range(config.max_iterations):
+            charging = config.charging_enabled(k)
+            frontier_history.append(engine.frontier_size)
+            iterations = k + 1
 
-        if engine.frontier_size == 0:
-            # Every edge retired: no round can ever propose again.  The
-            # outcome of the paper's launches is fully known, so none fire.
-            proposals_history.append(0)
-            if not charging:
-                # |π(V)| = |π'(V)| on an un-charged round: maximal factor
-                m_max = k + 1
-                converged = True
+            with trace_span(
+                f"factor-round[k={k}]",
+                category="stage",
+                k=k,
+                charging=charging,
+                frontier=engine.frontier_size,
+            ) as round_span:
+                if engine.frontier_size == 0:
+                    # Every edge retired: no round can ever propose again.  The
+                    # outcome of the paper's launches is fully known, so none fire.
+                    proposals_history.append(0)
+                    if round_span is not None:
+                        round_span.attributes["proposals"] = 0
+                    if not charging:
+                        # |π(V)| = |π'(V)| on an un-charged round: maximal factor
+                        m_max = k + 1
+                        converged = True
+                        if coverage_matrix is not None:
+                            coverage_history.append(
+                                coverage_of(coverage_matrix, Factor(confirmed))
+                            )
+                        break
+                    if coverage_matrix is not None:
+                        coverage_history.append(
+                            coverage_of(coverage_matrix, Factor(confirmed))
+                        )
+                    continue
+
+                charges = None
+                if charging:
+                    with device.launch(f"charge[k={k}]", writes=()):
+                        charges = vertex_charges(
+                            n_vertices, k, p=config.p, seed=config.seed
+                        )
+
+                with device.launch(f"propose[k={k}]") as kl:
+                    prop_cols, _prop_vals, prop_counts = engine.propose(
+                        confirmed, charges=charges, launch=kl
+                    )
+                total_proposals = int(prop_counts.sum())
+                proposals_history.append(total_proposals)
+                if round_span is not None:
+                    round_span.attributes["proposals"] = total_proposals
+
+                if total_proposals == 0:
+                    if not charging:
+                        # |π(V)| = |π'(V)| on an un-charged round: maximal factor
+                        m_max = k + 1
+                        converged = True
+                        if coverage_matrix is not None:
+                            coverage_history.append(
+                                coverage_of(coverage_matrix, Factor(confirmed))
+                            )
+                        break
+                    # charge starvation: nothing to mutualize, the factor (and
+                    # therefore the frontier) is unchanged — skip both launches
+                    if coverage_matrix is not None:
+                        coverage_history.append(
+                            coverage_of(coverage_matrix, Factor(confirmed))
+                        )
+                    continue
+
+                degree = (confirmed != NO_PARTNER).sum(axis=1).astype(INDEX_DTYPE)
+                with device.launch(
+                    f"mutualize[k={k}]", reads=(prop_cols,), writes=(confirmed,)
+                ) as kl:
+                    n_new = _confirm_mutual(confirmed, degree, prop_cols)
+                    if n_new:
+                        engine.compact(confirmed, launch=kl)
+                    kl.telemetry(
+                        active_lanes=engine.frontier_size,
+                        total_lanes=engine.total_edges,
+                    )
+                if round_span is not None:
+                    round_span.attributes["confirmed_new"] = n_new
+
                 if coverage_matrix is not None:
                     coverage_history.append(
                         coverage_of(coverage_matrix, Factor(confirmed))
                     )
-                break
-            if coverage_matrix is not None:
-                coverage_history.append(
-                    coverage_of(coverage_matrix, Factor(confirmed))
-                )
-            continue
 
-        charges = None
-        if charging:
-            with device.launch(f"charge[k={k}]", writes=()):
-                charges = vertex_charges(n_vertices, k, p=config.p, seed=config.seed)
-
-        with device.launch(f"propose[k={k}]") as kl:
-            prop_cols, _prop_vals, prop_counts = engine.propose(
-                confirmed, charges=charges, launch=kl
+        if stage is not None:
+            stage.attributes.update(
+                iterations=iterations, m_max=m_max, converged=converged
             )
-        total_proposals = int(prop_counts.sum())
-        proposals_history.append(total_proposals)
-
-        if total_proposals == 0:
-            if not charging:
-                # |π(V)| = |π'(V)| on an un-charged round: maximal factor
-                m_max = k + 1
-                converged = True
-                if coverage_matrix is not None:
-                    coverage_history.append(
-                        coverage_of(coverage_matrix, Factor(confirmed))
-                    )
-                break
-            # charge starvation: nothing to mutualize, the factor (and
-            # therefore the frontier) is unchanged — skip both launches
-            if coverage_matrix is not None:
-                coverage_history.append(
-                    coverage_of(coverage_matrix, Factor(confirmed))
-                )
-            continue
-
-        degree = (confirmed != NO_PARTNER).sum(axis=1).astype(INDEX_DTYPE)
-        with device.launch(
-            f"mutualize[k={k}]", reads=(prop_cols,), writes=(confirmed,)
-        ) as kl:
-            n_new = _confirm_mutual(confirmed, degree, prop_cols)
-            if n_new:
-                engine.compact(confirmed, launch=kl)
-            kl.telemetry(
-                active_lanes=engine.frontier_size, total_lanes=engine.total_edges
-            )
-
-        if coverage_matrix is not None:
-            coverage_history.append(coverage_of(coverage_matrix, Factor(confirmed)))
 
     return ParallelFactorResult(
         factor=Factor(confirmed),

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..device.device import Device, default_device
 from ..device.profiler import TimingBreakdown
+from ..obs import trace_span
 from ..sparse.build import prepare_graph
 from ..sparse.csr import CSRMatrix
 from .coverage import coverage as coverage_of
@@ -102,27 +103,44 @@ def extract_linear_forest(
     device = device or default_device()
     timings = TimingBreakdown()
 
-    with timings.phase(PHASE_FACTOR):
-        graph = prepare_graph(a)
-        factor_result = parallel_factor(graph, config, device=device)
+    with trace_span(
+        "extract-linear-forest",
+        category="run",
+        n_vertices=a.n_rows,
+        nnz=a.nnz,
+        merged_scan=merged_scan,
+        dtype=str(a.data.dtype),
+    ) as root:
+        with timings.phase(PHASE_FACTOR):
+            graph = prepare_graph(a)
+            factor_result = parallel_factor(graph, config, device=device)
 
-    with timings.phase(PHASE_SCANS):
-        if merged_scan:
-            scan = BidirectionalScan(factor_result.factor, device=device)
-            fused = scan.run(FusedOperator((MinEdgeOperator(), AddOperator())), graph)
-            broken = break_cycles(factor_result.factor, scan_result=fused)
-            if broken.n_cycles == 0:
-                # forest == factor: the fused pass already holds the positions
-                paths = paths_from_scan(fused)
+        with timings.phase(PHASE_SCANS):
+            if merged_scan:
+                scan = BidirectionalScan(factor_result.factor, device=device)
+                fused = scan.run(FusedOperator((MinEdgeOperator(), AddOperator())), graph)
+                broken = break_cycles(factor_result.factor, scan_result=fused)
+                if broken.n_cycles == 0:
+                    # forest == factor: the fused pass already holds the positions
+                    paths = paths_from_scan(fused)
+                else:
+                    paths = identify_paths(broken.forest, device=device)
             else:
+                broken = break_cycles(factor_result.factor, graph, device=device)
                 paths = identify_paths(broken.forest, device=device)
-        else:
-            broken = break_cycles(factor_result.factor, graph, device=device)
-            paths = identify_paths(broken.forest, device=device)
-        perm = forest_permutation(paths)
+            perm = forest_permutation(paths)
 
-    with timings.phase(PHASE_EXTRACT):
-        tridiagonal = extract_tridiagonal(a, broken.forest, perm, device=device)
+        with timings.phase(PHASE_EXTRACT):
+            tridiagonal = extract_tridiagonal(a, broken.forest, perm, device=device)
+
+        cov = coverage_of(a, broken.forest)
+        if root is not None:
+            root.attributes.update(
+                coverage=cov,
+                n_cycles=broken.n_cycles,
+                n_paths=paths.n_paths,
+                factor_iterations=factor_result.iterations,
+            )
 
     return LinearForestResult(
         graph=graph,
@@ -131,6 +149,6 @@ def extract_linear_forest(
         paths=paths,
         perm=perm,
         tridiagonal=tridiagonal,
-        coverage=coverage_of(a, broken.forest),
+        coverage=cov,
         timings=timings,
     )

@@ -58,6 +58,7 @@ import numpy as np
 from .._validation import INDEX_DTYPE, VALUE_DTYPE
 from ..device.device import Device, default_device
 from ..errors import ScanError
+from ..obs import trace_span
 from ..sparse.csr import CSRMatrix
 from .structures import NO_PARTNER, Factor
 
@@ -408,7 +409,6 @@ class BidirectionalScan:
         n_vertices = self.factor.n_vertices
         nominal = scan_steps(n_vertices)
         n_steps = nominal if steps is None else max(0, min(int(steps), nominal))
-        ids = self._ids
         label = operator_label(operator)
         total_lanes = 2 * n_vertices
 
@@ -421,6 +421,42 @@ class BidirectionalScan:
             for name, arr in operator.init(self.factor, graph).items()
         }
         names = tuple(payload)
+
+        with trace_span(
+            "bidirectional-scan",
+            category="stage",
+            operator=label,
+            steps=n_steps,
+            total_lanes=total_lanes,
+        ) as stage:
+            launches, active_history = self._run_steps(
+                operator, q, payload, names, n_steps, label, total_lanes
+            )
+            if stage is not None:
+                stage.attributes.update(
+                    launches=launches, converged=bool((q < 0).all())
+                )
+
+        return ScanResult(
+            q=q,
+            payload=payload,
+            steps=n_steps,
+            launches=launches,
+            active_per_launch=tuple(active_history),
+        )
+
+    def _run_steps(
+        self,
+        operator: ScanOperator,
+        q: np.ndarray,
+        payload: Payload,
+        names: tuple[str, ...],
+        n_steps: int,
+        label: str,
+        total_lanes: int,
+    ) -> tuple[int, list[int]]:
+        """The butterfly step loop; mutates ``q``/``payload`` in place."""
+        ids = self._ids
         launches = 0
         active_history: list[int] = []
 
@@ -478,10 +514,4 @@ class BidirectionalScan:
                         kl.writes(new_q)
             launches += 1
 
-        return ScanResult(
-            q=q,
-            payload=payload,
-            steps=n_steps,
-            launches=launches,
-            active_per_launch=tuple(active_history),
-        )
+        return launches, active_history

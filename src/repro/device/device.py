@@ -16,6 +16,12 @@ Records survive kernel failures: a body that raises still leaves its
 :class:`KernelRecord` in the log (with the time spent up to the exception),
 so a partially failed run keeps a truthful Figure-6 style breakdown.
 
+When a :class:`~repro.obs.tracer.Tracer` is active (installed with
+:func:`repro.obs.use_tracer`, or passed to the device), every launch also
+opens a ``kernel`` span nested under the caller's phase/stage spans, closed
+with the launch's bytes, telemetry and — on a raising body — an ``error``
+attribute.  Without a tracer the span path costs one ``None`` check.
+
 The device does not try to emulate warps or shared memory — the algorithms in
 the paper are specified at the granularity of whole kernel launches over all
 vertices/nonzeros, and a vectorized NumPy expression has exactly those
@@ -30,6 +36,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 import numpy as np
+
+from ..obs.tracer import Tracer, current_tracer
 
 __all__ = ["Device", "KernelLaunch", "KernelRecord", "default_device"]
 
@@ -125,12 +133,25 @@ class Device:
     record:
         When ``False`` the device skips all bookkeeping; launches still run
         their bodies.  Useful to remove metering overhead from tight loops.
+    tracer:
+        Span sink for the launches.  When ``None`` (the default), the
+        ambient tracer installed with :func:`repro.obs.use_tracer` is used
+        — and when none is installed either, no spans are recorded.
     """
 
-    def __init__(self, name: str = "simulated-gpu", record: bool = True):
+    def __init__(
+        self,
+        name: str = "simulated-gpu",
+        record: bool = True,
+        tracer: Tracer | None = None,
+    ):
         self.name = name
         self.record = record
+        self.tracer = tracer
         self.kernels: list[KernelRecord] = []
+
+    def _span_sink(self) -> Tracer | None:
+        return self.tracer if self.tracer is not None else current_tracer()
 
     # -- launching ---------------------------------------------------------
     @contextmanager
@@ -153,17 +174,29 @@ class Device:
 
         The record is written even when the body raises — the exception
         still propagates, but timing and traffic of the failed launch stay
-        in the log.
+        in the log, and the launch's span (when a tracer is active) closes
+        with an ``error`` attribute naming the exception type.
         """
-        if not self.record:
+        tracer = self._span_sink()
+        if not self.record and tracer is None:
             yield _DISABLED_LAUNCH
+            return
+        if not self.record:
+            # tracing-only launch: time the body, no byte metering
+            with tracer.span(name, category="kernel"):
+                yield _DISABLED_LAUNCH
             return
         handle = KernelLaunch(active_lanes=active_lanes, total_lanes=total_lanes)
         handle.bytes_read = _nbytes(reads)
         handle.bytes_written = _nbytes(writes)
+        span = tracer.start_span(name, category="kernel") if tracer else None
+        error = None
         start = time.perf_counter()
         try:
             yield handle
+        except BaseException as exc:
+            error = type(exc).__name__
+            raise
         finally:
             seconds = time.perf_counter() - start
             self.kernels.append(
@@ -177,6 +210,16 @@ class Device:
                     total_lanes=handle.total_lanes,
                 )
             )
+            if span is not None:
+                tracer.end_span(
+                    span,
+                    seconds=seconds,
+                    bytes_read=handle.bytes_read,
+                    bytes_written=handle.bytes_written,
+                    active_lanes=handle.active_lanes,
+                    total_lanes=handle.total_lanes,
+                    error=error,
+                )
 
     # -- queries -----------------------------------------------------------
     @property

@@ -1,4 +1,11 @@
-"""Wall-clock phase timers for the setup-time breakdown (Figure 6)."""
+"""Wall-clock phase timers for the setup-time breakdown (Figure 6).
+
+When a :class:`~repro.obs.tracer.Tracer` is installed (via
+:func:`repro.obs.use_tracer`), every measured phase additionally opens a
+``phase`` span, so kernel launches running inside the phase nest under it
+in the exported trace; a raising phase body closes its span with an
+``error`` attribute.  The timer's own accumulation is unchanged either way.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +13,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from ..obs.tracer import current_tracer
 
 __all__ = ["PhaseTimer", "TimingBreakdown"]
 
@@ -20,14 +29,23 @@ class PhaseTimer:
 
     @contextmanager
     def measure(self) -> Iterator[None]:
+        tracer = current_tracer()
+        span = tracer.start_span(self.name, category="phase") if tracer else None
+        error = None
         start = time.perf_counter()
         try:
             yield
+        except BaseException as exc:
+            error = type(exc).__name__
+            raise
         finally:
             # Record even when the body raises: a partially failed run must
             # keep a truthful Figure-6 breakdown (the exception propagates).
-            self.seconds += time.perf_counter() - start
+            seconds = time.perf_counter() - start
+            self.seconds += seconds
             self.calls += 1
+            if span is not None:
+                tracer.end_span(span, seconds=seconds, error=error)
 
 
 @dataclass

@@ -1,11 +1,20 @@
-"""Profiler-style reporting over a device's launch records.
+"""Profiler-style reporting over a run's kernel-launch stream.
 
 The paper measures its kernels with NVIDIA Nsight Compute; this module is
-the simulator's analogue: aggregate the :class:`~repro.device.device.Device`
-launch log by kernel name and render runtimes, traffic and achieved
-throughput, plus modeled GPU-time under the roofline cost model and — for
-kernels that report it — the mean frontier occupancy ("active %", the
-fraction of scan lanes still unconverged when the launches fired).
+the simulator's analogue: aggregate the launch stream by kernel name and
+render runtimes, traffic and achieved throughput, plus modeled GPU-time
+under the roofline cost model and — for kernels that report it — the mean
+frontier occupancy ("active %", the fraction of scan lanes still
+unconverged when the launches fired).
+
+Every renderer here is a *view over the same span stream*: the functions
+accept either a :class:`~repro.device.device.Device` (whose launch log is
+one :class:`KernelRecord` per launch) or a
+:class:`~repro.obs.tracer.Tracer` (whose ``kernel``-category spans carry
+the identical bytes/seconds/telemetry attributes, written by
+:meth:`Device.launch`).  Both sources reconstruct the same records, so the
+text tables, the Chrome trace export and the
+:func:`repro.obs.build_run_report` JSON all agree by construction.
 """
 
 from __future__ import annotations
@@ -27,9 +36,13 @@ class KernelSummary:
     launches: int
     seconds: float
     bytes_total: int
-    #: Summed active-lane telemetry over launches that report it (else None).
+    #: Summed active-lane telemetry.  When any launch reports both counts,
+    #: only those launches contribute (so :attr:`active_fraction` is a true
+    #: occupancy); otherwise the raw active sum over all telemetered
+    #: launches (else None).
     active_lanes: int | None = None
-    #: Summed total-lane telemetry over launches that report it (else None).
+    #: Summed total-lane telemetry over the launches that report *both*
+    #: counts (else None).
     total_lanes: int | None = None
 
     @property
@@ -54,20 +67,69 @@ def _base_name(record: KernelRecord) -> str:
     return record.name.split("[", 1)[0]
 
 
-def summarize(device: Device) -> list[KernelSummary]:
-    """Aggregate the device's launch log by kernel base name."""
+def _kernel_records(source) -> list[KernelRecord]:
+    """Normalize a launch-stream source to a list of :class:`KernelRecord`.
+
+    ``source`` may be a :class:`Device` (its launch log is returned as-is),
+    a :class:`~repro.obs.tracer.Tracer` (its ``kernel`` spans are converted
+    — the attributes written by :meth:`Device.launch` carry the same
+    fields), or any iterable of records.
+    """
+    if isinstance(source, Device):
+        return list(source.kernels)
+    if hasattr(source, "spans"):
+        records = []
+        for span in source.spans:
+            if getattr(span, "category", None) != "kernel":
+                continue
+            at = span.attributes
+            seconds = at.get("seconds")
+            if seconds is None:
+                seconds = span.seconds or 0.0
+            records.append(
+                KernelRecord(
+                    name=span.name,
+                    bytes_read=int(at.get("bytes_read", 0)),
+                    bytes_written=int(at.get("bytes_written", 0)),
+                    seconds=float(seconds),
+                    launch_index=len(records),
+                    active_lanes=at.get("active_lanes"),
+                    total_lanes=at.get("total_lanes"),
+                )
+            )
+        return records
+    return list(source)
+
+
+def _source_name(source) -> str:
+    return getattr(source, "name", "kernel records")
+
+
+def summarize(source) -> list[KernelSummary]:
+    """Aggregate a launch stream (device, tracer, or records) by base name.
+
+    Occupancy is aggregated only over launches that report *both* lane
+    counts: a launch carrying ``active_lanes`` without ``total_lanes``
+    would otherwise inflate the numerator while missing from the
+    denominator and skew the "active %".  When no launch of a kernel
+    reports both, the raw active sum is kept (fraction stays ``None``).
+    """
     acc: dict[str, list[KernelRecord]] = {}
-    for rec in device.kernels:
+    for rec in _kernel_records(source):
         acc.setdefault(_base_name(rec), []).append(rec)
     out = []
     for name, records in acc.items():
         telemetered = [r for r in records if r.active_lanes is not None]
-        active = sum(r.active_lanes for r in telemetered) if telemetered else None
-        total = (
-            sum(r.total_lanes for r in telemetered if r.total_lanes is not None)
-            if telemetered
-            else None
-        )
+        paired = [r for r in telemetered if r.total_lanes]
+        if paired:
+            active = sum(r.active_lanes for r in paired)
+            total = sum(r.total_lanes for r in paired)
+        elif telemetered:
+            active = sum(r.active_lanes for r in telemetered)
+            total = None
+        else:
+            active = None
+            total = None
         out.append(
             KernelSummary(
                 name=name,
@@ -75,18 +137,18 @@ def summarize(device: Device) -> list[KernelSummary]:
                 seconds=sum(r.seconds for r in records),
                 bytes_total=sum(r.bytes_total for r in records),
                 active_lanes=active,
-                total_lanes=total or None,
+                total_lanes=total,
             )
         )
     out.sort(key=lambda s: s.seconds, reverse=True)
     return out
 
 
-def render_trace(device: Device, *, cost: CostModel | None = None) -> str:
-    """Render the aggregated launch log as an aligned text table."""
+def render_trace(source, *, cost: CostModel | None = None) -> str:
+    """Render the aggregated launch stream as an aligned text table."""
     cost = cost or CostModel()
     rows = []
-    for s in summarize(device):
+    for s in summarize(source):
         fraction = s.active_fraction
         rows.append(
             [
@@ -103,22 +165,29 @@ def render_trace(device: Device, *, cost: CostModel | None = None) -> str:
         ["kernel", "launches", "time (ms)", "bytes", "GB/s", "modeled (ms)", "active %"],
         rows,
         digits=3,
-        title=f"device trace: {device.name}",
+        title=f"device trace: {_source_name(source)}",
     )
 
 
-def render_convergence(device: Device, name_prefix: str | None = None) -> str:
+_CONVERGENCE_HEADERS = ["launch", "active", "total", "active %", "bytes"]
+
+
+def render_convergence(source, name_prefix: str | None = None) -> str:
     """Per-launch frontier table for the telemetered kernels.
 
     Where :func:`render_trace` aggregates by kernel base name, this keeps
     every launch as its own row — the per-round convergence curve of a scan
-    or of the proposition engine (``name_prefix="propose"``).
+    or of the proposition engine (``name_prefix="propose"``).  A source
+    without any telemetered launch renders a well-formed empty table
+    (title + headers, no rows).
     """
     rows = []
-    for rec in device.records(name_prefix):
-        fraction = rec.active_fraction
+    for rec in _kernel_records(source):
+        if name_prefix is not None and not rec.name.startswith(name_prefix):
+            continue
         if rec.active_lanes is None:
             continue
+        fraction = rec.active_fraction
         rows.append(
             [
                 rec.name,
@@ -129,8 +198,8 @@ def render_convergence(device: Device, name_prefix: str | None = None) -> str:
             ]
         )
     return render_table(
-        ["launch", "active", "total", "active %", "bytes"],
+        _CONVERGENCE_HEADERS,
         rows,
         digits=2,
-        title=f"frontier convergence: {device.name}",
+        title=f"frontier convergence: {_source_name(source)}",
     )

@@ -1,0 +1,61 @@
+"""repro.obs — unified tracing & metrics.
+
+The observability layer every other layer reports into:
+
+* :class:`~repro.obs.tracer.Tracer` — nested spans (run → phase → kernel
+  launch → solver), exportable as Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and JSONL; installed ambiently with
+  :func:`~repro.obs.tracer.use_tracer`, instrumented sites hook in through
+  :func:`~repro.obs.tracer.trace_span` (a no-op when tracing is off).
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  histograms under dotted names, installed with
+  :func:`~repro.obs.metrics.use_metrics`.
+* :func:`~repro.obs.report.build_run_report` — folds device launch logs,
+  phase timings, convergence histories, spans and metrics into one
+  schema-versioned RunReport JSON (``repro.obs/run-report/v1``).
+
+See ``docs/OBSERVABILITY.md`` for the span hierarchy, metric names, the
+RunReport schema and the Perfetto how-to.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_metrics,
+    use_metrics,
+)
+from .report import (
+    RUN_REPORT_SCHEMA,
+    build_run_report,
+    collect_run_metrics,
+    write_run_report,
+)
+from .tracer import (
+    SCHEMA_VERSION,
+    Span,
+    Tracer,
+    current_tracer,
+    trace_span,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RUN_REPORT_SCHEMA",
+    "SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "build_run_report",
+    "collect_run_metrics",
+    "current_metrics",
+    "current_tracer",
+    "trace_span",
+    "use_metrics",
+    "use_tracer",
+    "write_run_report",
+]

@@ -1,0 +1,133 @@
+"""Counters, gauges and histograms — the metric half of :mod:`repro.obs`.
+
+Where spans (:mod:`repro.obs.tracer`) answer *when and under what* time was
+spent, metrics answer *how much in total*: launch counts, bytes of simulated
+traffic, frontier occupancy, solver iterations.  A
+:class:`MetricsRegistry` holds the three instrument kinds under dotted
+names (``kernel.launches``, ``solver.relative_residual``); its
+:meth:`~MetricsRegistry.as_dict` snapshot becomes the ``metrics`` section
+of the :mod:`~repro.obs.report` RunReport.
+
+Like the tracer, a registry can be installed ambiently with
+:func:`use_metrics`; instrumented sites ask :func:`current_metrics` and do
+nothing when none is installed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_metrics",
+    "use_metrics",
+]
+
+
+@dataclass
+class Counter:
+    """Monotone accumulator (launch counts, bytes, iterations)."""
+
+    name: str
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins value (a fraction, a final residual)."""
+
+    name: str
+    value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observations (count/min/max/mean/total).
+
+    Individual observations are not retained — per-launch series belong in
+    span attributes; the histogram is the aggregate view.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float | None = None
+    max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Get-or-create store for the three instrument kinds."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        return self.counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self.gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self.histograms.setdefault(name, Histogram(name))
+
+    def as_dict(self) -> dict:
+        """Plain-type snapshot (the RunReport ``metrics`` section)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {n: h.summary() for n, h in sorted(self.histograms.items())},
+        }
+
+
+# -- the ambient registry --------------------------------------------------
+_ACTIVE: list[MetricsRegistry] = []
+
+
+def current_metrics() -> MetricsRegistry | None:
+    """The innermost registry installed with :func:`use_metrics`, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the ambient registry for the ``with`` body."""
+    _ACTIVE.append(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.pop()

@@ -15,6 +15,7 @@ import numpy as np
 
 from .._validation import VALUE_DTYPE
 from ..errors import ShapeError
+from ..obs import current_metrics, trace_span
 from .monitor import ConvergenceHistory
 
 __all__ = ["BiCGStabResult", "bicgstab"]
@@ -73,6 +74,7 @@ def bicgstab(
         return v if preconditioner is None else preconditioner.apply(v)
 
     history = ConvergenceHistory()
+    metrics = current_metrics()
     b_norm = _norm(b)
     if b_norm == 0.0:
         b_norm = 1.0
@@ -86,58 +88,83 @@ def bicgstab(
     def record(r: np.ndarray) -> float:
         rel = _norm(r) / b_norm
         history.relative_residuals.append(rel)
+        if metrics is not None:
+            metrics.histogram("solver.relative_residual").observe(rel)
         if true_solution is not None:
             history.forward_errors.append(_norm(x - true_solution) / xt_norm)
         return rel
 
-    r = b - a.matvec(x)
-    r0 = r.copy()
-    if record(r) < tol:
-        history.converged = True
-        return BiCGStabResult(x=x, history=history)
+    with trace_span(
+        "bicgstab",
+        category="solver",
+        n=n,
+        tol=tol,
+        max_iterations=max_iterations,
+        preconditioner=getattr(preconditioner, "name", None),
+    ) as span:
 
-    rho_old = 1.0
-    alpha = 1.0
-    omega = 1.0
-    v = np.zeros(n, dtype=VALUE_DTYPE)
-    p = np.zeros(n, dtype=VALUE_DTYPE)
+        def finish() -> BiCGStabResult:
+            if metrics is not None:
+                metrics.counter("solver.iterations").inc(history.n_iterations)
+                metrics.gauge("solver.final_residual").set(history.final_residual)
+            if span is not None:
+                span.attributes.update(
+                    iterations=history.n_iterations,
+                    converged=history.converged,
+                    final_residual=history.final_residual,
+                )
+                if history.breakdown is not None:
+                    span.attributes["breakdown"] = history.breakdown
+            return BiCGStabResult(x=x, history=history)
 
-    for _ in range(max_iterations):
-        rho = float(r0 @ r)
-        if abs(rho) < _BREAKDOWN_EPS:
-            history.breakdown = "rho"
-            break
-        beta = (rho / rho_old) * (alpha / omega)
-        p = r + beta * (p - omega * v)
-        p_hat = apply_m(p)
-        v = a.matvec(p_hat)
-        denom = float(r0 @ v)
-        if abs(denom) < _BREAKDOWN_EPS:
-            history.breakdown = "r0.v"
-            break
-        alpha = rho / denom
-        s = r - alpha * v
-        if _norm(s) / b_norm < tol:
-            x = x + alpha * p_hat
-            record(s)
+        r = b - a.matvec(x)
+        r0 = r.copy()
+        if record(r) < tol:
             history.converged = True
-            break
-        s_hat = apply_m(s)
-        t = a.matvec(s_hat)
-        tt = float(t @ t)
-        if tt < _BREAKDOWN_EPS:
-            history.breakdown = "t.t"
-            break
-        omega = float(t @ s) / tt
-        x = x + alpha * p_hat + omega * s_hat
-        r = s - omega * t
-        rel = record(r)
-        if rel < tol:
-            history.converged = True
-            break
-        if abs(omega) < _BREAKDOWN_EPS:
-            history.breakdown = "omega"
-            break
-        rho_old = rho
+            return finish()
 
-    return BiCGStabResult(x=x, history=history)
+        rho_old = 1.0
+        alpha = 1.0
+        omega = 1.0
+        v = np.zeros(n, dtype=VALUE_DTYPE)
+        p = np.zeros(n, dtype=VALUE_DTYPE)
+
+        for _ in range(max_iterations):
+            rho = float(r0 @ r)
+            if abs(rho) < _BREAKDOWN_EPS:
+                history.breakdown = "rho"
+                break
+            beta = (rho / rho_old) * (alpha / omega)
+            p = r + beta * (p - omega * v)
+            p_hat = apply_m(p)
+            v = a.matvec(p_hat)
+            denom = float(r0 @ v)
+            if abs(denom) < _BREAKDOWN_EPS:
+                history.breakdown = "r0.v"
+                break
+            alpha = rho / denom
+            s = r - alpha * v
+            if _norm(s) / b_norm < tol:
+                x = x + alpha * p_hat
+                record(s)
+                history.converged = True
+                break
+            s_hat = apply_m(s)
+            t = a.matvec(s_hat)
+            tt = float(t @ t)
+            if tt < _BREAKDOWN_EPS:
+                history.breakdown = "t.t"
+                break
+            omega = float(t @ s) / tt
+            x = x + alpha * p_hat + omega * s_hat
+            r = s - omega * t
+            rel = record(r)
+            if rel < tol:
+                history.converged = True
+                break
+            if abs(omega) < _BREAKDOWN_EPS:
+                history.breakdown = "omega"
+                break
+            rho_old = rho
+
+        return finish()

@@ -70,6 +70,108 @@ def test_render_trace_shows_active_percent_column():
     assert propose_line.rstrip().endswith("-")
 
 
+def test_summarize_ignores_active_without_total():
+    """A launch reporting ``active_lanes`` but no ``total_lanes`` must not
+    inflate the occupancy numerator while missing from the denominator."""
+    dev = Device()
+    with dev.launch("scan[step=0]", active_lanes=10, total_lanes=10):
+        pass
+    # telemetered launch without a total: previously skewed "active %"
+    with dev.launch("scan[step=1]", active_lanes=1000):
+        pass
+    s = {x.name: x for x in summarize(dev)}["scan"]
+    assert s.active_lanes == 10
+    assert s.total_lanes == 10
+    assert s.active_fraction == 1.0
+
+
+def test_summarize_keeps_raw_active_sum_without_any_totals():
+    dev = Device()
+    with dev.launch("scan[step=0]", active_lanes=3):
+        pass
+    with dev.launch("scan[step=1]", active_lanes=4):
+        pass
+    s = {x.name: x for x in summarize(dev)}["scan"]
+    assert s.active_lanes == 7
+    assert s.total_lanes is None
+    assert s.active_fraction is None
+
+
+def test_render_convergence_skips_untelemetered_before_fraction():
+    """Launches without telemetry are skipped before any fraction math."""
+    from repro.device import render_convergence
+
+    dev = Device()
+    with dev.launch("propose[k=0]", active_lanes=5, total_lanes=10):
+        pass
+    with dev.launch("mutualize[k=0]"):  # no telemetry at all
+        pass
+    text = render_convergence(dev)
+    assert "propose[k=0]" in text
+    assert "50.00" in text
+    assert "mutualize" not in text
+
+
+def test_render_convergence_empty_telemetry_is_well_formed():
+    """A device that never reported lanes renders title + headers, no rows."""
+    from repro.device import render_convergence
+
+    dev = Device()
+    with dev.launch("propose[k=0]"):
+        pass
+    text = render_convergence(dev)
+    lines = text.splitlines()
+    assert lines[0].startswith("frontier convergence")
+    header = lines[1]
+    for col in ("launch", "active", "total", "active %", "bytes"):
+        assert col in header
+    # nothing below the header rule
+    assert all(not l.strip() or set(l) <= set("- ") for l in lines[2:3])
+    assert "propose" not in "\n".join(lines[2:])
+
+    # a completely empty device too
+    assert "frontier convergence" in render_convergence(Device())
+
+
+def test_render_convergence_name_prefix_filter():
+    from repro.device import render_convergence
+
+    dev = Device()
+    with dev.launch("propose[k=0]", active_lanes=4, total_lanes=8):
+        pass
+    with dev.launch("scan[step=0]", active_lanes=2, total_lanes=8):
+        pass
+    text = render_convergence(dev, name_prefix="propose")
+    assert "propose[k=0]" in text
+    assert "scan" not in text
+
+
+def test_tracer_is_a_summarize_source():
+    """A Tracer's kernel spans reconstruct the same summaries as the device."""
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    dev = Device()
+    buf = np.zeros(100)
+    with use_tracer(tracer):
+        for k in range(2):
+            with dev.launch(f"propose[k={k}]", reads=(buf,), writes=(buf,)):
+                pass
+        with dev.launch("scan[step=0]", reads=(buf,),
+                        active_lanes=5, total_lanes=10):
+            pass
+    dev_view = {
+        (s.name, s.launches, s.bytes_total, s.active_lanes, s.total_lanes)
+        for s in summarize(dev)
+    }
+    trc_view = {
+        (s.name, s.launches, s.bytes_total, s.active_lanes, s.total_lanes)
+        for s in summarize(tracer)
+    }
+    assert dev_view == trc_view
+    assert render_trace(tracer)  # renders without a Device
+
+
 def test_empty_device():
     assert summarize(Device()) == []
     assert "device trace" in render_trace(Device())

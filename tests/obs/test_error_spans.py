@@ -1,0 +1,101 @@
+"""Exception-path accounting: failed bodies still leave truthful records.
+
+A kernel or phase body that raises must (a) keep its accounting record —
+the Figure-6 breakdown of a partially failed run stays truthful — and
+(b) close its span with an ``error`` attribute naming the exception type,
+so the exported trace shows *where* the run died.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device import Device
+from repro.device.profiler import PhaseTimer, TimingBreakdown
+from repro.obs import Tracer, use_tracer
+
+
+class KernelBoom(RuntimeError):
+    pass
+
+
+def test_device_launch_records_on_raise():
+    dev = Device()
+    buf = np.zeros(100)
+    with pytest.raises(KernelBoom):
+        with dev.launch("fails", reads=(buf,), writes=(buf,)):
+            raise KernelBoom("mid-kernel")
+    assert dev.launch_count == 1
+    rec = dev.kernels[0]
+    assert rec.name == "fails"
+    assert rec.bytes_read == buf.nbytes
+    assert rec.bytes_written == buf.nbytes
+    assert rec.seconds >= 0.0
+
+
+def test_device_launch_closes_span_with_error():
+    dev = Device()
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with pytest.raises(KernelBoom):
+            with dev.launch("fails", reads=(np.zeros(10),)):
+                raise KernelBoom()
+        # the tracer stack is clean: the next span is a root again
+        with tracer.span("after") as after:
+            pass
+    span = tracer.find(category="kernel")[0]
+    assert span.name == "fails"
+    assert span.end is not None
+    assert span.attributes["error"] == "KernelBoom"
+    assert span.attributes["bytes_read"] == 80
+    assert after.parent_id is None
+
+
+def test_device_launch_span_has_no_error_on_success():
+    dev = Device()
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with dev.launch("works", reads=(np.zeros(10),)):
+            pass
+    assert "error" not in tracer.find(category="kernel")[0].attributes
+
+
+def test_phase_timer_accumulates_on_raise():
+    timer = PhaseTimer("doomed-phase")
+    with pytest.raises(KernelBoom):
+        with timer.measure():
+            raise KernelBoom()
+    assert timer.calls == 1
+    assert timer.seconds >= 0.0
+
+
+def test_phase_timer_closes_span_with_error():
+    timer = PhaseTimer("doomed-phase")
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with pytest.raises(KernelBoom):
+            with timer.measure():
+                raise KernelBoom()
+    span = tracer.find(category="phase")[0]
+    assert span.name == "doomed-phase"
+    assert span.end is not None
+    assert span.attributes["error"] == "KernelBoom"
+    assert span.attributes["seconds"] == pytest.approx(timer.seconds)
+
+
+def test_breakdown_phase_error_nests_kernel_span():
+    """A kernel failing inside a phase: both spans close, both carry error."""
+    breakdown = TimingBreakdown()
+    dev = Device()
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with pytest.raises(KernelBoom):
+            with breakdown.phase("setup"):
+                with dev.launch("inner", reads=(np.zeros(4),)):
+                    raise KernelBoom()
+    phase = tracer.find(category="phase")[0]
+    kernel = tracer.find(category="kernel")[0]
+    assert kernel.parent_id == phase.span_id
+    assert phase.attributes["error"] == "KernelBoom"
+    assert kernel.attributes["error"] == "KernelBoom"
+    assert breakdown.phases["setup"].calls == 1
+    assert dev.launch_count == 1

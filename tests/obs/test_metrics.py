@@ -1,0 +1,70 @@
+"""Unit tests for counters, gauges, histograms and the ambient registry."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    current_metrics,
+    use_metrics,
+)
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("kernel.launches")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 5
+
+
+def test_gauge_last_write_wins():
+    reg = MetricsRegistry()
+    g = reg.gauge("factor.final_frontier_fraction")
+    assert g.value is None
+    g.set(0.5)
+    g.set(0.25)
+    assert g.value == 0.25
+
+
+def test_histogram_streaming_summary():
+    reg = MetricsRegistry()
+    h = reg.histogram("solver.relative_residual")
+    assert h.mean is None
+    for v in (1.0, 0.5, 0.25):
+        h.observe(v)
+    assert h.summary() == {
+        "count": 3, "total": 1.75, "min": 0.25, "max": 1.0, "mean": 1.75 / 3,
+    }
+
+
+def test_registry_get_or_create_is_stable():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("b") is reg.gauge("b")
+    assert reg.histogram("c") is reg.histogram("c")
+
+
+def test_as_dict_snapshot_is_sorted_and_plain():
+    reg = MetricsRegistry()
+    reg.counter("z").inc(2)
+    reg.counter("a").inc(1)
+    reg.gauge("g").set(0.5)
+    reg.histogram("h").observe(4.0)
+    snap = reg.as_dict()
+    assert list(snap["counters"]) == ["a", "z"]
+    assert snap["counters"] == {"a": 1, "z": 2}
+    assert snap["gauges"] == {"g": 0.5}
+    assert snap["histograms"]["h"]["count"] == 1
+
+
+def test_ambient_registry():
+    assert current_metrics() is None
+    reg = MetricsRegistry()
+    with use_metrics(reg):
+        assert current_metrics() is reg
+        current_metrics().counter("x").inc()
+    assert current_metrics() is None
+    assert reg.counter("x").value == 1

@@ -1,0 +1,194 @@
+"""Unit tests for the span tracer: nesting, ambient install, exports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    Tracer,
+    current_tracer,
+    trace_span,
+    use_tracer,
+)
+from repro.obs.tracer import json_safe
+
+
+def test_spans_nest_under_open_parent():
+    t = Tracer()
+    with t.span("outer") as outer:
+        with t.span("middle") as middle:
+            with t.span("inner") as inner:
+                pass
+    assert outer.parent_id is None
+    assert middle.parent_id == outer.span_id
+    assert inner.parent_id == middle.span_id
+    assert [s.name for s in t.ancestors(inner)] == ["middle", "outer"]
+    assert t.roots() == [outer]
+    assert t.children(outer) == [middle]
+
+
+def test_siblings_share_a_parent():
+    t = Tracer()
+    with t.span("parent") as parent:
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+    a, b = t.find(name_prefix="a"), t.find(name_prefix="b")
+    assert a[0].parent_id == b[0].parent_id == parent.span_id
+
+
+def test_span_times_are_closed_and_ordered():
+    t = Tracer()
+    with t.span("outer") as outer:
+        with t.span("inner") as inner:
+            pass
+    for s in (outer, inner):
+        assert s.end is not None
+        assert s.seconds >= 0.0
+    # strict time containment: child within parent
+    assert outer.start <= inner.start
+    assert inner.end <= outer.end
+
+
+def test_none_attributes_are_dropped():
+    t = Tracer()
+    with t.span("s", bytes=4, note=None) as s:
+        pass
+    t.end_span(s, extra=None)
+    assert s.attributes == {"bytes": 4}
+
+
+def test_out_of_order_close_is_tolerated():
+    t = Tracer()
+    outer = t.start_span("outer")
+    t.start_span("abandoned")
+    t.end_span(outer)  # closes outer, drops the abandoned span from the stack
+    with t.span("next") as nxt:
+        pass
+    assert nxt.parent_id is None
+
+
+def test_find_filters_by_category_and_prefix():
+    t = Tracer()
+    with t.span("run-it", category="run"):
+        with t.span("propose[k=0]", category="kernel"):
+            pass
+        with t.span("mutualize[k=0]", category="kernel"):
+            pass
+    assert [s.name for s in t.find(category="kernel")] == [
+        "propose[k=0]", "mutualize[k=0]"]
+    assert [s.name for s in t.find(category="kernel", name_prefix="propose")] == [
+        "propose[k=0]"]
+
+
+def test_chrome_trace_export_shape():
+    t = Tracer("unit")
+    with t.span("outer", category="run", n=3):
+        with t.span("inner", category="kernel"):
+            pass
+    doc = t.to_chrome_trace()
+    assert doc["otherData"] == {"tracer": "unit", "schema": SCHEMA_VERSION}
+    events = doc["traceEvents"]
+    assert [e["name"] for e in events] == ["outer", "inner"]
+    for e in events:
+        assert e["ph"] == "X"
+        assert e["pid"] == 1 and e["tid"] == 1
+        assert e["dur"] >= 0.0
+    outer, inner = events
+    assert outer["args"] == {"n": 3}
+    # µs containment — what makes Perfetto render the nesting
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+    json.dumps(doc)  # serializable
+
+
+def test_open_span_exports_with_provisional_end():
+    t = Tracer()
+    t.start_span("still-open")
+    doc = t.to_chrome_trace()
+    assert doc["traceEvents"][0]["dur"] >= 0.0
+
+
+def test_jsonl_round_trip(tmp_path):
+    t = Tracer()
+    with t.span("outer"):
+        with t.span("inner", lanes=np.int64(7)):
+            pass
+    path = tmp_path / "spans.jsonl"
+    t.write_jsonl(path)
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["name"] for r in rows] == ["outer", "inner"]
+    assert rows[1]["parent_id"] == rows[0]["span_id"]
+    assert rows[1]["attributes"] == {"lanes": 7}  # numpy coerced
+
+
+def test_empty_tracer_writes_empty_jsonl(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    Tracer().write_jsonl(path)
+    assert path.read_text() == ""
+
+
+def test_write_chrome_trace_is_valid_json(tmp_path):
+    t = Tracer()
+    with t.span("s"):
+        pass
+    path = tmp_path / "trace.json"
+    t.write_chrome_trace(path)
+    assert json.loads(path.read_text())["traceEvents"][0]["name"] == "s"
+
+
+def test_ambient_tracer_install_and_nesting():
+    assert current_tracer() is None
+    outer, inner = Tracer("outer"), Tracer("inner")
+    with use_tracer(outer):
+        assert current_tracer() is outer
+        with use_tracer(inner):
+            assert current_tracer() is inner
+        assert current_tracer() is outer
+    assert current_tracer() is None
+
+
+def test_trace_span_noop_without_tracer():
+    with trace_span("anything", category="stage", n=1) as span:
+        assert span is None
+
+
+def test_trace_span_records_on_ambient_tracer():
+    t = Tracer()
+    with use_tracer(t):
+        with trace_span("stage-x", category="stage", n=5) as span:
+            span.attributes["result"] = 9
+    assert t.spans[0].name == "stage-x"
+    assert t.spans[0].attributes == {"n": 5, "result": 9}
+
+
+def test_span_error_attribute_on_raise():
+    t = Tracer()
+    with pytest.raises(ValueError):
+        with t.span("fails"):
+            raise ValueError("boom")
+    s = t.spans[0]
+    assert s.end is not None
+    assert s.attributes["error"] == "ValueError"
+    # and the stack is clean for the next span
+    with t.span("after") as after:
+        pass
+    assert after.parent_id is None
+
+
+def test_json_safe_coerces_numpy_and_nested():
+    value = {
+        "i": np.int32(3),
+        "f": np.float64(0.5),
+        "b": np.bool_(True),
+        "arr": np.arange(3),
+        "nested": [np.int64(1), (2, np.float32(3.0))],
+    }
+    out = json_safe(value)
+    json.dumps(out)
+    assert out["i"] == 3 and out["f"] == 0.5 and out["b"] is True
+    assert out["arr"] == [0, 1, 2]
+    assert out["nested"] == [1, [2, 3.0]]

@@ -91,6 +91,110 @@ def test_transversal(mtx_path, tmp_path, capsys):
     assert (scal > 0).all()
 
 
+def _nests(inner, outer):
+    return (outer["ts"] <= inner["ts"]
+            and inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"])
+
+
+def test_extract_trace_and_metrics(mtx_path, tmp_path, capsys):
+    import json
+
+    from repro.obs import RUN_REPORT_SCHEMA, SCHEMA_VERSION
+
+    trace_path = tmp_path / "trace.json"
+    report_path = tmp_path / "report.json"
+    rc = main([
+        "extract", mtx_path,
+        "--trace", str(trace_path), "--metrics-out", str(report_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert f"trace written to {trace_path}" in out
+    assert f"run report written to {report_path}" in out
+
+    # --- the trace is Chrome trace-event JSON with run > phase > kernel ---
+    doc = json.loads(trace_path.read_text())
+    assert doc["otherData"]["schema"] == SCHEMA_VERSION
+    events = doc["traceEvents"]
+    runs = [e for e in events if e["cat"] == "run"]
+    phases = [e for e in events if e["cat"] == "phase"]
+    kernels = [e for e in events if e["cat"] == "kernel"]
+    assert [e["name"] for e in runs] == ["extract-linear-forest"]
+    assert {e["name"] for e in phases} == {
+        "[0,2]-factor", "bidirectional scans", "coefficient extraction"}
+    assert kernels
+    assert all(_nests(p, runs[0]) for p in phases)
+    assert all(any(_nests(k, p) for p in phases) for k in kernels)
+
+    # --- the report is schema-versioned and self-consistent --------------
+    report = json.loads(report_path.read_text())
+    assert report["schema"] == RUN_REPORT_SCHEMA
+    assert report["command"] == "extract"
+    assert report["inputs"]["matrix"] == mtx_path
+    assert report["totals"]["launches"] == len(kernels)
+    assert report["totals"]["launches"] == sum(
+        k["launches"] for k in report["kernels"])
+    assert report["totals"]["bytes"] == sum(k["bytes"] for k in report["kernels"])
+    assert report["metrics"]["counters"]["kernel.launches"] == len(kernels)
+    assert report["factor"]["iterations"] >= 1
+    assert set(report["phases"]) == {e["name"] for e in phases}
+
+
+def test_extract_trace_jsonl_extension(mtx_path, tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "spans.jsonl"
+    assert main(["extract", mtx_path, "--trace", str(trace_path)]) == 0
+    rows = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    assert rows[0]["name"] == "extract-linear-forest"
+    assert rows[0]["parent_id"] is None
+    ids = {r["span_id"] for r in rows}
+    assert all(r["parent_id"] in ids for r in rows[1:])
+
+
+def test_factor_metrics_out(mtx_path, tmp_path, capsys):
+    import json
+
+    report_path = tmp_path / "factor.json"
+    rc = main(["factor", mtx_path, "-n", "2", "--metrics-out", str(report_path)])
+    assert rc == 0
+    report = json.loads(report_path.read_text())
+    assert report["command"] == "factor"
+    assert report["factor"]["iterations"] >= 1
+    assert report["totals"]["launches"] >= 1
+
+
+def test_solve_metrics_out(mtx_path, tmp_path, capsys):
+    import json
+
+    report_path = tmp_path / "solve.json"
+    trace_path = tmp_path / "solve-trace.json"
+    rc = main([
+        "solve", mtx_path, "--preconditioner", "jacobi",
+        "--trace", str(trace_path), "--metrics-out", str(report_path),
+    ])
+    assert rc == 0
+    report = json.loads(report_path.read_text())
+    assert report["command"] == "solve"
+    assert report["solver"]["converged"] is True
+    assert (report["metrics"]["counters"]["solver.iterations"]
+            == report["solver"]["iterations"])
+    doc = json.loads(trace_path.read_text())
+    solver_events = [e for e in doc["traceEvents"] if e["cat"] == "solver"]
+    assert [e["name"] for e in solver_events] == ["bicgstab"]
+    assert solver_events[0]["args"]["converged"] is True
+
+
+def test_obs_flags_off_by_default(mtx_path, tmp_path, capsys):
+    """Without the flags, no trace/report files appear and output is clean."""
+    rc = main(["extract", mtx_path])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "trace written" not in out
+    assert "run report written" not in out
+    assert not list(tmp_path.glob("*.json"))
+
+
 def test_unknown_generate_name_rejected(tmp_path):
     with pytest.raises(SystemExit):
         main(["generate", "nope", "-o", str(tmp_path / "x.mtx")])

@@ -1,0 +1,35 @@
+"""Lint: all timing in the library flows through the device/tracer clocks.
+
+Raw ``time.perf_counter()`` calls scattered through the library would
+produce timings invisible to the tracer and the run reports; the two
+sanctioned clock owners are the simulated device (``src/repro/device/``)
+and the observability subsystem (``src/repro/obs/``).  Everything else must
+time itself through ``Device.launch``, ``PhaseTimer.measure`` or a span.
+
+Benchmarks, tests and examples are exempt — they are harnesses, not
+library code.
+"""
+
+from pathlib import Path
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+ALLOWED = ("device", "obs")
+
+FORBIDDEN = ("perf_counter", "time.monotonic", "time.process_time")
+
+
+def test_no_raw_timers_outside_device_and_obs():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC)
+        if rel.parts and rel.parts[0] in ALLOWED:
+            continue
+        text = path.read_text()
+        for needle in FORBIDDEN:
+            if needle in text:
+                offenders.append(f"{rel}: {needle}")
+    assert not offenders, (
+        "raw timer calls outside src/repro/device/ and src/repro/obs/ "
+        f"(route timing through Device.launch / PhaseTimer / spans): {offenders}"
+    )
