@@ -16,6 +16,11 @@ Environment knobs:
   need a GPU).
 * ``REPRO_BENCH_FULL=1`` — run all 22 suite matrices instead of the
   representative 11-matrix subset.
+* ``REPRO_UPDATE_BUDGET`` — deliberately refresh the committed launch/traffic
+  budget JSONs after an intentional cost change: ``1`` or ``all`` rewrites
+  every budget, a comma-separated list of budget names (``scan``,
+  ``proposition``, ``compaction``) rewrites only those files and leaves the
+  rest byte-identical.  See :func:`refresh_budget`.
 """
 
 from __future__ import annotations
@@ -40,6 +45,35 @@ _OBS_RUNS: list[dict] = []
 def record_observed_run(entry: dict) -> None:
     """Register one instrumented benchmark run for BENCH_observability.json."""
     _OBS_RUNS.append(entry)
+
+
+def budget_refresh_requested(name: str) -> bool:
+    """True when ``REPRO_UPDATE_BUDGET`` selects the named budget.
+
+    ``0`` or empty refreshes nothing; ``1``/``all`` refreshes every budget;
+    anything else is read as a comma-separated list of budget names.
+    """
+    spec = os.environ.get("REPRO_UPDATE_BUDGET", "0").strip().lower()
+    if spec in ("", "0"):
+        return False
+    if spec in ("1", "all"):
+        return True
+    return name in {part.strip() for part in spec.split(",")}
+
+
+def refresh_budget(path: Path, name: str, measured: dict, *, scale: float = 1.0) -> None:
+    """Seed or deliberately refresh one budget JSON.
+
+    Writes when the file is missing (first seed) or when
+    :func:`budget_refresh_requested` selects ``name``; otherwise the file is
+    left byte-identical, so refreshing one budget can never silently move
+    another (pinned by ``tests/test_budget_refresh.py``).
+    """
+    if path.exists() and not budget_refresh_requested(name):
+        return
+    budget = {"scale": scale, "budgets": measured}
+    path.write_text(json.dumps(budget, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] refreshed {name} budget: {path}")
 
 
 def bench_scale() -> float:

@@ -1,0 +1,154 @@
+"""Regression gate on the compaction policies' factor-phase traffic budget.
+
+The ROADMAP regression this PR closes: on slow-collapsing frontiers the
+engine's compact-every-round gathers alone can exceed the *entire*
+factor-phase traffic of the paper-exact reference loop.  On the
+:func:`~repro.graphs.slow_frontier` workload this gate pins
+
+1. **the fix** — the ``adaptive`` policy's total gather traffic stays at or
+   below the reference loop's factor-phase traffic, and its factor-phase
+   bytes stay at or below ``eager``'s;
+2. **the regression it replaces** — ``eager``'s gathers alone really do
+   exceed the reference loop's traffic here, so the gate cannot rot into
+   vacuity if the workload drifts;
+3. **bit-identity** — every policy still reproduces the reference factor
+   exactly (the cheap end-to-end check; the full property surface lives in
+   ``tests/properties/test_compaction_properties.py``);
+4. **the budget** — per-policy launches (exact), bytes (small tolerance) and
+   gathered elements against ``compaction_budget.json``.
+
+Regenerate deliberately with ``REPRO_UPDATE_BUDGET=compaction`` (or ``=1``
+for all budgets) after an intentional cost change, and commit the refreshed
+JSON together with that change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import parallel_factor
+from repro.core.ablations import reference_parallel_factor
+from repro.device import Device
+from repro.graphs import slow_frontier
+from repro.sparse import prepare_graph
+
+from .conftest import bench_scale, emit, refresh_budget
+
+pytestmark = pytest.mark.budget
+
+BUDGET_PATH = Path(__file__).parent / "compaction_budget.json"
+
+# Launches and gathered elements are exact (integer, deterministic); bytes
+# get a small headroom so an unrelated accounting tweak does not flake.
+BYTES_TOLERANCE = 1.02
+
+#: The factor-phase kernels the budget covers.
+FACTOR_KERNELS = ("charge", "propose", "mutualize")
+
+POLICIES = ("eager", "never", "lazy:0.5", "adaptive")
+
+
+def _factor_bytes(dev: Device) -> int:
+    return sum(dev.total_bytes(prefix) for prefix in FACTOR_KERNELS)
+
+
+def _factor_launches(dev: Device) -> int:
+    return sum(len(dev.records(prefix)) for prefix in FACTOR_KERNELS)
+
+
+def test_compaction_budget(results_dir):
+    if bench_scale() != 1.0:
+        pytest.skip("budget is recorded at REPRO_BENCH_SCALE=1.0")
+
+    graph = prepare_graph(slow_frontier(bench_scale()))
+
+    dev_ref = Device()
+    ref = reference_parallel_factor(graph, device=dev_ref)
+    ref_bytes = _factor_bytes(dev_ref)
+    measured = {
+        "reference": {
+            "launches": _factor_launches(dev_ref),
+            "bytes": ref_bytes,
+            "gathered": 0,
+            "gather_bytes": 0,
+        }
+    }
+
+    results = {}
+    for policy in POLICIES:
+        dev = Device()
+        res = parallel_factor(graph, device=dev, compaction=policy)
+        results[policy] = res
+        measured[policy] = {
+            "launches": _factor_launches(dev),
+            "bytes": _factor_bytes(dev),
+            "gathered": res.gathered_elements,
+            "gather_bytes": int(
+                sum(d.gather_bytes for d in res.compaction_decisions if d.compact)
+            ),
+        }
+
+    # 3. bit-identity first: costs are only comparable between equal results
+    for policy, res in results.items():
+        assert res.factor == ref.factor, policy
+        assert res.proposals_per_iteration == ref.proposals_per_iteration, policy
+
+    # 1. the acceptance line: adaptive's gather traffic is bounded by the
+    # paper-exact loop's whole factor phase, and it never loses to eager
+    assert measured["adaptive"]["gather_bytes"] <= ref_bytes, measured
+    assert measured["adaptive"]["gathered"] * 8 <= ref_bytes, measured
+    assert measured["adaptive"]["bytes"] <= measured["eager"]["bytes"], measured
+
+    # 2. the workload still reproduces the regression eager suffers from
+    assert measured["eager"]["gather_bytes"] > ref_bytes, measured
+
+    # launches are policy-independent: compaction only changes what each
+    # launch touches, never how many launches run
+    launches = {p: measured[p]["launches"] for p in POLICIES}
+    assert len(set(launches.values())) == 1, launches
+
+    refresh_budget(BUDGET_PATH, "compaction", measured)
+    budget = json.loads(BUDGET_PATH.read_text())["budgets"]
+
+    headers = [
+        "policy", "launches", "budget", "MB", "budget MB",
+        "gathered", "budget gathered", "ok",
+    ]
+    rows = []
+    failures = []
+    for name, m in measured.items():
+        b = budget.get(name)
+        if b is None:
+            rows.append([
+                name, m["launches"], None, m["bytes"] / 1e6, None,
+                m["gathered"], None, True,
+            ])
+            continue
+        ok = (
+            m["launches"] <= b["launches"]
+            and m["bytes"] <= b["bytes"] * BYTES_TOLERANCE
+            and m["gathered"] <= b["gathered"]
+        )
+        rows.append([
+            name, m["launches"], b["launches"], m["bytes"] / 1e6,
+            b["bytes"] / 1e6, m["gathered"], b["gathered"], ok,
+        ])
+        if not ok:
+            failures.append((name, m, b))
+
+    emit(
+        results_dir,
+        "compaction_budget",
+        render_table(
+            headers,
+            rows,
+            title="Frontier-compaction factor-phase budget (slow_frontier)",
+        ),
+    )
+    assert not failures, (
+        "compaction-policy factor cost regressed beyond the stored budget "
+        f"({BUDGET_PATH.name}): {failures}; if intentional, regenerate with "
+        "REPRO_UPDATE_BUDGET=compaction and commit the refreshed budget"
+    )

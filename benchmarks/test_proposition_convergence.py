@@ -17,7 +17,6 @@ paper-exact loop:
 """
 
 import json
-import os
 from pathlib import Path
 
 import numpy as np
@@ -29,7 +28,7 @@ from repro.core.ablations import reference_parallel_factor
 from repro.device import Device
 from repro.sparse import prepare_graph
 
-from .conftest import bench_scale, bench_suite, emit
+from .conftest import bench_scale, bench_suite, emit, refresh_budget
 
 BUDGET_PATH = Path(__file__).parent / "proposition_budget.json"
 
@@ -154,11 +153,7 @@ def test_proposition_budget(results_dir, matrices):
             "bytes": _factor_bytes(dev),
         }
 
-    if os.environ.get("REPRO_UPDATE_BUDGET", "0") == "1" or not BUDGET_PATH.exists():
-        budget = {"scale": 1.0, "budgets": measured}
-        BUDGET_PATH.write_text(json.dumps(budget, indent=2, sort_keys=True) + "\n")
-        print(f"[bench] seeded proposition budget: {BUDGET_PATH}")
-
+    refresh_budget(BUDGET_PATH, "proposition", measured)
     budget = json.loads(BUDGET_PATH.read_text())["budgets"]
 
     headers = ["matrix", "launches", "budget", "MB", "budget MB", "ok"]

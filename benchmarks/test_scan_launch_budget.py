@@ -7,12 +7,12 @@ seeded from the first convergence-aware engine run; any change that makes
 the pipeline launch more scans, or move more bytes (beyond a small
 tolerance), fails here before it lands.
 
-Regenerate deliberately with ``REPRO_UPDATE_BUDGET=1`` after an intentional
-cost change, and commit the refreshed JSON together with that change.
+Regenerate deliberately with ``REPRO_UPDATE_BUDGET=1`` (or the targeted
+``REPRO_UPDATE_BUDGET=scan``) after an intentional cost change, and commit
+the refreshed JSON together with that change.
 """
 
 import json
-import os
 from pathlib import Path
 
 import pytest
@@ -21,7 +21,7 @@ from repro.analysis import render_table
 from repro.core import extract_linear_forest
 from repro.device import Device
 
-from .conftest import bench_scale, bench_suite, emit
+from .conftest import bench_scale, bench_suite, emit, refresh_budget
 
 pytestmark = pytest.mark.budget
 
@@ -48,11 +48,7 @@ def test_scan_launch_budget(results_dir, matrices):
 
     measured = {name: _measure(matrices[name]) for name in bench_suite()}
 
-    if os.environ.get("REPRO_UPDATE_BUDGET", "0") == "1" or not BUDGET_PATH.exists():
-        budget = {"scale": 1.0, "budgets": measured}
-        BUDGET_PATH.write_text(json.dumps(budget, indent=2, sort_keys=True) + "\n")
-        print(f"[bench] seeded scan launch budget: {BUDGET_PATH}")
-
+    refresh_budget(BUDGET_PATH, "scan", measured)
     budget = json.loads(BUDGET_PATH.read_text())["budgets"]
 
     headers = ["matrix", "launches", "budget", "MB", "budget MB", "ok"]

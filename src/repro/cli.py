@@ -88,6 +88,14 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="charge seed")
 
 
+def _add_compaction_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--compaction", default=None, metavar="POLICY",
+        help="frontier-compaction policy: eager, never, lazy[:threshold], "
+             "adaptive (default: $REPRO_COMPACTION or eager; results are "
+             "bit-identical under every policy, only traffic differs)")
+
+
 def _config_from(args, n: int) -> ParallelFactorConfig:
     return ParallelFactorConfig(
         n=n, max_iterations=args.iterations, m=args.m, k_m=args.k_m,
@@ -149,7 +157,8 @@ def _cmd_extract(args) -> int:
     with ExitStack() as stack:
         obs = _observed(args, stack)
         result = extract_linear_forest(
-            a, _config_from(args, 2), device=obs.device if obs else None
+            a, _config_from(args, 2), device=obs.device if obs else None,
+            compaction=args.compaction,
         )
     print(f"matrix: N={a.n_rows}, nnz={a.nnz}")
     print(f"c_id (natural order):   {identity_coverage(a):.4f}")
@@ -190,6 +199,7 @@ def _cmd_factor(args) -> int:
             res = parallel_factor(
                 graph, _config_from(args, args.n),
                 device=obs.device if obs else None,
+                compaction=args.compaction,
             )
             factor_result = res
             factor = res.factor
@@ -276,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--perm-out", help="write the permutation here")
     p.add_argument("--bands-out", help="write the tridiagonal bands here")
     _add_config_args(p)
+    _add_compaction_arg(p)
     _add_obs_args(p)
     p.set_defaults(func=_cmd_extract)
 
@@ -284,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=2, help="degree bound (default 2)")
     p.add_argument("--greedy", action="store_true", help="use sequential Algorithm 1")
     _add_config_args(p)
+    _add_compaction_arg(p)
     _add_obs_args(p)
     p.set_defaults(func=_cmd_factor)
 

@@ -8,6 +8,8 @@ Layout (paper section in parentheses):
 * :mod:`~repro.core.factor` — parallel [0,n]-factor, Algorithm 2 (§3.2, §4.1).
 * :mod:`~repro.core.coverage` — weight-coverage metrics, Equations 3–5.
 * :mod:`~repro.core.scan` — the bidirectional scan engine, Algorithm 3 (§4.2).
+* :mod:`~repro.core.frontier` — frontier-compaction policies shared by the
+  proposition and scan engines (eager/never/lazy/adaptive; bit-identical).
 * :mod:`~repro.core.cycles` — cycle identification and weakest-edge breaking
   (§3.3 step 1).
 * :mod:`~repro.core.paths` — path ids and positions (§3.3 step 2).
@@ -26,6 +28,15 @@ from .coverage import coverage, factor_weight, graph_weight, identity_coverage
 from .cycles import break_cycles, detect_cycles
 from .extraction import TridiagonalSystem, extract_tridiagonal
 from .factor import ParallelFactorConfig, ParallelFactorResult, parallel_factor
+from .frontier import (
+    AdaptiveCompaction,
+    CompactionDecision,
+    CompactionPolicy,
+    EagerCompaction,
+    LazyCompaction,
+    NeverCompaction,
+    resolve_compaction,
+)
 from .greedy import greedy_factor
 from .paths import PathInfo, identify_paths, paths_from_scan
 from .permutation import forest_permutation, is_tridiagonal_under
@@ -48,12 +59,18 @@ from .serialization import (
 from .structures import Factor
 
 __all__ = [
+    "AdaptiveCompaction",
     "AddOperator",
     "BidirectionalScan",
+    "CompactionDecision",
+    "CompactionPolicy",
+    "EagerCompaction",
     "Factor",
     "FusedOperator",
+    "LazyCompaction",
     "LinearForestResult",
     "MinEdgeOperator",
+    "NeverCompaction",
     "ScanResult",
     "ParallelFactorConfig",
     "ParallelFactorResult",
@@ -82,6 +99,7 @@ __all__ = [
     "parallel_factor",
     "paths_from_scan",
     "rcm_ordering",
+    "resolve_compaction",
     "save_factor",
     "save_forest_ordering",
     "sequential_linear_forest",

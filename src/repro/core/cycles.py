@@ -35,16 +35,18 @@ def detect_cycles(
     *,
     device: Device | None = None,
     scan_result: ScanResult | None = None,
+    compaction=None,
 ) -> np.ndarray:
     """Boolean mask of vertices that lie on a cycle of the [0,2]-factor.
 
     ``scan_result`` may be the outcome of *any* completed bidirectional scan
     of ``factor`` (the cycle mask only depends on the lane pointers, not on
-    the payload); when given, no scan is run.
+    the payload); when given, no scan is run.  ``compaction`` selects the
+    scan's frontier-compaction policy (see :mod:`repro.core.frontier`).
     """
     if scan_result is not None:
         return scan_result.cycle_mask
-    scan = BidirectionalScan(factor, device=device)
+    scan = BidirectionalScan(factor, device=device, compaction=compaction)
     return scan.run(NullOperator()).cycle_mask
 
 
@@ -68,6 +70,7 @@ def break_cycles(
     *,
     device: Device | None = None,
     scan_result: ScanResult | None = None,
+    compaction=None,
 ) -> BrokenCycles:
     """Remove the weakest edge of every cycle of a [0,2]-factor.
 
@@ -90,7 +93,7 @@ def break_cycles(
         if scan_result is None:
             if graph is None:
                 raise ScanError("break_cycles requires the weighted graph (or a scan_result)")
-            scan = BidirectionalScan(factor, device=device)
+            scan = BidirectionalScan(factor, device=device, compaction=compaction)
             result = scan.run(MinEdgeOperator(), graph)
         else:
             missing = {"w", "u", "v"} - set(scan_result.payload)

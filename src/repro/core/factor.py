@@ -104,6 +104,12 @@ class ParallelFactorResult:
     #: Active-edge frontier size at the start of each round (one entry per
     #: executed iteration) — the convergence curve of the proposition engine.
     frontier_history: list[int] = field(default_factory=list)
+    #: Per-round verdicts of the engine's compaction policy (see
+    #: :mod:`repro.core.frontier`); empty for the reference loop.
+    compaction_decisions: list = field(default_factory=list)
+    #: Elements written by the engine's physical compaction gathers — the
+    #: factor-phase gather traffic the lazy policies amortize away.
+    gathered_elements: int = 0
 
     @property
     def coverage(self) -> float | None:
@@ -196,6 +202,7 @@ def parallel_factor(
     *,
     device: Device | None = None,
     coverage_matrix: CSRMatrix | None = None,
+    compaction=None,
 ) -> ParallelFactorResult:
     """Run Algorithm 2 on a prepared graph.
 
@@ -213,6 +220,12 @@ def parallel_factor(
         When given, the coverage history c_π(k) is tracked against this
         (original) matrix after every iteration — this is how Table 4 reports
         c_π(5) and c_π(M_max) per configuration.
+    compaction:
+        Frontier-compaction policy of the proposition engine — a
+        :class:`~repro.core.frontier.CompactionPolicy`, a spec string
+        (``"eager"``, ``"never"``, ``"lazy[:threshold]"``, ``"adaptive"``),
+        or ``None`` to honour ``REPRO_COMPACTION`` (default eager).  The
+        factor is bit-identical under every policy; only traffic differs.
     """
     config = config or ParallelFactorConfig()
     device = device or default_device()
@@ -235,7 +248,7 @@ def parallel_factor(
     # (see repro.core.proposer for the frontier invariant)
     from .proposer import PropositionEngine
 
-    engine = PropositionEngine(graph, n)
+    engine = PropositionEngine(graph, n, compaction=compaction)
 
     with trace_span(
         "parallel-factor",
@@ -244,6 +257,7 @@ def parallel_factor(
         max_iterations=config.max_iterations,
         n_vertices=n_vertices,
         total_edges=engine.total_edges,
+        compaction=engine.policy.name,
     ) as stage:
         for k in range(config.max_iterations):
             charging = config.charging_enabled(k)
@@ -318,7 +332,11 @@ def parallel_factor(
                 ) as kl:
                     n_new = _confirm_mutual(confirmed, degree, prop_cols)
                     if n_new:
-                        engine.compact(confirmed, launch=kl)
+                        engine.compact(
+                            confirmed,
+                            launch=kl,
+                            rounds_remaining=config.max_iterations - (k + 1),
+                        )
                     kl.telemetry(
                         active_lanes=engine.frontier_size,
                         total_lanes=engine.total_edges,
@@ -344,4 +362,6 @@ def parallel_factor(
         coverage_history=coverage_history,
         proposals_per_iteration=proposals_history,
         frontier_history=frontier_history,
+        compaction_decisions=list(engine.decisions),
+        gathered_elements=engine.gathered_elements,
     )

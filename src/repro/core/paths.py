@@ -83,11 +83,14 @@ def identify_paths(
     forest: Factor,
     *,
     device: Device | None = None,
+    compaction=None,
 ) -> PathInfo:
     """Run the position scan on a linear forest.
 
-    Raises :class:`~repro.errors.ScanError` when the factor still contains a
-    cycle — run :func:`repro.core.cycles.break_cycles` first.
+    ``compaction`` selects the scan's frontier-compaction policy (see
+    :mod:`repro.core.frontier`).  Raises :class:`~repro.errors.ScanError`
+    when the factor still contains a cycle — run
+    :func:`repro.core.cycles.break_cycles` first.
     """
-    scan = BidirectionalScan(forest, device=device)
+    scan = BidirectionalScan(forest, device=device, compaction=compaction)
     return paths_from_scan(scan.run(AddOperator()))

@@ -83,6 +83,7 @@ def extract_linear_forest(
     *,
     device: Device | None = None,
     merged_scan: bool = True,
+    compaction=None,
 ) -> LinearForestResult:
     """Run the complete pipeline of the paper on an input matrix ``A``.
 
@@ -96,11 +97,20 @@ def extract_linear_forest(
     free from that single butterfly pass; with cycles present, the position
     scan re-runs on the broken forest exactly as in the paper.  Results are
     bit-identical either way; only launch counts and bytes moved differ.
+
+    ``compaction`` selects the frontier-compaction policy of *both* engines
+    (proposition rounds and bidirectional scans) — a policy instance, a spec
+    string (``"eager"``, ``"never"``, ``"lazy[:threshold]"``, ``"adaptive"``),
+    or ``None`` to honour ``REPRO_COMPACTION`` (default eager).  Results are
+    bit-identical under every policy (see :mod:`repro.core.frontier`).
     """
+    from .frontier import resolve_compaction
+
     config = config or ParallelFactorConfig(n=2)
     if config.n != 2:
         raise ValueError(f"linear-forest extraction requires n=2, got n={config.n}")
     device = device or default_device()
+    policy = resolve_compaction(compaction)
     timings = TimingBreakdown()
 
     with trace_span(
@@ -110,24 +120,33 @@ def extract_linear_forest(
         nnz=a.nnz,
         merged_scan=merged_scan,
         dtype=str(a.data.dtype),
+        compaction=policy.name,
     ) as root:
         with timings.phase(PHASE_FACTOR):
             graph = prepare_graph(a)
-            factor_result = parallel_factor(graph, config, device=device)
+            factor_result = parallel_factor(
+                graph, config, device=device, compaction=policy
+            )
 
         with timings.phase(PHASE_SCANS):
             if merged_scan:
-                scan = BidirectionalScan(factor_result.factor, device=device)
+                scan = BidirectionalScan(
+                    factor_result.factor, device=device, compaction=policy
+                )
                 fused = scan.run(FusedOperator((MinEdgeOperator(), AddOperator())), graph)
                 broken = break_cycles(factor_result.factor, scan_result=fused)
                 if broken.n_cycles == 0:
                     # forest == factor: the fused pass already holds the positions
                     paths = paths_from_scan(fused)
                 else:
-                    paths = identify_paths(broken.forest, device=device)
+                    paths = identify_paths(
+                        broken.forest, device=device, compaction=policy
+                    )
             else:
-                broken = break_cycles(factor_result.factor, graph, device=device)
-                paths = identify_paths(broken.forest, device=device)
+                broken = break_cycles(
+                    factor_result.factor, graph, device=device, compaction=policy
+                )
+                paths = identify_paths(broken.forest, device=device, compaction=policy)
             perm = forest_permutation(paths)
 
         with timings.phase(PHASE_EXTRACT):

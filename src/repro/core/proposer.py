@@ -38,6 +38,14 @@ Compaction is gather-then-scatter on the pre-sorted arrays: the keep-mask
 gathers the surviving ``(row, col, value)`` triples into fresh compact
 buffers, preserving the sorted order (and therefore the Table 1
 tie-breaking) exactly.
+
+*When* that gather fires is a policy, not a rule: the engine consults a
+:class:`~repro.core.frontier.CompactionPolicy` each round and may instead
+carry the dead entries in place, masked out by a boolean *live mask*.
+Because a dead entry is ineligible under Algorithm 2's full mask anyway,
+masking instead of gathering leaves every per-row eligible rank unchanged —
+the proposals stay bit-identical across policies; only the traffic moves
+(dead lanes streamed per round vs. a one-off gather).
 """
 
 from __future__ import annotations
@@ -49,9 +57,23 @@ from ..device.device import KernelLaunch
 from ..errors import FactorError, ShapeError
 from ..sparse.csr import CSRMatrix
 from ..sparse.topn import validate_proposition_weights
+from .frontier import (
+    CompactionDecision,
+    CompactionPolicy,
+    FrontierState,
+    record_decision,
+    resolve_compaction,
+)
 from .structures import NO_PARTNER
 
 __all__ = ["PreparedProposer", "PropositionEngine"]
+
+#: Bytes per frontier entry moved by a compaction gather: the
+#: ``(row, col, value)`` triple (int64 + int64 + float64).
+GATHER_ELEMENT_BYTES = 24
+#: Bytes one retained dead entry costs each uncompacted round: its row and
+#: col ids are streamed (and skipped) plus its live-mask byte.
+DEAD_ELEMENT_BYTES = 17
 
 
 def _segmented_rank(
@@ -168,16 +190,38 @@ class PropositionEngine:
     only changes in the mutualize step.  A fresh engine is in sync with any
     all-empty ``confirmed``.
 
+    Whether :meth:`compact` *physically* gathers is delegated to a
+    :class:`~repro.core.frontier.CompactionPolicy` (``compaction=``; the
+    default honours ``REPRO_COMPACTION`` and falls back to eager, the
+    historical compact-every-round).  Under a lazy policy dead entries stay
+    in the buffers, masked by ``_live``; proposals are bit-identical either
+    way because dead entries are ineligible under the full Algorithm 2 mask
+    and eligibility ranks are per-row (see :mod:`repro.core.frontier`).
+
     ``frontier_size`` / ``total_edges`` expose the telemetry the factor
-    loop threads into :meth:`repro.device.device.Device.launch`.
+    loop threads into :meth:`repro.device.device.Device.launch`;
+    ``frontier_size`` always counts *live* edges, so convergence curves and
+    the factor loop's empty-frontier exit are policy-independent.
     """
 
-    def __init__(self, graph: CSRMatrix, n: int):
+    def __init__(
+        self,
+        graph: CSRMatrix,
+        n: int,
+        *,
+        compaction: CompactionPolicy | str | None = None,
+    ):
         if n < 1:
             raise ShapeError(f"n must be >= 1, got {n}")
         validate_proposition_weights(graph.data)
         self.graph = graph
         self.n = int(n)
+        self.policy = resolve_compaction(compaction)
+        #: Per-round compaction decisions, in :meth:`compact` call order.
+        self.decisions: list[CompactionDecision] = []
+        #: Elements written by the physical compaction gathers so far
+        #: (3 per surviving frontier entry: row, col, value).
+        self.gathered_elements = 0
         self._n_vertices = graph.n_rows
         rows = graph.nnz_rows
         nnz = graph.nnz
@@ -193,13 +237,26 @@ class PropositionEngine:
         self._rows = rows
         self._cols = cols
         self._vals = vals
+        # live mask over the buffers; None means "clean" (everything live)
+        self._live: np.ndarray | None = None
+        self._n_live = int(rows.size)
         self._recompute_segments()
 
     # -- state ---------------------------------------------------------------
     @property
     def frontier_size(self) -> int:
-        """Number of directed edges still in the active frontier."""
+        """Number of directed edges still *live* (policy-independent)."""
+        return self._n_live
+
+    @property
+    def buffer_size(self) -> int:
+        """Physical length of the frontier buffers (live + carried dead)."""
         return int(self._rows.size)
+
+    @property
+    def is_dirty(self) -> bool:
+        """True when the buffers carry dead entries awaiting compaction."""
+        return self._live is not None
 
     @property
     def total_edges(self) -> int:
@@ -239,10 +296,19 @@ class PropositionEngine:
         degree = (confirmed != NO_PARTNER).sum(axis=1).astype(INDEX_DTYPE)
         capacity = n - degree
 
+        # Under a deferred compaction the buffers carry dead entries; they
+        # are masked ineligible here, which leaves the per-row ranks of the
+        # live entries unchanged — bit-identical to the compacted round.
         if charges is None:
-            eligible = np.ones(rows.size, dtype=bool)
+            eligible = (
+                np.ones(rows.size, dtype=bool)
+                if self._live is None
+                else self._live.copy()
+            )
         else:
             eligible = charges[rows] != charges[cols]
+            if self._live is not None:
+                eligible &= self._live
 
         rank = _segmented_rank(
             rows, eligible, self._row_starts, self._row_counts, n_vertices
@@ -256,10 +322,15 @@ class PropositionEngine:
             # the kernel never compares values, so the value array is *not*
             # streamed — only the selected weights are gathered.  Likewise
             # the frontier invariant reduces the per-vertex state to the
-            # degree vector (no confirmed-pair lookups remain).
+            # degree vector (no confirmed-pair lookups remain).  A dirty
+            # buffer streams its dead rows/cols plus the live-mask byte per
+            # entry — exactly the dead-lane traffic the adaptive policy
+            # trades against the gather cost.
             launch.reads(rows, cols, degree, vals[: int(counts.sum())])
             if charges is not None:
                 launch.reads(charges)
+            if self._live is not None:
+                launch.reads(self._live)
             launch.writes(prop_cols, prop_vals, counts)
             launch.telemetry(
                 active_lanes=self.frontier_size, total_lanes=self.total_edges
@@ -271,11 +342,15 @@ class PropositionEngine:
         confirmed: np.ndarray,
         *,
         launch: KernelLaunch | None = None,
+        rounds_remaining: int = 1,
     ) -> int:
-        """Retire permanently ineligible edges; returns the number dropped.
+        """Retire permanently ineligible edges; returns the number that died.
 
         Must be called whenever ``confirmed`` gained entries (after the
-        mutualize step).  Monotone: the frontier never grows.
+        mutualize step).  Monotone: the live frontier never grows.  The
+        compaction policy decides whether the dead entries are *physically*
+        gathered out now or carried in place under the live mask;
+        ``rounds_remaining`` bounds the policy's dead-lane projection.
         """
         n = self.n
         if confirmed.shape != (self._n_vertices, n):
@@ -286,16 +361,43 @@ class PropositionEngine:
         degree = (confirmed != NO_PARTNER).sum(axis=1).astype(INDEX_DTYPE)
         keep = (degree[rows] < n) & (degree[cols] < n)
         keep &= ~(confirmed[rows] == cols[:, None]).any(axis=1)
-        dropped = int(rows.size - keep.sum())
-        if dropped:
+        # the retirement conditions are monotone, so the fresh keep mask
+        # subsumes the previous live mask — intersecting is belt-and-braces
+        live = keep if self._live is None else (keep & self._live)
+        n_live = int(live.sum())
+        newly_dead = self._n_live - n_live
+        dead = int(rows.size) - n_live
+        if dead == 0:
+            return 0
+        decision = self.policy.decide(
+            FrontierState(
+                live=n_live,
+                dead=dead,
+                gather_element_bytes=GATHER_ELEMENT_BYTES,
+                dead_element_bytes=DEAD_ELEMENT_BYTES,
+                rounds_remaining=rounds_remaining,
+            )
+        )
+        self.decisions.append(decision)
+        record_decision(decision, engine="proposition", launch=launch)
+        self._n_live = n_live
+        if decision.compact:
             if launch is not None:
                 # the gather reads the old frontier triple (the keep mask is
                 # computed in-kernel), the scatter writes the compacted one
                 launch.reads(rows, cols, self._vals, confirmed)
-            self._rows = rows[keep]
-            self._cols = cols[keep]
-            self._vals = self._vals[keep]
+            self._rows = rows[live]
+            self._cols = cols[live]
+            self._vals = self._vals[live]
+            self._live = None
+            self.gathered_elements += 3 * n_live
             self._recompute_segments()
             if launch is not None:
                 launch.writes(self._rows, self._cols, self._vals)
-        return dropped
+        else:
+            self._live = live
+            if launch is not None:
+                # no gather: the kernel only refreshes the live mask
+                launch.reads(rows, cols, confirmed)
+                launch.writes(live)
+        return newly_dead

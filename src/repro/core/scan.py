@@ -31,7 +31,14 @@ full ⌈log₂N⌉ launches):
   scatters only the merged results back.  The gathered snapshot plays the
   role of the paper's input ("back") buffer: all reads of a step complete
   before any write, so the race the ping-pong buffers guard against cannot
-  occur, while global-memory traffic shrinks with the frontier.
+  occur, while global-memory traffic shrinks with the frontier.  *When* the
+  per-lane candidate lists are re-gathered is a pluggable
+  :class:`~repro.core.frontier.CompactionPolicy` (``compaction=``): a lazy
+  policy carries clamped candidates a few extra steps (each costs only its
+  id and marker read before the in-kernel skip) instead of re-gathering the
+  list every step.  Results are bit-identical either way — dead candidates
+  are filtered out before the far-tuple gathers, so the launch computes on
+  exactly the active set regardless of policy.
 * **Telemetry** — every launch reports its frontier size to the
   :class:`~repro.device.device.Device` (``active_lanes``/``total_lanes``),
   so ``render_trace`` shows the convergence curve of a run.
@@ -60,6 +67,13 @@ from ..device.device import Device, default_device
 from ..errors import ScanError
 from ..obs import trace_span
 from ..sparse.csr import CSRMatrix
+from .frontier import (
+    CompactionDecision,
+    CompactionPolicy,
+    FrontierState,
+    record_decision,
+    resolve_compaction,
+)
 from .structures import NO_PARTNER, Factor
 
 __all__ = [
@@ -78,6 +92,12 @@ __all__ = [
 ]
 
 Payload = dict[str, np.ndarray]
+
+#: Bytes per candidate-list entry moved by a list re-gather (one int64 id).
+CAND_GATHER_BYTES = 8
+#: Bytes one retained dead candidate costs per step: its id and its clamped
+#: ``q`` marker are streamed before the in-kernel skip (two int64 words).
+CAND_DEAD_BYTES = 16
 
 
 def is_path_end(q: np.ndarray) -> np.ndarray:
@@ -342,6 +362,9 @@ class ScanResult:
     counts the kernel launches actually executed — smaller when the scan
     converged early.  ``active_per_launch`` holds the frontier size (number
     of unconverged lanes) at each executed launch.
+    ``compaction_decisions`` are the per-step candidate-list verdicts of the
+    engine's compaction policy (empty for engines without one, e.g. the
+    reference ablations, and on steps where no candidate had died).
     """
 
     q: np.ndarray  # (N, 2) — markers -(end+1), or positive ids on cycles
@@ -349,6 +372,7 @@ class ScanResult:
     steps: int
     launches: int
     active_per_launch: tuple[int, ...] = field(default=())
+    compaction_decisions: tuple[CompactionDecision, ...] = field(default=())
 
     @property
     def cycle_mask(self) -> np.ndarray:
@@ -370,13 +394,20 @@ class BidirectionalScan:
     property-tested to produce bit-identical results.
     """
 
-    def __init__(self, factor: Factor, *, device: Device | None = None):
+    def __init__(
+        self,
+        factor: Factor,
+        *,
+        device: Device | None = None,
+        compaction: CompactionPolicy | str | None = None,
+    ):
         if factor.n > 2:
             raise ScanError(
                 f"the bidirectional scan requires a [0,2]-factor, got n={factor.n}"
             )
         self.factor = factor
         self.device = device or default_device()
+        self.policy = resolve_compaction(compaction)
         n_vertices = factor.n_vertices
         ids = np.arange(n_vertices, dtype=INDEX_DTYPE)
         q0 = np.full((n_vertices, 2), 0, dtype=INDEX_DTYPE)
@@ -428,8 +459,9 @@ class BidirectionalScan:
             operator=label,
             steps=n_steps,
             total_lanes=total_lanes,
+            compaction=self.policy.name,
         ) as stage:
-            launches, active_history = self._run_steps(
+            launches, active_history, decisions = self._run_steps(
                 operator, q, payload, names, n_steps, label, total_lanes
             )
             if stage is not None:
@@ -443,6 +475,7 @@ class BidirectionalScan:
             steps=n_steps,
             launches=launches,
             active_per_launch=tuple(active_history),
+            compaction_decisions=tuple(decisions),
         )
 
     def _run_steps(
@@ -454,26 +487,62 @@ class BidirectionalScan:
         n_steps: int,
         label: str,
         total_lanes: int,
-    ) -> tuple[int, list[int]]:
+    ) -> tuple[int, list[int], list[CompactionDecision]]:
         """The butterfly step loop; mutates ``q``/``payload`` in place."""
         ids = self._ids
         launches = 0
         active_history: list[int] = []
+        decisions: list[CompactionDecision] = []
+        # Per-lane candidate lists: supersets of the active (unclamped)
+        # lanes.  The compaction policy decides when a list is re-gathered
+        # down to exactly the active set; until then dead candidates ride
+        # along and are skipped in-kernel (their id + marker reads are the
+        # accounted dead-lane traffic the adaptive policy trades off).
+        cand = [self._ids, self._ids]
 
         for step in range(n_steps):
             # Host-side convergence check (a device-side reduction + copy of
             # one word in CUDA terms): lanes holding markers never change.
-            idx0 = np.flatnonzero(q[:, 0] >= 0)
-            idx1 = np.flatnonzero(q[:, 1] >= 0)
+            alive = [q[cand[0], 0] >= 0, q[cand[1], 1] >= 0]
+            idx0 = cand[0][alive[0]]
+            idx1 = cand[1][alive[1]]
             n_active = int(idx0.size + idx1.size)
             if n_active == 0:
                 break  # every lane is a path end — the scan has converged
+            n_dead = int(cand[0].size + cand[1].size) - n_active
+            decision = None
+            if n_dead:
+                decision = self.policy.decide(
+                    FrontierState(
+                        live=n_active,
+                        dead=n_dead,
+                        gather_element_bytes=CAND_GATHER_BYTES,
+                        dead_element_bytes=CAND_DEAD_BYTES,
+                        rounds_remaining=n_steps - step,
+                    )
+                )
+                decisions.append(decision)
+                if decision.compact:
+                    dead_reads = ()
+                    cand = [idx0, idx1]
+                else:
+                    dead_reads = (
+                        cand[0][~alive[0]],
+                        q[cand[0][~alive[0]], 0],
+                        cand[1][~alive[1]],
+                        q[cand[1][~alive[1]], 1],
+                    )
             active_history.append(n_active)
             with self.device.launch(
                 f"bidirectional-scan[{label}|step={step}]",
                 active_lanes=n_active,
                 total_lanes=total_lanes,
             ) as kl:
+                if decision is not None:
+                    record_decision(decision, engine="scan", launch=kl)
+                    if not decision.compact:
+                        # dead candidates are streamed and skipped in-kernel
+                        kl.reads(*dead_reads)
                 # Gather phase: snapshot the far tuples of every active lane
                 # (fancy indexing copies), completing all reads of the step
                 # before any write — the role of the ping-pong back buffer.
@@ -514,4 +583,4 @@ class BidirectionalScan:
                         kl.writes(new_q)
             launches += 1
 
-        return launches, active_history
+        return launches, active_history, decisions

@@ -24,9 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 __all__ = [
+    "CompactionCost",
     "CostModel",
     "PropositionTraffic",
     "RTX_2080_TI_BANDWIDTH_GBS",
+    "compaction_cost",
     "proposition_traffic",
     "scan_traffic",
     "spmv_traffic",
@@ -153,6 +155,57 @@ def scan_traffic(
     reads = 2 * n_vertices * per_vertex
     writes = n_vertices * per_vertex
     return reads + writes
+
+
+@dataclass(frozen=True)
+class CompactionCost:
+    """Modeled traffic of compacting a frontier now vs. carrying its dead lanes.
+
+    ``gather_bytes`` is the one-off cost of a stream compaction: every element
+    of the current buffer is read once and every surviving element is written
+    once.  ``dead_lane_bytes`` is the recurring cost of *not* compacting: each
+    dead element is streamed (and skipped in-kernel) once per remaining round.
+    The adaptive frontier policy (:mod:`repro.core.frontier`) compacts exactly
+    when :attr:`compaction_saves`.
+    """
+
+    gather_bytes: int
+    dead_lane_bytes: int
+
+    @property
+    def compaction_saves(self) -> bool:
+        """True iff the projected dead-lane traffic exceeds the gather cost."""
+        return self.dead_lane_bytes > self.gather_bytes
+
+    @property
+    def saved_bytes(self) -> int:
+        """Projected net saving of compacting now (negative: compaction loses)."""
+        return self.dead_lane_bytes - self.gather_bytes
+
+
+def compaction_cost(
+    *,
+    live: int,
+    dead: int,
+    gather_element_bytes: int,
+    dead_element_bytes: int,
+    rounds_remaining: int,
+) -> CompactionCost:
+    """Traffic comparison behind a lazy/adaptive compaction decision.
+
+    ``gather_element_bytes`` is the size of one buffer element as moved by the
+    compaction gather (e.g. the ``(row, col, value)`` triple of the
+    proposition frontier); ``dead_element_bytes`` is what one retained dead
+    element costs each round the buffer stays uncompacted (the id/flag reads a
+    kernel performs before skipping the lane).  ``rounds_remaining`` bounds the
+    projection — dead lanes after the last round cost nothing.
+    """
+    if live < 0 or dead < 0:
+        raise ValueError("live and dead element counts must be non-negative")
+    total = live + dead
+    gather = (total + live) * gather_element_bytes
+    carried = dead * dead_element_bytes * max(0, rounds_remaining)
+    return CompactionCost(gather_bytes=int(gather), dead_lane_bytes=int(carried))
 
 
 @dataclass(frozen=True)

@@ -62,6 +62,9 @@ class KernelRecord:
     active_lanes: int | None = None
     #: Total lane count the frontier is measured against (scan kernels only).
     total_lanes: int | None = None
+    #: Free-form annotations attached by the kernel body (e.g. the per-round
+    #: compaction decision of the frontier engines).  Empty for plain kernels.
+    notes: dict = field(default_factory=dict)
 
     @property
     def bytes_total(self) -> int:
@@ -84,7 +87,14 @@ class KernelLaunch:
     non-recording device the handle is inert.
     """
 
-    __slots__ = ("enabled", "bytes_read", "bytes_written", "active_lanes", "total_lanes")
+    __slots__ = (
+        "enabled",
+        "bytes_read",
+        "bytes_written",
+        "active_lanes",
+        "total_lanes",
+        "notes",
+    )
 
     def __init__(
         self,
@@ -98,6 +108,7 @@ class KernelLaunch:
         self.bytes_written = 0
         self.active_lanes = active_lanes
         self.total_lanes = total_lanes
+        self.notes: dict = {}
 
     def reads(self, *arrays: np.ndarray) -> None:
         """Register additional buffers read by this launch."""
@@ -118,9 +129,19 @@ class KernelLaunch:
         if total_lanes is not None:
             self.total_lanes = int(total_lanes)
 
+    def annotate(self, **notes) -> None:
+        """Attach free-form notes to this launch's record and span."""
+        if self.enabled:
+            self.notes.update(notes)
+
 
 #: Shared inert handle for non-recording devices.
 _DISABLED_LAUNCH = KernelLaunch(enabled=False)
+
+#: Span attributes owned by the launch accounting; notes cannot shadow them.
+_RESERVED_SPAN_KEYS = frozenset(
+    {"seconds", "bytes_read", "bytes_written", "active_lanes", "total_lanes", "error"}
+)
 
 
 class Device:
@@ -208,9 +229,15 @@ class Device:
                     launch_index=len(self.kernels),
                     active_lanes=handle.active_lanes,
                     total_lanes=handle.total_lanes,
+                    notes=dict(handle.notes),
                 )
             )
             if span is not None:
+                # Notes ride the span as extra attributes; the fixed
+                # accounting keys always win on collision.
+                extra = {
+                    k: v for k, v in handle.notes.items() if k not in _RESERVED_SPAN_KEYS
+                }
                 tracer.end_span(
                     span,
                     seconds=seconds,
@@ -219,6 +246,7 @@ class Device:
                     active_lanes=handle.active_lanes,
                     total_lanes=handle.total_lanes,
                     error=error,
+                    **extra,
                 )
 
     # -- queries -----------------------------------------------------------

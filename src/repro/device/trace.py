@@ -78,6 +78,7 @@ def _kernel_records(source) -> list[KernelRecord]:
     if isinstance(source, Device):
         return list(source.kernels)
     if hasattr(source, "spans"):
+        fixed = {"seconds", "bytes_read", "bytes_written", "active_lanes", "total_lanes", "error"}
         records = []
         for span in source.spans:
             if getattr(span, "category", None) != "kernel":
@@ -95,6 +96,7 @@ def _kernel_records(source) -> list[KernelRecord]:
                     launch_index=len(records),
                     active_lanes=at.get("active_lanes"),
                     total_lanes=at.get("total_lanes"),
+                    notes={k: v for k, v in at.items() if k not in fixed},
                 )
             )
         return records
@@ -170,6 +172,7 @@ def render_trace(source, *, cost: CostModel | None = None) -> str:
 
 
 _CONVERGENCE_HEADERS = ["launch", "active", "total", "active %", "bytes"]
+_COMPACTION_HEADERS = ["compaction", "dead %", "est saved"]
 
 
 def render_convergence(source, name_prefix: str | None = None) -> str:
@@ -180,25 +183,44 @@ def render_convergence(source, name_prefix: str | None = None) -> str:
     or of the proposition engine (``name_prefix="propose"``).  A source
     without any telemetered launch renders a well-formed empty table
     (title + headers, no rows).
+
+    Launches annotated with a frontier-compaction decision (see
+    :mod:`repro.core.frontier`) grow three extra columns — the compact/skip
+    verdict, the dead fraction of the frontier, and the estimated traffic
+    saved by the chosen action; the columns appear only when at least one
+    selected launch carries the annotation.
     """
+    records = [
+        rec
+        for rec in _kernel_records(source)
+        if (name_prefix is None or rec.name.startswith(name_prefix))
+        and rec.active_lanes is not None
+    ]
+    with_compaction = any("compaction" in rec.notes for rec in records)
     rows = []
-    for rec in _kernel_records(source):
-        if name_prefix is not None and not rec.name.startswith(name_prefix):
-            continue
-        if rec.active_lanes is None:
-            continue
+    for rec in records:
         fraction = rec.active_fraction
-        rows.append(
-            [
-                rec.name,
-                rec.active_lanes,
-                rec.total_lanes,
-                None if fraction is None else 100.0 * fraction,
-                rec.bytes_total,
-            ]
-        )
+        row = [
+            rec.name,
+            rec.active_lanes,
+            rec.total_lanes,
+            None if fraction is None else 100.0 * fraction,
+            rec.bytes_total,
+        ]
+        if with_compaction:
+            decision = rec.notes.get("compaction")
+            dead = rec.notes.get("dead_fraction")
+            row.extend(
+                [
+                    decision,
+                    None if dead is None else 100.0 * float(dead),
+                    rec.notes.get("est_saved_bytes"),
+                ]
+            )
+        rows.append(row)
+    headers = _CONVERGENCE_HEADERS + (_COMPACTION_HEADERS if with_compaction else [])
     return render_table(
-        _CONVERGENCE_HEADERS,
+        headers,
         rows,
         digits=2,
         title=f"frontier convergence: {_source_name(source)}",

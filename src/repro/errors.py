@@ -15,6 +15,10 @@ class FormatError(ReproError):
     """A sparse matrix is malformed (bad indptr, unsorted indices, ...)."""
 
 
+class ConfigError(ReproError):
+    """An algorithm knob received an unknown or malformed value."""
+
+
 class FactorError(ReproError):
     """A [0,n]-factor violates its invariants."""
 

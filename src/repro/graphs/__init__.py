@@ -27,7 +27,14 @@ from .stencils import (
     poisson2d,
     poisson3d,
 )
-from .suite import SUITE, SuiteMatrix, build_matrix, small_suite, suite_names
+from .suite import (
+    SUITE,
+    SuiteMatrix,
+    build_matrix,
+    slow_frontier,
+    small_suite,
+    suite_names,
+)
 
 __all__ = [
     "SUITE",
@@ -50,6 +57,7 @@ __all__ = [
     "random_linear_forest",
     "random_spd_system",
     "random_weighted_graph",
+    "slow_frontier",
     "small_suite",
     "suite_names",
 ]

@@ -36,7 +36,14 @@ from ..sparse.coo import COOMatrix
 from ..sparse.csr import CSRMatrix
 from .stencils import aniso1, aniso2, aniso3, grid2d_stencil, grid3d_stencil
 
-__all__ = ["SUITE", "SuiteMatrix", "build_matrix", "small_suite", "suite_names"]
+__all__ = [
+    "SUITE",
+    "SuiteMatrix",
+    "build_matrix",
+    "slow_frontier",
+    "small_suite",
+    "suite_names",
+]
 
 
 # --------------------------------------------------------------------------
@@ -572,3 +579,29 @@ def build_matrix(name: str, scale: float = 1.0) -> CSRMatrix:
     except KeyError:
         raise ShapeError(f"unknown suite matrix {name!r}; known: {sorted(SUITE)}") from None
     return entry.build(scale)
+
+
+def slow_frontier(scale: float = 1.0) -> CSRMatrix:
+    """Slow-collapsing-frontier workload (ecology1-like decay profile).
+
+    A 2-D grid with *exactly uniform* 8-neighbour weights: every proposition
+    round is tie-dominated, so mutual confirmations trickle in and the active
+    edge frontier of :class:`~repro.core.proposer.PropositionEngine` loses
+    only a sliver of its edges per round.  This is the regime where eager
+    per-round compaction re-gathers nearly the whole buffer every round and
+    its factor-phase traffic can exceed the paper-exact reference loop's —
+    the ROADMAP regression the lazy/adaptive policies of
+    :mod:`repro.core.frontier` close (gated by
+    ``benchmarks/test_compaction_budget.py``).
+
+    Deliberately *not* registered in :data:`SUITE`: it is a compaction-policy
+    workload, not one of the paper's Table 3 matrices.
+    """
+    g = _grid_dims(scale, 48)
+    stencil = {
+        (dy, dx): -1.0
+        for dy in (-1, 0, 1)
+        for dx in (-1, 0, 1)
+        if (dy, dx) != (0, 0)
+    }
+    return _with_dominant_diagonal(grid2d_stencil(g, stencil))

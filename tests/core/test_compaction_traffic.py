@@ -1,0 +1,112 @@
+"""Traffic regression tests for the compaction policies on a slow frontier.
+
+The :func:`~repro.graphs.slow_frontier` workload decays its proposition
+frontier by only a few percent per round — the regime where compact-every-
+round gathers more than it saves (the ROADMAP regression).  These tests pin
+the fix: ``lazy`` and ``adaptive`` must move strictly fewer gathered
+elements than ``eager`` while producing bit-identical results with the same
+launch counts.  The paper-scale acceptance gate lives in
+``benchmarks/test_compaction_budget.py``; this is the fast tier-1 shadow of
+it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AddOperator,
+    BidirectionalScan,
+    parallel_factor,
+)
+from repro.core.ablations import reference_parallel_factor
+from repro.device import Device
+from repro.graphs import slow_frontier
+from repro.sparse import prepare_graph
+
+POLICIES = ("eager", "never", "lazy:0.5", "adaptive")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return prepare_graph(slow_frontier(0.35))
+
+
+@pytest.fixture(scope="module")
+def runs(graph):
+    out = {}
+    for policy in POLICIES:
+        dev = Device()
+        res = parallel_factor(graph, device=dev, compaction=policy)
+        out[policy] = (res, dev)
+    return out
+
+
+def test_policies_bit_identical_to_reference(graph, runs):
+    ref = reference_parallel_factor(graph)
+    for policy, (res, _) in runs.items():
+        assert res.factor == ref.factor, policy
+        assert res.proposals_per_iteration == ref.proposals_per_iteration, policy
+
+
+def test_frontier_history_is_policy_independent(runs):
+    # deadness is decided by retirement, not by the policy: the live count
+    # per round (and with it the convergence telemetry) must not move
+    histories = {p: tuple(res.frontier_history) for p, (res, _) in runs.items()}
+    assert len(set(histories.values())) == 1, histories
+
+
+def test_launch_counts_are_policy_independent(runs):
+    # policies change what each launch reads, never how many launches run
+    counts = {p: len(dev.kernels) for p, (_, dev) in runs.items()}
+    assert len(set(counts.values())) == 1, counts
+
+
+def test_lazy_and_adaptive_gather_less_than_eager(runs):
+    gathered = {p: res.gathered_elements for p, (res, _) in runs.items()}
+    assert gathered["never"] == 0
+    assert gathered["adaptive"] < gathered["eager"]
+    assert gathered["lazy:0.5"] < gathered["eager"]
+    assert gathered["eager"] > 0  # the workload does exercise the gathers
+
+
+def test_adaptive_moves_fewer_factor_bytes_than_eager_here(runs):
+    # on a slow-collapsing frontier the cost model must recognise that the
+    # per-round gathers do not pay for themselves
+    bytes_by_policy = {
+        p: sum(k.bytes_total for k in dev.kernels) for p, (_, dev) in runs.items()
+    }
+    assert bytes_by_policy["adaptive"] < bytes_by_policy["eager"]
+
+
+def test_decisions_record_the_policy_verdicts(runs):
+    for policy, (res, _) in runs.items():
+        assert res.compaction_decisions, policy
+        for d in res.compaction_decisions:
+            assert d.dead > 0  # clean rounds never reach the decision log
+    assert all(d.compact for d in runs["eager"][0].compaction_decisions)
+    assert not any(d.compact for d in runs["never"][0].compaction_decisions)
+
+
+def test_eager_gathers_match_the_decision_log(runs):
+    res, _ = runs["eager"]
+    expected = 3 * sum(d.live for d in res.compaction_decisions if d.compact)
+    assert res.gathered_elements == expected
+
+
+def test_scan_results_identical_across_policies(graph, runs):
+    factor = runs["eager"][0].factor
+    results = {}
+    for policy in POLICIES:
+        dev = Device()
+        scan = BidirectionalScan(factor, device=dev, compaction=policy)
+        results[policy] = (scan.run(AddOperator()), dev)
+    base, base_dev = results["eager"]
+    for policy, (res, dev) in results.items():
+        np.testing.assert_array_equal(res.q, base.q, err_msg=policy)
+        for key in base.payload:
+            np.testing.assert_array_equal(
+                res.payload[key], base.payload[key], err_msg=(policy, key)
+            )
+        assert res.launches == base.launches, policy
+        assert res.active_per_launch == base.active_per_launch, policy
+        assert len(dev.kernels) == len(base_dev.kernels), policy

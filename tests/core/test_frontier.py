@@ -1,0 +1,190 @@
+"""Unit tests for the frontier-compaction policy layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.frontier import (
+    ENV_VAR,
+    AdaptiveCompaction,
+    CompactionDecision,
+    CompactionPolicy,
+    EagerCompaction,
+    FrontierState,
+    LazyCompaction,
+    NeverCompaction,
+    record_decision,
+    resolve_compaction,
+)
+from repro.device import Device
+from repro.device.costmodel import compaction_cost
+from repro.errors import ConfigError
+from repro.obs import MetricsRegistry, use_metrics
+
+
+def state(live, dead, *, geb=24, deb=17, rounds=3):
+    return FrontierState(
+        live=live,
+        dead=dead,
+        gather_element_bytes=geb,
+        dead_element_bytes=deb,
+        rounds_remaining=rounds,
+    )
+
+
+class TestFrontierState:
+    def test_totals(self):
+        s = state(30, 10)
+        assert s.total == 40
+        assert s.dead_fraction == pytest.approx(0.25)
+
+    def test_empty_frontier_has_zero_dead_fraction(self):
+        assert state(0, 0).dead_fraction == 0.0
+
+
+class TestPolicies:
+    def test_all_policies_satisfy_the_protocol(self):
+        for policy in (
+            EagerCompaction(),
+            NeverCompaction(),
+            LazyCompaction(),
+            AdaptiveCompaction(),
+        ):
+            assert isinstance(policy, CompactionPolicy)
+
+    def test_eager_compacts_whenever_anything_died(self):
+        assert EagerCompaction().decide(state(100, 1)).compact
+
+    def test_never_keeps_dead_lanes(self):
+        d = NeverCompaction().decide(state(1, 1000))
+        assert not d.compact
+        assert d.reason == "never"
+
+    def test_clean_frontier_never_compacts(self):
+        # no dead items -> there is nothing to gather away, for any policy
+        for policy in (
+            EagerCompaction(),
+            NeverCompaction(),
+            LazyCompaction(0.01),
+            AdaptiveCompaction(),
+        ):
+            d = policy.decide(state(50, 0))
+            assert not d.compact
+            assert d.reason == "clean"
+
+    def test_lazy_threshold_boundary(self):
+        lazy = LazyCompaction(0.5)
+        assert not lazy.decide(state(51, 49)).compact
+        assert lazy.decide(state(50, 50)).compact  # >= threshold compacts
+        assert lazy.decide(state(1, 99)).compact
+
+    def test_lazy_rejects_bad_thresholds(self):
+        for bad in (0.0, -0.25, 1.5):
+            with pytest.raises(ConfigError):
+                LazyCompaction(bad)
+
+    def test_lazy_name_carries_threshold(self):
+        assert LazyCompaction(0.25).name == "lazy(0.25)"
+
+    def test_adaptive_matches_the_cost_model(self):
+        adaptive = AdaptiveCompaction()
+        for live, dead, rounds in [(100, 1, 5), (10, 90, 5), (10, 90, 0), (0, 7, 9)]:
+            s = state(live, dead, rounds=rounds)
+            cost = compaction_cost(
+                live=live,
+                dead=dead,
+                gather_element_bytes=s.gather_element_bytes,
+                dead_element_bytes=s.dead_element_bytes,
+                rounds_remaining=rounds,
+            )
+            assert adaptive.decide(s).compact == cost.compaction_saves
+
+    def test_adaptive_skips_with_no_rounds_remaining(self):
+        # nothing left to stream the dead lanes through -> gathering cannot pay
+        assert not AdaptiveCompaction().decide(state(10, 90, rounds=0)).compact
+
+    def test_decision_carries_cost_model_numbers(self):
+        d = EagerCompaction().decide(state(30, 10, geb=8, deb=16, rounds=2))
+        assert d.live == 30 and d.dead == 10
+        assert d.gather_bytes == (40 + 30) * 8
+        assert d.dead_lane_bytes == 10 * 16 * 2
+        # compacting saves the dead-lane stream at the price of the gather
+        assert d.estimated_saved_bytes == d.dead_lane_bytes - d.gather_bytes
+
+    def test_estimated_saved_bytes_flips_sign_with_the_choice(self):
+        s = state(30, 10, geb=8, deb=16, rounds=2)
+        compacting = EagerCompaction().decide(s)
+        skipping = NeverCompaction().decide(s)
+        assert compacting.estimated_saved_bytes == -skipping.estimated_saved_bytes
+
+
+class TestResolveCompaction:
+    def test_default_is_eager(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_compaction(None).name == "eager"
+
+    def test_env_var_sets_the_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "adaptive")
+        assert resolve_compaction(None).name == "adaptive"
+
+    def test_explicit_spec_beats_the_env_var(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "adaptive")
+        assert resolve_compaction("never").name == "never"
+
+    def test_string_specs(self):
+        assert isinstance(resolve_compaction("eager"), EagerCompaction)
+        assert isinstance(resolve_compaction("never"), NeverCompaction)
+        assert isinstance(resolve_compaction("adaptive"), AdaptiveCompaction)
+        assert resolve_compaction("lazy").threshold == 0.5
+        assert resolve_compaction("lazy:0.3").threshold == pytest.approx(0.3)
+
+    def test_policy_instances_pass_through(self):
+        policy = LazyCompaction(0.7)
+        assert resolve_compaction(policy) is policy
+
+    def test_bad_specs_raise_config_error(self):
+        for bad in ("greedy", "lazy:x", "lazy:0", "eager:5", 42, 0.5):
+            with pytest.raises(ConfigError):
+                resolve_compaction(bad)
+
+    def test_bad_env_var_raises_config_error(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "bogus")
+        with pytest.raises(ConfigError):
+            resolve_compaction(None)
+
+
+class TestRecordDecision:
+    def decision(self, compact):
+        policy = EagerCompaction() if compact else NeverCompaction()
+        return policy.decide(state(30, 10))
+
+    def test_annotates_the_launch_record_and_span(self):
+        dev = Device()
+        a = np.zeros(8)
+        with dev.launch("mutualize", reads=(a,)) as kl:
+            record_decision(self.decision(compact=True), engine="proposition", launch=kl)
+        rec = dev.kernels[-1]
+        assert rec.notes["compaction"] == "compact"
+        assert rec.notes["compaction_policy"] == "eager"
+        assert rec.notes["dead_fraction"] == pytest.approx(0.25)
+        assert "est_saved_bytes" in rec.notes
+
+    def test_skip_decisions_are_annotated_as_skip(self):
+        dev = Device()
+        with dev.launch("scan-step") as kl:
+            record_decision(self.decision(compact=False), engine="scan", launch=kl)
+        assert dev.kernels[-1].notes["compaction"] == "skip"
+
+    def test_bumps_ambient_metrics(self):
+        reg = MetricsRegistry()
+        with use_metrics(reg):
+            record_decision(self.decision(compact=True), engine="proposition")
+            record_decision(self.decision(compact=False), engine="proposition")
+            record_decision(self.decision(compact=False), engine="scan")
+        assert reg.counter("compaction.proposition.decisions").value == 2
+        assert reg.counter("compaction.proposition.compacts").value == 1
+        assert reg.counter("compaction.proposition.skips").value == 1
+        assert reg.counter("compaction.scan.decisions").value == 1
+        assert reg.histogram("compaction.proposition.dead_fraction").count == 2
+
+    def test_no_ambient_metrics_is_fine(self):
+        record_decision(self.decision(compact=True), engine="proposition")

@@ -1,0 +1,133 @@
+"""Property tests: every compaction policy is observationally pure.
+
+The frontier-compaction policies (:mod:`repro.core.frontier`) choose *when*
+dead frontier items are physically gathered away, never *which* items are
+dead — so the factor edges, path ids and positions they produce must be
+bit-identical across ``eager``/``never``/``lazy``/``adaptive`` and equal to
+the paper-exact :mod:`repro.core.ablations` references, on every input.
+These properties hold the line; traffic differences are asserted separately
+in ``tests/core/test_compaction_traffic.py`` and gated at scale in
+``benchmarks/test_compaction_budget.py``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AddOperator,
+    BidirectionalScan,
+    MinEdgeOperator,
+    ParallelFactorConfig,
+    extract_linear_forest,
+    identify_paths,
+    parallel_factor,
+)
+from repro.core.ablations import ReferenceScan, reference_parallel_factor
+from repro.graphs import (
+    aniso1,
+    aniso3,
+    figure1_graph,
+    poisson2d,
+    random_02_factor,
+    random_linear_forest,
+    random_weighted_graph,
+)
+from repro.sparse import from_edges, prepare_graph
+
+#: Every spec the property suite must hold under.  ``lazy:0.25`` sits low
+#: enough to trigger mid-run gathers on small graphs, exercising the
+#: compact-after-carrying transition that plain ``lazy`` (0.5) can miss.
+POLICIES = ("eager", "never", "lazy:0.25", "lazy:0.5", "adaptive")
+
+policies = st.sampled_from(POLICIES)
+
+
+@st.composite
+def weighted_graphs(draw, max_n=40):
+    n = draw(st.integers(2, max_n))
+    n_edges = draw(st.integers(0, 4 * n))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    return random_weighted_graph(n, n_edges, rng)
+
+
+@st.composite
+def factors_02(draw, max_n=60):
+    n = draw(st.integers(1, max_n))
+    seed = draw(st.integers(0, 2**31))
+    frac = draw(st.floats(0.0, 1.0))
+    rng = np.random.default_rng(seed)
+    gt = random_02_factor(n, rng, cycle_fraction=frac)
+    u, v = gt.factor.edges()
+    graph = prepare_graph(from_edges(n, u, v, rng.uniform(0.5, 5.0, u.size)))
+    return gt.factor, graph
+
+
+@given(weighted_graphs(), policies, st.integers(1, 3))
+@settings(max_examples=50, deadline=None)
+def test_factor_bit_identical_across_policies(graph, policy, n):
+    cfg = ParallelFactorConfig(n=n, max_iterations=6)
+    res = parallel_factor(graph, cfg, compaction=policy)
+    ref = reference_parallel_factor(graph, cfg)
+    assert res.factor == ref.factor
+    assert res.iterations == ref.iterations
+    assert res.converged == ref.converged
+    assert res.proposals_per_iteration == ref.proposals_per_iteration
+
+
+@given(factors_02(), policies)
+@settings(max_examples=50, deadline=None)
+def test_scan_bit_identical_across_policies(data, policy):
+    factor, graph = data
+    res = BidirectionalScan(factor, compaction=policy).run(MinEdgeOperator(), graph)
+    ref = ReferenceScan(factor).run(MinEdgeOperator(), graph)
+    np.testing.assert_array_equal(res.q, ref.q)
+    assert res.payload.keys() == ref.payload.keys()
+    for key in ref.payload:
+        np.testing.assert_array_equal(res.payload[key], ref.payload[key])
+
+
+@given(st.integers(1, 60), st.integers(0, 2**31), policies)
+@settings(max_examples=50, deadline=None)
+def test_path_ids_and_positions_across_policies(n, seed, policy):
+    gt = random_linear_forest(n, np.random.default_rng(seed))
+    info = identify_paths(gt.factor, compaction=policy)
+    assert np.array_equal(info.path_id, gt.expected_path_id)
+    assert np.array_equal(info.position, gt.expected_position)
+
+
+@given(weighted_graphs(max_n=24), policies, st.booleans())
+@settings(max_examples=20, deadline=None)
+def test_pipeline_bit_identical_across_policies(graph, policy, merged):
+    base = extract_linear_forest(graph, compaction="eager", merged_scan=merged)
+    res = extract_linear_forest(graph, compaction=policy, merged_scan=merged)
+    assert res.forest == base.forest
+    assert np.array_equal(res.paths.path_id, base.paths.path_id)
+    assert np.array_equal(res.paths.position, base.paths.position)
+    assert np.array_equal(res.perm, base.perm)
+    assert res.coverage == base.coverage
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize(
+    "build", [poisson2d, aniso1, aniso3], ids=["poisson2d", "aniso1", "aniso3"]
+)
+def test_stencils_across_policies(build, policy):
+    graph = prepare_graph(build(8))
+    res = parallel_factor(graph, compaction=policy)
+    ref = reference_parallel_factor(graph)
+    assert res.factor == ref.factor
+    assert res.proposals_per_iteration == ref.proposals_per_iteration
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_paper_example_across_policies(policy):
+    graph = prepare_graph(figure1_graph())
+    base = extract_linear_forest(graph, compaction="eager")
+    res = extract_linear_forest(graph, compaction=policy)
+    assert res.forest == base.forest
+    assert np.array_equal(res.paths.path_id, base.paths.path_id)
+    assert np.array_equal(res.paths.position, base.paths.position)
+    assert res.factor_result.factor == reference_parallel_factor(graph).factor

@@ -1,0 +1,103 @@
+"""The targeted budget-refresh contract of the benchmark harness.
+
+``REPRO_UPDATE_BUDGET`` deliberately rewrites the committed launch/traffic
+budget JSONs after an intentional cost change.  Historically the knob was
+all-or-nothing, so refreshing one budget silently rewrote the others with
+whatever the local run happened to measure.  The contract pinned here:
+
+* ``0`` / empty / unset — refresh nothing;
+* ``1`` / ``all`` — refresh every budget;
+* a comma-separated list of budget names (``scan``, ``proposition``,
+  ``compaction``) — rewrite exactly those JSON files, leaving every other
+  budget file *byte-identical*.
+
+A missing budget file is always seeded regardless of the knob (first run).
+"""
+
+import json
+
+import pytest
+
+from benchmarks.conftest import budget_refresh_requested, refresh_budget
+
+OLD = {"scale": 1.0, "budgets": {"m1": {"launches": 3, "bytes": 100}}}
+NEW = {"m1": {"launches": 2, "bytes": 90}}
+
+
+@pytest.mark.parametrize(
+    ("spec", "expected"),
+    [
+        (None, False),
+        ("", False),
+        ("0", False),
+        ("1", True),
+        ("all", True),
+        ("ALL", True),
+        ("scan", False),
+        ("proposition", True),
+        ("proposition,compaction", True),
+        (" proposition , scan ", True),
+        ("compaction", False),
+    ],
+)
+def test_budget_refresh_requested_parsing(monkeypatch, spec, expected):
+    if spec is None:
+        monkeypatch.delenv("REPRO_UPDATE_BUDGET", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_UPDATE_BUDGET", spec)
+    assert budget_refresh_requested("proposition") is expected
+
+
+def _seed(tmp_path, name):
+    path = tmp_path / f"{name}_budget.json"
+    path.write_text(json.dumps(OLD, indent=2, sort_keys=True) + "\n")
+    return path, path.read_bytes()
+
+
+def test_missing_budget_is_seeded_without_the_knob(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_UPDATE_BUDGET", raising=False)
+    path = tmp_path / "scan_budget.json"
+    refresh_budget(path, "scan", NEW)
+    assert json.loads(path.read_text()) == {"scale": 1.0, "budgets": NEW}
+
+
+def test_existing_budget_untouched_without_the_knob(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_UPDATE_BUDGET", raising=False)
+    path, before = _seed(tmp_path, "scan")
+    refresh_budget(path, "scan", NEW)
+    assert path.read_bytes() == before
+
+
+def test_targeted_refresh_rewrites_only_the_named_budget(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_UPDATE_BUDGET", "scan")
+    scan_path, _ = _seed(tmp_path, "scan")
+    prop_path, prop_before = _seed(tmp_path, "proposition")
+    comp_path, comp_before = _seed(tmp_path, "compaction")
+
+    refresh_budget(scan_path, "scan", NEW)
+    refresh_budget(prop_path, "proposition", NEW)
+    refresh_budget(comp_path, "compaction", NEW)
+
+    assert json.loads(scan_path.read_text())["budgets"] == NEW
+    assert prop_path.read_bytes() == prop_before  # byte-identical
+    assert comp_path.read_bytes() == comp_before
+
+
+def test_refresh_all_rewrites_every_budget(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_UPDATE_BUDGET", "1")
+    for name in ("scan", "proposition", "compaction"):
+        path, _ = _seed(tmp_path, name)
+        refresh_budget(path, name, NEW, scale=2.0)
+        assert json.loads(path.read_text()) == {"scale": 2.0, "budgets": NEW}
+
+
+def test_refresh_writes_are_deterministic(tmp_path, monkeypatch):
+    # sorted keys + trailing newline: two refreshes of the same measurement
+    # produce byte-identical files, keeping committed diffs reviewable
+    monkeypatch.setenv("REPRO_UPDATE_BUDGET", "all")
+    path = tmp_path / "compaction_budget.json"
+    refresh_budget(path, "compaction", {"b": 1, "a": 2})
+    first = path.read_bytes()
+    refresh_budget(path, "compaction", {"a": 2, "b": 1})
+    assert path.read_bytes() == first
+    assert first.endswith(b"}\n")
