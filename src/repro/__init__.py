@@ -41,9 +41,12 @@ Subpackages
 ``repro.obs``
     Tracing and metrics: nested spans, Chrome-trace/JSONL export, the
     metrics registry, and machine-readable run reports.
+``repro.tune``
+    Per-matrix compaction-policy autotuning: decision-log replay, cost-model
+    fitting, the versioned ``tuning.json`` cache behind ``--compaction auto``.
 """
 
-from . import analysis, apps, core, device, graphs, obs, solvers, sort, sparse
+from . import analysis, apps, core, device, graphs, obs, solvers, sort, sparse, tune
 from .core import (
     Factor,
     LinearForestResult,
@@ -108,5 +111,6 @@ __all__ = [
     "solvers",
     "sort",
     "sparse",
+    "tune",
     "__version__",
 ]

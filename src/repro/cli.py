@@ -1,6 +1,7 @@
 """Command-line interface.
 
-Four subcommands, all operating on Matrix Market files:
+Subcommands (``extract``/``factor``/``solve``/``transversal`` operate on
+Matrix Market files):
 
 * ``extract`` — run the full linear-forest pipeline and report coverage,
   paths, the timing breakdown, and optionally the permutation/band files;
@@ -9,6 +10,10 @@ Four subcommands, all operating on Matrix Market files:
 * ``solve`` — solve ``A x = b`` with BiCGStab under one of the four
   preconditioners of the paper (right-hand side from the paper's test
   problem when none is given);
+* ``transversal`` — maximum product transversal (MC64-style);
+* ``tune`` — autotune per-matrix frontier-compaction policies from recorded
+  decision logs and write the ``tuning.json`` cache consulted by
+  ``--compaction auto`` (see docs/TUNING.md);
 * ``generate`` — write one of the bundled synthetic suite matrices to a
   Matrix Market file.
 
@@ -24,6 +29,8 @@ Examples::
     python -m repro extract matrix.mtx --trace trace.json --metrics-out report.json
     python -m repro factor matrix.mtx -n 3 --greedy
     python -m repro solve matrix.mtx --preconditioner algtriscal
+    python -m repro tune -o tuning.json
+    python -m repro extract matrix.mtx --compaction auto
     python -m repro generate aniso2 --scale 0.5 -o aniso2.mtx
 """
 
@@ -45,7 +52,7 @@ from .core import (
     parallel_factor,
 )
 from .device import Device
-from .graphs import SUITE, build_matrix
+from .graphs import SUITE, build_matrix, tuning_workloads
 from .obs import (
     MetricsRegistry,
     Tracer,
@@ -92,8 +99,10 @@ def _add_compaction_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--compaction", default=None, metavar="POLICY",
         help="frontier-compaction policy: eager, never, lazy[:threshold], "
-             "adaptive (default: $REPRO_COMPACTION or eager; results are "
-             "bit-identical under every policy, only traffic differs)")
+             "adaptive, or auto (the per-matrix recommendation recorded in "
+             "tuning.json by `repro tune`; falls back to adaptive on a cache "
+             "miss). Default: $REPRO_COMPACTION or eager; results are "
+             "bit-identical under every policy, only traffic differs")
 
 
 def _config_from(args, n: int) -> ParallelFactorConfig:
@@ -121,7 +130,7 @@ class _ObsRun:
     metrics: MetricsRegistry
     device: Device
 
-    def finish(self, args, *, command: str, **report_sources) -> None:
+    def finish(self, args, *, command: str, inputs: dict | None = None, **report_sources) -> None:
         """Write the requested trace/report files and announce them."""
         if args.trace:
             if str(args.trace).endswith(".jsonl"):
@@ -133,7 +142,7 @@ class _ObsRun:
             collect_run_metrics(self.metrics, **report_sources)
             report = build_run_report(
                 command=command,
-                inputs={"matrix": args.matrix},
+                inputs=inputs if inputs is not None else {"matrix": args.matrix},
                 tracer=self.tracer,
                 metrics=self.metrics,
                 **report_sources,
@@ -265,6 +274,36 @@ def _cmd_transversal(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    from .tune import tune_suite
+
+    with ExitStack() as stack:
+        obs = _observed(args, stack)
+        cache, tunings = tune_suite(
+            args.suite or None,
+            scale=args.scale,
+            config=_config_from(args, 2),
+            verify_top=args.verify_top,
+            path=args.output,
+        )
+    width = max(len(t.name or "?") for t in tunings)
+    print(f"{'workload':{width}s}  {'policy':10s}  {'bytes':>14s}  {'vs adaptive':>12s}")
+    for t in tunings:
+        chosen = t.measured_bytes[t.recommended]["bytes"]
+        baseline = t.measured_bytes["adaptive"]["bytes"]
+        saved = baseline - chosen
+        print(f"{t.name:{width}s}  {t.recommended:10s}  {chosen:>14,}  {saved:>12,}")
+    print(f"tuning cache written to {args.output} ({len(cache.entries)} entries)")
+    print("use it with `--compaction auto` (set REPRO_TUNING_CACHE to point elsewhere)")
+    if obs is not None:
+        obs.finish(
+            args, command="tune",
+            inputs={"suite": ",".join(t.name or "?" for t in tunings),
+                    "scale": args.scale},
+        )
+    return 0
+
+
 def _cmd_generate(args) -> int:
     a = build_matrix(args.name, scale=args.scale)
     symmetry = "symmetric" if a.is_symmetric(tol=0.0) else "general"
@@ -319,6 +358,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--perm-out", help="write the column permutation here")
     p.add_argument("--scaling-out", help="write MC64 row/col scalings here")
     p.set_defaults(func=_cmd_transversal)
+
+    p = sub.add_parser(
+        "tune",
+        help="autotune per-matrix compaction policies from recorded decision logs",
+    )
+    p.add_argument(
+        "--suite", nargs="*", metavar="NAME", default=None,
+        choices=sorted(tuning_workloads()),
+        help="workloads to tune (default: the representative small suite "
+             "plus slow_frontier)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="suite build scale (default 1.0; fingerprints are scale-specific)")
+    p.add_argument("-o", "--output", default="tuning.json",
+                   help="tuning cache file to write (default ./tuning.json)")
+    p.add_argument("--verify-top", type=int, default=3,
+                   help="measure this many top-modeled candidates (default 3)")
+    _add_config_args(p)
+    _add_obs_args(p)
+    p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser("generate", help="write a bundled suite matrix")
     p.add_argument("name", choices=sorted(SUITE))

@@ -223,9 +223,11 @@ def parallel_factor(
     compaction:
         Frontier-compaction policy of the proposition engine — a
         :class:`~repro.core.frontier.CompactionPolicy`, a spec string
-        (``"eager"``, ``"never"``, ``"lazy[:threshold]"``, ``"adaptive"``),
-        or ``None`` to honour ``REPRO_COMPACTION`` (default eager).  The
-        factor is bit-identical under every policy; only traffic differs.
+        (``"eager"``, ``"never"``, ``"lazy[:threshold]"``, ``"adaptive"``,
+        or ``"auto"`` — the :mod:`repro.tune` cache lookup keyed by the
+        graph's fingerprint), or ``None`` to honour ``REPRO_COMPACTION``
+        (default eager).  The factor is bit-identical under every policy;
+        only traffic differs.
     """
     config = config or ParallelFactorConfig()
     device = device or default_device()

@@ -33,10 +33,14 @@ bit-identical factors, path ids and positions — property-tested in
 :mod:`repro.core.ablations` references.  Only launch traffic differs.
 
 Policies are resolved from specs (``"eager"``, ``"never"``, ``"lazy"``,
-``"lazy:0.25"``, ``"adaptive"``, or a policy instance) by
+``"lazy:0.25"``, ``"adaptive"``, ``"auto"``, or a policy instance) by
 :func:`resolve_compaction`; with no spec, the ``REPRO_COMPACTION``
 environment variable picks the process-wide default (CI runs the property
-suite under ``never`` and ``adaptive`` to catch policy drift).
+suite under ``never`` and ``adaptive`` to catch policy drift).  The
+``"auto"`` spec defers to :mod:`repro.tune`: the per-matrix recommendation
+recorded in ``tuning.json`` by ``repro tune``, falling back to adaptive
+(with a :class:`~repro.tune.TuningWarning`) whenever no tuned entry applies
+— see docs/TUNING.md.
 """
 
 from __future__ import annotations
@@ -60,10 +64,11 @@ __all__ = [
     "POLICY_NAMES",
     "record_decision",
     "resolve_compaction",
+    "wants_auto",
 ]
 
 #: Spec names accepted by :func:`resolve_compaction`.
-POLICY_NAMES = ("eager", "never", "lazy", "adaptive")
+POLICY_NAMES = ("eager", "never", "lazy", "adaptive", "auto")
 
 #: Environment variable holding the process-wide default policy spec.
 ENV_VAR = "REPRO_COMPACTION"
@@ -220,18 +225,50 @@ class AdaptiveCompaction:
         return _decide(state, self.name, cost.compaction_saves, reason)
 
 
-def resolve_compaction(spec: "CompactionPolicy | str | None" = None) -> CompactionPolicy:
+def wants_auto(spec: "CompactionPolicy | str | None") -> bool:
+    """True when ``spec`` (or the environment default) names the ``auto`` policy.
+
+    Engines whose constructor does not see the graph (the scan receives it
+    only at :meth:`~repro.core.scan.BidirectionalScan.run` time) use this to
+    defer :func:`resolve_compaction` until a graph is available to
+    fingerprint.
+    """
+    if spec is None:
+        spec = os.environ.get(ENV_VAR, "").strip() or "eager"
+    return isinstance(spec, str) and spec.partition(":")[0].strip().lower() == "auto"
+
+
+def resolve_compaction(
+    spec: "CompactionPolicy | str | None" = None,
+    *,
+    graph=None,
+) -> CompactionPolicy:
     """Turn a policy spec into a policy instance.
 
     ``None`` falls back to the ``REPRO_COMPACTION`` environment variable and
     finally to ``"eager"``.  String specs: ``eager``, ``never``, ``lazy``,
-    ``lazy:<threshold>``, ``adaptive``.  Policy instances pass through.
+    ``lazy:<threshold>``, ``adaptive``, ``auto``.  Policy instances pass
+    through.
+
+    ``"auto"`` consults the :mod:`repro.tune` cache (``tuning.json`` /
+    ``$REPRO_TUNING_CACHE``) under the fingerprint of ``graph`` — the
+    *prepared* adjacency the engine will run on, passed by the engines
+    themselves.  A missing graph, a missing/corrupt cache or a fingerprint
+    miss all degrade to :class:`AdaptiveCompaction` with a
+    :class:`~repro.tune.TuningWarning`; the ``"auto"`` path never raises.
     """
     if spec is None:
         spec = os.environ.get(ENV_VAR, "").strip() or "eager"
     if isinstance(spec, str):
         base, _, arg = spec.partition(":")
         base = base.strip().lower()
+        if base == "auto":
+            if arg:
+                raise ConfigError(f"compaction policy 'auto' takes no argument, got {spec!r}")
+            # deferred import: repro.tune imports this module at load time
+            from ..tune import auto_policy
+
+            return auto_policy(graph)
         if base == "eager":
             policy = EagerCompaction()
         elif base == "never":

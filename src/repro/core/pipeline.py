@@ -100,9 +100,11 @@ def extract_linear_forest(
 
     ``compaction`` selects the frontier-compaction policy of *both* engines
     (proposition rounds and bidirectional scans) — a policy instance, a spec
-    string (``"eager"``, ``"never"``, ``"lazy[:threshold]"``, ``"adaptive"``),
-    or ``None`` to honour ``REPRO_COMPACTION`` (default eager).  Results are
-    bit-identical under every policy (see :mod:`repro.core.frontier`).
+    string (``"eager"``, ``"never"``, ``"lazy[:threshold]"``, ``"adaptive"``,
+    ``"auto"``), or ``None`` to honour ``REPRO_COMPACTION`` (default eager).
+    ``"auto"`` fingerprints the prepared graph against the
+    :mod:`repro.tune` cache and falls back to adaptive on any miss.  Results
+    are bit-identical under every policy (see :mod:`repro.core.frontier`).
     """
     from .frontier import resolve_compaction
 
@@ -110,7 +112,6 @@ def extract_linear_forest(
     if config.n != 2:
         raise ValueError(f"linear-forest extraction requires n=2, got n={config.n}")
     device = device or default_device()
-    policy = resolve_compaction(compaction)
     timings = TimingBreakdown()
 
     with trace_span(
@@ -120,10 +121,15 @@ def extract_linear_forest(
         nnz=a.nnz,
         merged_scan=merged_scan,
         dtype=str(a.data.dtype),
-        compaction=policy.name,
     ) as root:
         with timings.phase(PHASE_FACTOR):
             graph = prepare_graph(a)
+            # resolve once the prepared graph exists: the "auto" spec
+            # fingerprints it against the tuning cache, and every engine
+            # below then shares the one concrete policy instance
+            policy = resolve_compaction(compaction, graph=graph)
+            if root is not None:
+                root.attributes["compaction"] = policy.name
             factor_result = parallel_factor(
                 graph, config, device=device, compaction=policy
             )

@@ -216,7 +216,8 @@ class PropositionEngine:
         validate_proposition_weights(graph.data)
         self.graph = graph
         self.n = int(n)
-        self.policy = resolve_compaction(compaction)
+        # the graph enables the "auto" spec to fingerprint-match the tuning cache
+        self.policy = resolve_compaction(compaction, graph=graph)
         #: Per-round compaction decisions, in :meth:`compact` call order.
         self.decisions: list[CompactionDecision] = []
         #: Elements written by the physical compaction gathers so far

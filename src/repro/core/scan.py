@@ -73,6 +73,7 @@ from .frontier import (
     FrontierState,
     record_decision,
     resolve_compaction,
+    wants_auto,
 )
 from .structures import NO_PARTNER, Factor
 
@@ -407,7 +408,9 @@ class BidirectionalScan:
             )
         self.factor = factor
         self.device = device or default_device()
-        self.policy = resolve_compaction(compaction)
+        self._compaction = compaction
+        # "auto" fingerprints the graph, which only run() receives — defer it
+        self.policy = None if wants_auto(compaction) else resolve_compaction(compaction)
         n_vertices = factor.n_vertices
         ids = np.arange(n_vertices, dtype=INDEX_DTYPE)
         q0 = np.full((n_vertices, 2), 0, dtype=INDEX_DTYPE)
@@ -437,6 +440,8 @@ class BidirectionalScan:
         soon as every lane has clamped to a path-end marker, so
         ``result.launches ≤ result.steps``.
         """
+        if self.policy is None:
+            self.policy = resolve_compaction(self._compaction, graph=graph)
         n_vertices = self.factor.n_vertices
         nominal = scan_steps(n_vertices)
         n_steps = nominal if steps is None else max(0, min(int(steps), nominal))

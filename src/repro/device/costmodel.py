@@ -199,6 +199,11 @@ def compaction_cost(
     element costs each round the buffer stays uncompacted (the id/flag reads a
     kernel performs before skipping the lane).  ``rounds_remaining`` bounds the
     projection — dead lanes after the last round cost nothing.
+
+    The engines pass their compile-time byte constants here; the autotuner
+    (:mod:`repro.tune`) instead *fits* both per-element parameters from the
+    decisions a recorded run logged (:func:`repro.tune.fit_element_bytes`)
+    and replays candidate policies against the fitted model.
     """
     if live < 0 or dead < 0:
         raise ValueError("live and dead element counts must be non-negative")

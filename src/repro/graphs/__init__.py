@@ -34,6 +34,7 @@ from .suite import (
     slow_frontier,
     small_suite,
     suite_names,
+    tuning_workloads,
 )
 
 __all__ = [
@@ -60,4 +61,5 @@ __all__ = [
     "slow_frontier",
     "small_suite",
     "suite_names",
+    "tuning_workloads",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "slow_frontier",
     "small_suite",
     "suite_names",
+    "tuning_workloads",
 ]
 
 
@@ -579,6 +580,21 @@ def build_matrix(name: str, scale: float = 1.0) -> CSRMatrix:
     except KeyError:
         raise ShapeError(f"unknown suite matrix {name!r}; known: {sorted(SUITE)}") from None
     return entry.build(scale)
+
+
+def tuning_workloads() -> "dict[str, Callable[[float], CSRMatrix]]":
+    """The default autotuning workload set, name → ``builder(scale)``.
+
+    The representative :func:`small_suite` (every behavioural regime of the
+    paper's Table 3) plus :func:`slow_frontier` (the slow-collapsing-frontier
+    pathology that motivated the lazy policies) — what ``repro tune`` and
+    :func:`repro.tune.tune_suite` iterate over by default.
+    """
+    workloads: dict[str, Callable[[float], CSRMatrix]] = {
+        name: SUITE[name].builder for name in small_suite()
+    }
+    workloads["slow_frontier"] = slow_frontier
+    return workloads
 
 
 def slow_frontier(scale: float = 1.0) -> CSRMatrix:

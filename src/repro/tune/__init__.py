@@ -1,0 +1,75 @@
+"""Per-matrix compaction-policy autotuning from recorded decision logs.
+
+The frontier engines (:mod:`repro.core.proposer`,
+:mod:`repro.core.scan`) log one
+:class:`~repro.core.frontier.CompactionDecision` per consulted round, and
+their results carry the policy-independent live-item sequences.  This
+package turns those logs into tuned per-matrix policy recommendations:
+
+* :mod:`~repro.tune.log` — harvest a :class:`~repro.tune.log.DecisionLog`
+  from a run, fit the :func:`repro.device.costmodel.compaction_cost` byte
+  parameters to the recorded traffic, and *replay* any policy over the log;
+* :mod:`~repro.tune.fingerprint` — the per-matrix cache key
+  (n, nnz, log2 degree histogram, content digest);
+* :mod:`~repro.tune.tuner` — the record → replay → verify-by-measurement
+  loop (:func:`tune_graph` / :func:`tune_suite`);
+* :mod:`~repro.tune.cache` — the versioned ``tuning.json`` document and the
+  tolerant lookup behind ``resolve_compaction("auto")``.
+
+User-facing surfaces: the ``repro tune`` CLI subcommand writes the cache;
+``--compaction auto`` (or ``REPRO_COMPACTION=auto``) consults it with zero
+further input.  See docs/TUNING.md for the walkthrough.
+"""
+
+from .cache import (
+    ENV_CACHE,
+    TUNING_SCHEMA,
+    TuningCache,
+    TuningEntry,
+    TuningWarning,
+    auto_policy,
+    default_cache_path,
+)
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    GraphFingerprint,
+    degree_histogram,
+    fingerprint_graph,
+    matrix_digest,
+)
+from .log import (
+    DecisionLog,
+    ReplayCost,
+    fit_element_bytes,
+    harvest_factor_log,
+    harvest_kernel_notes,
+    harvest_scan_log,
+    replay,
+)
+from .tuner import DEFAULT_CANDIDATES, WorkloadTuning, tune_graph, tune_suite
+
+__all__ = [
+    "DEFAULT_CANDIDATES",
+    "DecisionLog",
+    "ENV_CACHE",
+    "FINGERPRINT_VERSION",
+    "GraphFingerprint",
+    "ReplayCost",
+    "TUNING_SCHEMA",
+    "TuningCache",
+    "TuningEntry",
+    "TuningWarning",
+    "WorkloadTuning",
+    "auto_policy",
+    "default_cache_path",
+    "degree_histogram",
+    "fingerprint_graph",
+    "fit_element_bytes",
+    "harvest_factor_log",
+    "harvest_kernel_notes",
+    "harvest_scan_log",
+    "matrix_digest",
+    "replay",
+    "tune_graph",
+    "tune_suite",
+]

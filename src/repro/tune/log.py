@@ -1,0 +1,342 @@
+"""Decision logs: harvesting, cost-parameter fitting and policy replay.
+
+The frontier engines already emit everything the autotuner needs:
+
+* :class:`~repro.core.factor.ParallelFactorResult` carries
+  ``frontier_history`` (live edges at the start of every round) and
+  ``compaction_decisions`` (one :class:`~repro.core.frontier.CompactionDecision`
+  per round in which edges retired);
+* :class:`~repro.core.scan.ScanResult` carries ``active_per_launch`` and its
+  own ``compaction_decisions``;
+* when a tracer/device is attached, the same verdicts ride every launch as
+  ``KernelRecord.notes`` (see :func:`harvest_kernel_notes`).
+
+The crucial property making *replay* sound: deadness is policy-independent.
+An edge retires the moment a monotone eligibility condition fails, and a
+scan lane retires the moment it clamps to a path-end marker — regardless of
+when the buffers are physically gathered.  The live sequences above are
+therefore identical under every policy, and a :class:`DecisionLog` built
+from one recorded run can simulate the buffer evolution — and the resulting
+gather/dead-lane traffic — of *any* policy without re-running the engine
+(:func:`replay`).
+
+:func:`fit_element_bytes` closes the measure-then-model loop: it recovers
+the effective per-element byte constants of
+:func:`repro.device.costmodel.compaction_cost` from the recorded decisions
+instead of trusting the engine constants, so a replay is driven by fitted
+parameters (``DecisionLog.fitted`` tells whether the fit succeeded or the
+engine defaults were used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.factor import ParallelFactorConfig, ParallelFactorResult
+from ..core.frontier import CompactionDecision, CompactionPolicy, FrontierState, resolve_compaction
+from ..core.proposer import DEAD_ELEMENT_BYTES, GATHER_ELEMENT_BYTES
+from ..core.scan import CAND_DEAD_BYTES, CAND_GATHER_BYTES, ScanResult
+from ..errors import ConfigError
+
+__all__ = [
+    "DecisionLog",
+    "ReplayCost",
+    "fit_element_bytes",
+    "harvest_factor_log",
+    "harvest_kernel_notes",
+    "harvest_scan_log",
+    "replay",
+]
+
+
+@dataclass(frozen=True)
+class DecisionLog:
+    """The policy-independent trace of one engine run.
+
+    ``live`` is the live-item sequence: for the proposition engine, the live
+    frontier at the start of every executed round *plus* the final size after
+    the last mutualize; for the scan, the active lane count at every executed
+    launch.  ``total`` is the physical buffer length on entry,
+    ``max_rounds`` the projection horizon (``M`` / the nominal step count).
+    The byte parameters are fitted from recorded decisions when possible
+    (``fitted=True``) and fall back to the engine constants otherwise.
+    """
+
+    engine: str  # "proposition" | "scan"
+    total: int
+    live: tuple[int, ...]
+    max_rounds: int
+    gather_element_bytes: float
+    dead_element_bytes: float
+    fitted: bool = False
+
+
+@dataclass(frozen=True)
+class ReplayCost:
+    """Modeled compaction traffic of one policy over one :class:`DecisionLog`."""
+
+    policy: str
+    gather_bytes: int
+    dead_lane_bytes: int
+    compactions: int
+    consults: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.gather_bytes + self.dead_lane_bytes
+
+
+def _proposition_consults(live: tuple[int, ...]) -> list[tuple[int, int]]:
+    """(round index, live-after) for every round in which edges retired.
+
+    The engine consults its policy exactly when the mutualize step confirmed
+    new pairs, and every confirmation retires the two directed edges of the
+    pair — so consult rounds are exactly the rounds whose live count drops.
+    """
+    return [(k, live[k + 1]) for k in range(len(live) - 1) if live[k + 1] < live[k]]
+
+
+def fit_element_bytes(
+    decisions: "list[CompactionDecision] | tuple[CompactionDecision, ...]",
+    rounds_remaining: "list[int] | None" = None,
+    *,
+    default_gather: float,
+    default_dead: float,
+) -> tuple[float, float, bool]:
+    """Recover ``compaction_cost``'s per-element byte parameters from a log.
+
+    Every decision records the two modeled costs of its round:
+    ``gather_bytes = (2*live + dead) * gather_element_bytes`` and
+    ``dead_lane_bytes = dead * dead_element_bytes * rounds_remaining``.  The
+    first inverts directly; the second needs the per-decision projection
+    horizon, which the harvest functions reconstruct from the live sequence.
+    Returns ``(gather_element_bytes, dead_element_bytes, fitted)`` — the
+    medians of the per-decision estimates, or the defaults when a parameter
+    is unobservable (no decisions, or every horizon was zero).
+    """
+    gather_samples = [
+        d.gather_bytes / (2 * d.live + d.dead)
+        for d in decisions
+        if (2 * d.live + d.dead) > 0
+    ]
+    dead_samples = []
+    if rounds_remaining is not None and len(rounds_remaining) == len(decisions):
+        dead_samples = [
+            d.dead_lane_bytes / (d.dead * r)
+            for d, r in zip(decisions, rounds_remaining)
+            if d.dead > 0 and r > 0
+        ]
+
+    def _median(xs: list[float]) -> float:
+        xs = sorted(xs)
+        mid = len(xs) // 2
+        return xs[mid] if len(xs) % 2 else (xs[mid - 1] + xs[mid]) / 2.0
+
+    geb = _median(gather_samples) if gather_samples else float(default_gather)
+    deb = _median(dead_samples) if dead_samples else float(default_dead)
+    return geb, deb, bool(gather_samples and dead_samples)
+
+
+def harvest_factor_log(
+    result: ParallelFactorResult,
+    config: ParallelFactorConfig | None = None,
+) -> DecisionLog:
+    """Build the proposition-engine :class:`DecisionLog` of a factor run.
+
+    ``config`` must be the configuration of the recorded run (its ``M`` is
+    the projection horizon); defaults to the paper default, matching
+    :func:`repro.core.factor.parallel_factor`.
+    """
+    config = config or ParallelFactorConfig()
+    lives = [int(x) for x in result.frontier_history]
+    if not lives:
+        lives = [0]
+    decisions = list(result.compaction_decisions)
+    # The last executed round's retirement is invisible in frontier_history
+    # (which records round *starts*); its decision carries the final live.
+    transitions = sum(1 for a, b in zip(lives, lives[1:]) if b < a)
+    if len(decisions) > transitions:
+        lives.append(int(decisions[-1].live))
+    else:
+        lives.append(lives[-1])
+
+    horizons = [
+        config.max_iterations - (k + 1) for k, _ in _proposition_consults(tuple(lives))
+    ]
+    if len(horizons) != len(decisions):
+        horizons = None  # decisions came from a run we cannot align; fit geb only
+    geb, deb, fitted = fit_element_bytes(
+        decisions,
+        horizons,
+        default_gather=GATHER_ELEMENT_BYTES,
+        default_dead=DEAD_ELEMENT_BYTES,
+    )
+    return DecisionLog(
+        engine="proposition",
+        total=int(lives[0]),
+        live=tuple(lives),
+        max_rounds=config.max_iterations,
+        gather_element_bytes=geb,
+        dead_element_bytes=deb,
+        fitted=fitted,
+    )
+
+
+def harvest_scan_log(result: ScanResult, n_vertices: int) -> DecisionLog:
+    """Build the scan-engine :class:`DecisionLog` of a bidirectional scan."""
+    total = 2 * int(n_vertices)
+    active = tuple(int(a) for a in result.active_per_launch)
+    decisions = list(result.compaction_decisions)
+    # Align each recorded decision with its step to recover the projection
+    # horizon: a decision fires on every step whose buffer carries dead
+    # candidates, so replaying the recorded policy's buffer over the active
+    # sequence reproduces the consult steps in order.
+    horizons: list[int] | None = []
+    if decisions:
+        recorded = _policy_from_decision(decisions[0])
+        if recorded is None:
+            horizons = None
+        else:
+            cost = replay(
+                DecisionLog(
+                    engine="scan",
+                    total=total,
+                    live=active,
+                    max_rounds=result.steps,
+                    gather_element_bytes=CAND_GATHER_BYTES,
+                    dead_element_bytes=CAND_DEAD_BYTES,
+                ),
+                recorded,
+                _consult_horizons=horizons,
+            )
+            if cost.consults != len(decisions):
+                horizons = None
+    geb, deb, fitted = fit_element_bytes(
+        decisions,
+        horizons,
+        default_gather=CAND_GATHER_BYTES,
+        default_dead=CAND_DEAD_BYTES,
+    )
+    return DecisionLog(
+        engine="scan",
+        total=total,
+        live=active,
+        max_rounds=int(result.steps),
+        gather_element_bytes=geb,
+        dead_element_bytes=deb,
+        fitted=fitted,
+    )
+
+
+def _policy_from_decision(decision: CompactionDecision) -> str | None:
+    """Map a recorded policy display name back to a replayable spec."""
+    name = decision.policy
+    if name in ("eager", "never", "adaptive"):
+        return name
+    if name.startswith("lazy(") and name.endswith(")"):
+        return "lazy:" + name[len("lazy(") : -1]
+    return None
+
+
+def harvest_kernel_notes(device) -> list[dict]:
+    """Extract the per-launch compaction annotations from a device's records.
+
+    This is the :attr:`~repro.device.device.KernelRecord.notes` view of the
+    same decision log (one dict per annotated launch, in launch order, with
+    the kernel name attached) — what ``render_convergence`` displays and what
+    a trace consumer sees.  Diagnostic companion to the result-object
+    harvesters above, which carry the exact counts replay needs.
+    """
+    notes = []
+    for record in device.records():
+        if record.notes and "compaction" in record.notes:
+            entry = {"kernel": record.name}
+            entry.update(record.notes)
+            notes.append(entry)
+    return notes
+
+
+def replay(
+    log: DecisionLog,
+    spec: "CompactionPolicy | str",
+    *,
+    _consult_horizons: "list[int] | None" = None,
+) -> ReplayCost:
+    """Simulate a policy over a recorded log; returns its modeled traffic.
+
+    Walks the live sequence maintaining the physical buffer length the
+    policy would have kept, consulting it exactly where the engine would
+    (every retirement round for the proposition engine, every dirty step for
+    the scan) and accumulating the gather bytes of its compactions plus the
+    dead-lane bytes of the rounds it chose to carry.
+    """
+    policy = resolve_compaction(spec)
+    if getattr(policy, "name", "") == "auto":  # pragma: no cover - defensive
+        raise ConfigError("cannot replay the 'auto' spec; replay a concrete policy")
+    geb = int(round(log.gather_element_bytes))
+    deb = int(round(log.dead_element_bytes))
+    gather = 0
+    carry = 0
+    compactions = 0
+    consults = 0
+    buffer = log.total
+
+    if log.engine == "proposition":
+        lives = log.live
+        for k in range(len(lives) - 1):
+            live_k = lives[k]
+            if live_k > 0:
+                # this round's propose streams the whole dirty buffer; the
+                # dead entries cost their id/mask reads before the skip
+                carry += (buffer - live_k) * deb
+            nxt = lives[k + 1]
+            if nxt < live_k:
+                consults += 1
+                if _consult_horizons is not None:
+                    _consult_horizons.append(log.max_rounds - (k + 1))
+                decision = policy.decide(
+                    FrontierState(
+                        live=nxt,
+                        dead=buffer - nxt,
+                        gather_element_bytes=geb,
+                        dead_element_bytes=deb,
+                        rounds_remaining=log.max_rounds - (k + 1),
+                    )
+                )
+                if decision.compact:
+                    gather += decision.gather_bytes
+                    buffer = nxt
+                    compactions += 1
+    elif log.engine == "scan":
+        for step, active in enumerate(log.live):
+            dead = buffer - active
+            if dead > 0:
+                consults += 1
+                if _consult_horizons is not None:
+                    _consult_horizons.append(log.max_rounds - step)
+                decision = policy.decide(
+                    FrontierState(
+                        live=active,
+                        dead=dead,
+                        gather_element_bytes=geb,
+                        dead_element_bytes=deb,
+                        rounds_remaining=log.max_rounds - step,
+                    )
+                )
+                if decision.compact:
+                    gather += decision.gather_bytes
+                    buffer = active
+                    compactions += 1
+                else:
+                    # the dead candidates' id + marker reads of this step
+                    carry += dead * deb
+    else:
+        raise ConfigError(f"unknown decision-log engine {log.engine!r}")
+
+    return ReplayCost(
+        policy=policy.name,
+        gather_bytes=int(gather),
+        dead_lane_bytes=int(carry),
+        compactions=compactions,
+        consults=consults,
+    )

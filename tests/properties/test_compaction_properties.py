@@ -131,3 +131,48 @@ def test_paper_example_across_policies(policy):
     assert np.array_equal(res.paths.path_id, base.paths.path_id)
     assert np.array_equal(res.paths.position, base.paths.position)
     assert res.factor_result.factor == reference_parallel_factor(graph).factor
+
+
+@pytest.mark.parametrize(
+    "build", [poisson2d, aniso1, aniso3], ids=["poisson2d", "aniso1", "aniso3"]
+)
+def test_tuner_recommendation_stays_bit_identical(build):
+    """Whatever policy the autotuner recommends is still observationally pure."""
+    from repro.tune import tune_graph
+
+    graph = prepare_graph(build(8))
+    tuning = tune_graph(graph)
+    res = parallel_factor(graph, compaction=tuning.recommended)
+    ref = reference_parallel_factor(graph)
+    assert res.factor == ref.factor
+    assert res.proposals_per_iteration == ref.proposals_per_iteration
+
+    factor = res.factor
+    scan = BidirectionalScan(factor, compaction=tuning.recommended)
+    scan_res = scan.run(MinEdgeOperator(), graph)
+    scan_ref = ReferenceScan(factor).run(MinEdgeOperator(), graph)
+    np.testing.assert_array_equal(scan_res.q, scan_ref.q)
+
+
+def test_auto_resolution_stays_bit_identical(tmp_path, monkeypatch):
+    """The full auto path — tune, persist, resolve via env — is pure too."""
+    from repro.tune import TuningCache, tune_graph
+
+    graph = prepare_graph(aniso1(8))
+    cache = TuningCache()
+    cache.record(tune_graph(graph).entry)
+    cache_path = tmp_path / "tuning.json"
+    cache.save(cache_path)
+    monkeypatch.setenv("REPRO_TUNING_CACHE", str(cache_path))
+
+    res = parallel_factor(graph, compaction="auto")
+    ref = reference_parallel_factor(graph)
+    assert res.factor == ref.factor
+    assert res.proposals_per_iteration == ref.proposals_per_iteration
+
+    base = extract_linear_forest(graph, compaction="eager")
+    auto = extract_linear_forest(graph, compaction="auto")
+    assert auto.forest == base.forest
+    assert np.array_equal(auto.paths.path_id, base.paths.path_id)
+    assert np.array_equal(auto.paths.position, base.paths.position)
+    assert np.array_equal(auto.perm, base.perm)

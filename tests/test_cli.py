@@ -203,3 +203,71 @@ def test_unknown_generate_name_rejected(tmp_path):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_tune_writes_a_versioned_cache(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "tuning.json"
+    rc = main(["tune", "--suite", "slow_frontier", "--scale", "0.5", "-o", str(out)])
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    assert "slow_frontier" in stdout
+    assert f"tuning cache written to {out}" in stdout
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "repro.tune/tuning/v1"
+    assert len(payload["entries"]) == 1
+
+
+def test_tune_metrics_out(tmp_path, capsys):
+    import json
+
+    report_path = tmp_path / "tune-report.json"
+    rc = main([
+        "tune", "--suite", "slow_frontier", "--scale", "0.5",
+        "-o", str(tmp_path / "tuning.json"), "--metrics-out", str(report_path),
+    ])
+    assert rc == 0
+    report = json.loads(report_path.read_text())
+    assert report["command"] == "tune"
+    assert report["inputs"]["suite"] == "slow_frontier"
+    assert report["metrics"]["counters"]["tune.workloads"] == 1
+
+
+def test_tune_rejects_unknown_workloads(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["tune", "--suite", "nope", "-o", str(tmp_path / "tuning.json")])
+
+
+def test_extract_compaction_auto_miss_warns_but_succeeds(
+    mtx_path, tmp_path, monkeypatch, capsys
+):
+    from repro.tune import TuningWarning
+
+    monkeypatch.setenv("REPRO_TUNING_CACHE", str(tmp_path / "absent.json"))
+    with pytest.warns(TuningWarning):
+        rc = main(["extract", mtx_path, "--compaction", "auto"])
+    assert rc == 0
+    assert "linear-forest coverage" in capsys.readouterr().out
+
+
+def test_extract_compaction_auto_hits_a_tuned_cache(
+    mtx_path, tmp_path, monkeypatch, capsys
+):
+    import warnings
+
+    from repro.sparse import prepare_graph
+    from repro.tune import TuningCache, TuningWarning, tune_graph
+
+    graph = prepare_graph(read_matrix_market(mtx_path))
+    cache = TuningCache()
+    cache.record(tune_graph(graph, name="aniso2").entry)
+    cache_path = tmp_path / "tuning.json"
+    cache.save(cache_path)
+
+    monkeypatch.setenv("REPRO_TUNING_CACHE", str(cache_path))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", TuningWarning)  # a hit must not warn
+        rc = main(["extract", mtx_path, "--compaction", "auto"])
+    assert rc == 0
+    assert "linear-forest coverage" in capsys.readouterr().out

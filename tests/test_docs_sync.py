@@ -1,0 +1,156 @@
+"""Docs stay honest: the snippets in README and docs/ must actually run.
+
+Documentation drifts when code examples are prose: imports go stale, flags
+get renamed, referenced files move.  This gate extracts every fenced snippet
+from README.md and docs/*.md and holds it to the code:
+
+* ``python`` blocks are executed in a scratch directory (undefined
+  placeholder names are tolerated; any other failure — an ImportError, a
+  renamed function, a changed signature — fails the gate);
+* ``bash``/``console`` blocks are parsed: every ``python -m repro …``
+  command must name a real subcommand and only real option flags, and every
+  ``pytest <path>`` target must exist;
+* backtick references to repo files (``docs/*.md``, ``examples/*.py``,
+  ``tests/…``, ``benchmarks/…``, top-level ``*.md``) must point at files
+  that exist.
+
+Snippets are therefore part of the tested surface: update the docs and this
+gate together with the code they describe.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_PATHS = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+#: Languages whose fenced blocks are validated (everything else — plain
+#: fences, jsonc schemas, ascii diagrams — is illustrative).
+PYTHON_LANGS = {"python"}
+SHELL_LANGS = {"bash", "console", "sh", "shell"}
+
+
+def fenced_blocks(text: str) -> list[tuple[str, str, int]]:
+    """(language, dedented body, 1-based start line) of every fenced block."""
+    blocks = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        stripped = lines[i].lstrip()
+        if stripped.startswith("```") and stripped != "```":
+            indent = len(lines[i]) - len(stripped)
+            lang = stripped[3:].strip().lower()
+            body, start = [], i + 2  # 1-based first body line
+            i += 1
+            while i < len(lines) and lines[i].strip() != "```":
+                body.append(lines[i][indent:] if lines[i][:indent].isspace() or indent == 0 else lines[i].lstrip())
+                i += 1
+            blocks.append((lang, "\n".join(body), start))
+        i += 1
+    return blocks
+
+
+def _collect(langs: set) -> list:
+    params = []
+    for path in DOC_PATHS:
+        for lang, body, lineno in fenced_blocks(path.read_text()):
+            if lang in langs:
+                rel = path.relative_to(REPO)
+                params.append(pytest.param(body, id=f"{rel}:{lineno}"))
+    return params
+
+
+def test_the_extractor_sees_the_known_snippets():
+    # canary: if the fence parser rots, the gates below silently pass
+    assert len(_collect(PYTHON_LANGS)) >= 5
+    assert len(_collect(SHELL_LANGS)) >= 4
+
+
+@pytest.mark.parametrize("body", _collect(PYTHON_LANGS))
+def test_python_snippets_execute(body, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # snippets may write artifact files
+    compile(body, "<doc-snippet>", "exec")  # syntax first, for a clean error
+    try:
+        exec(body, {"__name__": "__docs__"})  # noqa: S102 - the point of the gate
+    except NameError:
+        pass  # placeholder names (`n`, `value`, …) are fine; imports are not
+
+
+# -- shell blocks ----------------------------------------------------------
+
+_PARSER = build_parser()
+_SUBPARSERS = _PARSER._subparsers._group_actions[0].choices  # name -> parser
+
+
+def _commands(body: str, lang_console: bool) -> list[str]:
+    out = []
+    for line in body.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("$ "):
+            out.append(line[2:])
+        elif not lang_console:
+            out.append(line)
+    return out
+
+
+def _validate_repro_command(tokens: list[str]) -> None:
+    rest = tokens[3:]  # after `python -m repro`
+    sub = next((t for t in rest if not t.startswith("-")), None)
+    if sub is None:  # e.g. `python -m repro --help`
+        for flag in (t.split("=")[0] for t in rest if t.startswith("-")):
+            assert flag in _PARSER._option_string_actions, flag
+        return
+    assert sub in _SUBPARSERS, f"unknown subcommand {sub!r} (has {sorted(_SUBPARSERS)})"
+    sp = _SUBPARSERS[sub]
+    for flag in (t.split("=")[0] for t in rest if t.startswith("--")):
+        assert flag in sp._option_string_actions, (
+            f"`repro {sub}` has no {flag} flag (has "
+            f"{sorted(f for f in sp._option_string_actions if f.startswith('--'))})"
+        )
+
+
+@pytest.mark.parametrize("body", _collect(SHELL_LANGS))
+def test_shell_snippets_name_real_commands_and_flags(body):
+    # every console block must be parsed from *somewhere*; and every
+    # `python -m repro` / `pytest` command it shows must be real
+    for command in _commands(body, lang_console=True):
+        while re.match(r"^\w+=\S+\s", command):  # strip env-var prefixes
+            command = command.split(None, 1)[1]
+        if command in ("...", ""):
+            continue
+        tokens = shlex.split(command)
+        if tokens[-1] == "...":
+            tokens = tokens[:-1]
+        if tokens[:3] == ["python", "-m", "repro"]:
+            _validate_repro_command(tokens)
+        elif tokens[0] == "pytest":
+            for target in tokens[1:]:
+                if "/" in target or target.endswith(".py"):
+                    assert (REPO / target).exists(), f"pytest target {target} missing"
+
+
+# -- file references -------------------------------------------------------
+
+_REF = re.compile(r"`([A-Za-z0-9_./-]+\.(?:md|py))`")
+_CHECKED_PREFIXES = ("docs/", "examples/", "tests/", "benchmarks/", "src/")
+
+
+@pytest.mark.parametrize(
+    "path", DOC_PATHS, ids=[str(p.relative_to(REPO)) for p in DOC_PATHS]
+)
+def test_referenced_repo_files_exist(path):
+    missing = []
+    for ref in _REF.findall(path.read_text()):
+        if ref.startswith(_CHECKED_PREFIXES) or ("/" not in ref and ref.endswith(".md")):
+            if not (REPO / ref).exists():
+                missing.append(ref)
+    assert not missing, f"{path.name} references missing files: {missing}"

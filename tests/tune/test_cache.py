@@ -1,0 +1,184 @@
+"""The tuning cache and the tolerant ``"auto"`` lookup.
+
+The contract pinned here: the strict surface (:meth:`TuningCache.load`)
+raises :class:`~repro.errors.ConfigError` on every malformed document, while
+the consult surface (:func:`auto_policy` / ``resolve_compaction("auto")``)
+*never* raises — every failure mode degrades to the static adaptive policy
+with a :class:`TuningWarning` naming the reason.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.core.frontier import AdaptiveCompaction, LazyCompaction, resolve_compaction
+from repro.errors import ConfigError
+from repro.graphs import aniso2
+from repro.obs import MetricsRegistry, use_metrics
+from repro.sparse import prepare_graph
+from repro.tune import (
+    TUNING_SCHEMA,
+    TuningCache,
+    TuningEntry,
+    TuningWarning,
+    auto_policy,
+    default_cache_path,
+    fingerprint_graph,
+)
+
+
+@pytest.fixture
+def graph():
+    return prepare_graph(aniso2(16))
+
+
+@pytest.fixture
+def cache_path(graph, tmp_path):
+    """A valid one-entry cache recommending lazy:0.25 for ``graph``."""
+    cache = TuningCache()
+    cache.record(
+        TuningEntry(
+            policy="lazy:0.25",
+            fingerprint=fingerprint_graph(graph, name="aniso2"),
+            modeled_bytes={"lazy:0.25": 100, "adaptive": 120},
+            measured_bytes={"lazy:0.25": {"bytes": 90, "gather_bytes": 10}},
+        )
+    )
+    path = tmp_path / "tuning.json"
+    cache.save(path)
+    return path
+
+
+def _assert_falls_back(policy, caught):
+    assert isinstance(policy, AdaptiveCompaction)
+    assert len(caught) == 1
+    assert issubclass(caught[0].category, TuningWarning)
+
+
+def test_save_load_round_trip(graph, cache_path):
+    loaded = TuningCache.load(cache_path)
+    entry = loaded.lookup(fingerprint_graph(graph))
+    assert entry is not None
+    assert entry.policy == "lazy:0.25"
+    assert entry.fingerprint.name == "aniso2"
+    assert entry.modeled_bytes["adaptive"] == 120
+    assert json.loads(cache_path.read_text())["schema"] == TUNING_SCHEMA
+
+
+def test_strict_load_rejects_bad_json(tmp_path):
+    path = tmp_path / "tuning.json"
+    path.write_text("{not json")
+    with pytest.raises(ConfigError):
+        TuningCache.load(path)
+
+
+def test_strict_load_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "tuning.json"
+    path.write_text(json.dumps({"schema": "repro.tune/tuning/v0", "entries": {}}))
+    with pytest.raises(ConfigError):
+        TuningCache.load(path)
+
+
+def test_strict_load_rejects_malformed_entries(tmp_path):
+    path = tmp_path / "tuning.json"
+    path.write_text(json.dumps({"schema": TUNING_SCHEMA, "entries": {"k": {"policy": "x"}}}))
+    with pytest.raises(ConfigError):
+        TuningCache.load(path)
+
+
+def test_default_cache_path_honors_the_env(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_TUNING_CACHE", raising=False)
+    assert default_cache_path().name == "tuning.json"
+    monkeypatch.setenv("REPRO_TUNING_CACHE", str(tmp_path / "other.json"))
+    assert default_cache_path() == tmp_path / "other.json"
+
+
+# -- the tolerant consult path: every miss degrades, none raises -----------
+
+
+def test_auto_hit_resolves_the_stored_policy(graph, cache_path):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a hit must not warn
+        policy = auto_policy(graph, path=cache_path)
+    assert isinstance(policy, LazyCompaction)
+    assert policy.threshold == 0.25
+
+
+def test_auto_without_a_graph_falls_back(cache_path):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _assert_falls_back(auto_policy(None, path=cache_path), caught)
+
+
+def test_auto_with_missing_cache_falls_back(graph, tmp_path):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _assert_falls_back(auto_policy(graph, path=tmp_path / "absent.json"), caught)
+
+
+def test_auto_with_corrupt_cache_falls_back(graph, tmp_path):
+    path = tmp_path / "tuning.json"
+    path.write_text("{definitely not json")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _assert_falls_back(auto_policy(graph, path=path), caught)
+
+
+def test_auto_with_old_schema_falls_back(graph, tmp_path):
+    path = tmp_path / "tuning.json"
+    path.write_text(json.dumps({"schema": "repro.tune/tuning/v0", "entries": {}}))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _assert_falls_back(auto_policy(graph, path=path), caught)
+
+
+def test_auto_fingerprint_miss_falls_back(cache_path):
+    other = prepare_graph(aniso2(20))  # different scale, different fingerprint
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _assert_falls_back(auto_policy(other, path=cache_path), caught)
+
+
+def _cache_with_policy(graph, tmp_path, spec):
+    cache = TuningCache()
+    cache.record(TuningEntry(policy=spec, fingerprint=fingerprint_graph(graph)))
+    path = tmp_path / "tuning.json"
+    cache.save(path)
+    return path
+
+
+def test_auto_recursive_spec_falls_back(graph, tmp_path):
+    path = _cache_with_policy(graph, tmp_path, "auto")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _assert_falls_back(auto_policy(graph, path=path), caught)
+
+
+def test_auto_bad_stored_spec_falls_back(graph, tmp_path):
+    path = _cache_with_policy(graph, tmp_path, "warp:9000")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _assert_falls_back(auto_policy(graph, path=path), caught)
+
+
+def test_resolve_compaction_auto_uses_the_env_cache(graph, cache_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TUNING_CACHE", str(cache_path))
+    policy = resolve_compaction("auto", graph=graph)
+    assert isinstance(policy, LazyCompaction)
+
+
+def test_resolve_compaction_auto_rejects_arguments(graph):
+    with pytest.raises(ConfigError):
+        resolve_compaction("auto:0.5", graph=graph)
+
+
+def test_auto_bumps_the_hit_and_miss_counters(graph, cache_path, tmp_path):
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        auto_policy(graph, path=cache_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", TuningWarning)
+            auto_policy(graph, path=tmp_path / "absent.json")
+    assert registry.counter("tune.auto.hit").value == 1
+    assert registry.counter("tune.auto.miss").value == 1

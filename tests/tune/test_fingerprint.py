@@ -1,0 +1,87 @@
+"""Graph fingerprints: determinism, sensitivity and (de)serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graphs import aniso1, aniso2, aniso3
+from repro.sparse import from_dense, from_edges, prepare_graph
+from repro.tune import (
+    FINGERPRINT_VERSION,
+    GraphFingerprint,
+    degree_histogram,
+    fingerprint_graph,
+    matrix_digest,
+)
+
+
+def _graph(builder=aniso2, n=16):
+    return prepare_graph(builder(n))
+
+
+def test_fingerprint_is_deterministic():
+    a = fingerprint_graph(_graph())
+    b = fingerprint_graph(_graph())
+    assert a == b
+    assert a.key == b.key
+
+
+def test_fingerprint_changes_with_scale():
+    assert fingerprint_graph(_graph(n=16)).key != fingerprint_graph(_graph(n=24)).key
+
+
+def test_same_stencil_different_weights_do_not_collide():
+    # aniso1/2/3 share n, nnz and the degree histogram; only the weights
+    # differ.  The content digest must keep their cache entries apart —
+    # the exact collision that silently dropped tuning wins before.
+    fps = [fingerprint_graph(_graph(b)) for b in (aniso1, aniso2, aniso3)]
+    assert fps[0].n == fps[1].n == fps[2].n
+    assert fps[0].degree_histogram == fps[1].degree_histogram == fps[2].degree_histogram
+    assert len({fp.key for fp in fps}) == 3
+
+
+def test_key_format_carries_the_version():
+    fp = fingerprint_graph(_graph(), name="aniso2")
+    assert fp.key.startswith(f"v{FINGERPRINT_VERSION}:n={fp.n}:nnz={fp.nnz}:deg=")
+    assert f":w={fp.digest}" in fp.key
+    # the name is reporting-only: same matrix, same key, whatever the label
+    assert fp.key == fingerprint_graph(_graph()).key
+
+
+def test_degree_histogram_buckets(path_graph):
+    # path 0-1-2-3-4: degrees 1,2,2,2,1 -> bucket 1 (deg 1) twice,
+    # bucket 2 (deg 2..3) three times; bucket 0 counts empty rows
+    assert degree_histogram(path_graph) == (0, 2, 3)
+
+
+def test_degree_histogram_counts_empty_rows():
+    g = from_edges(4, np.array([0]), np.array([1]), np.array([1.0]))
+    hist = degree_histogram(prepare_graph(g))
+    assert hist[0] == 2  # vertices 2 and 3 are isolated
+    assert sum(hist) == 4
+
+
+def test_digest_tracks_the_weights():
+    u, v = np.array([0, 1]), np.array([1, 2])
+    a = prepare_graph(from_edges(3, u, v, np.array([1.0, 2.0])))
+    b = prepare_graph(from_edges(3, u, v, np.array([1.0, 2.5])))
+    assert matrix_digest(a) != matrix_digest(b)
+    assert matrix_digest(a) == matrix_digest(
+        prepare_graph(from_edges(3, u, v, np.array([1.0, 2.0])))
+    )
+
+
+def test_dict_round_trip():
+    fp = fingerprint_graph(_graph(), name="aniso2")
+    assert GraphFingerprint.from_dict(fp.to_dict()) == fp
+
+
+def test_from_dict_rejects_malformed():
+    with pytest.raises(ConfigError):
+        GraphFingerprint.from_dict({"n": 4})
+
+
+def test_non_square_matrix_is_rejected():
+    rect = from_dense(np.ones((2, 3)))
+    with pytest.raises(ConfigError):
+        fingerprint_graph(rect)

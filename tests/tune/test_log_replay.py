@@ -1,0 +1,121 @@
+"""Decision-log harvesting, byte-parameter fitting and policy replay.
+
+The soundness claim under test: deadness is policy-independent, so a log
+recorded under one policy replays *any* policy's gather/dead-lane traffic
+exactly — pinned here by comparing replayed numbers against real engine runs
+of the replayed policies.
+"""
+
+import pytest
+
+from repro.core import parallel_factor
+from repro.core.factor import ParallelFactorConfig
+from repro.core.proposer import DEAD_ELEMENT_BYTES, GATHER_ELEMENT_BYTES
+from repro.core.scan import (
+    AddOperator,
+    BidirectionalScan,
+    CAND_DEAD_BYTES,
+    CAND_GATHER_BYTES,
+)
+from repro.device import Device
+from repro.errors import ConfigError
+from repro.graphs import aniso2
+from repro.sparse import prepare_graph
+from repro.tune import (
+    DecisionLog,
+    harvest_factor_log,
+    harvest_kernel_notes,
+    harvest_scan_log,
+    replay,
+)
+
+POLICIES = ("eager", "never", "lazy:0.5", "adaptive")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return prepare_graph(aniso2(24))
+
+
+def _actual_gathers(result):
+    compacting = [d for d in result.compaction_decisions if d.compact]
+    return len(compacting), sum(d.gather_bytes for d in compacting)
+
+
+def test_factor_replay_matches_every_real_run(graph):
+    config = ParallelFactorConfig()
+    recorded = parallel_factor(graph, config, compaction="never")
+    log = harvest_factor_log(recorded, config)
+    for spec in POLICIES:
+        actual = parallel_factor(graph, config, compaction=spec)
+        n_compact, gather = _actual_gathers(actual)
+        cost = replay(log, spec)
+        assert cost.compactions == n_compact, spec
+        assert cost.gather_bytes == gather, spec
+
+
+def test_scan_replay_matches_every_real_run(graph):
+    factor = parallel_factor(graph, compaction="never").factor
+    rec_scan = BidirectionalScan(factor, compaction="never").run(AddOperator())
+    log = harvest_scan_log(rec_scan, graph.n_rows)
+    for spec in POLICIES:
+        actual = BidirectionalScan(factor, compaction=spec).run(AddOperator())
+        n_compact, gather = _actual_gathers(actual)
+        cost = replay(log, spec)
+        assert cost.compactions == n_compact, spec
+        assert cost.gather_bytes == gather, spec
+
+
+def test_fit_recovers_the_proposition_engine_constants(graph):
+    log = harvest_factor_log(parallel_factor(graph, compaction="never"))
+    assert log.engine == "proposition"
+    assert log.fitted
+    assert log.gather_element_bytes == pytest.approx(GATHER_ELEMENT_BYTES)
+    assert log.dead_element_bytes == pytest.approx(DEAD_ELEMENT_BYTES)
+
+
+def test_fit_recovers_the_scan_engine_constants(graph):
+    factor = parallel_factor(graph, compaction="never").factor
+    result = BidirectionalScan(factor, compaction="never").run(AddOperator())
+    log = harvest_scan_log(result, graph.n_rows)
+    assert log.engine == "scan"
+    assert log.total == 2 * graph.n_rows
+    assert log.fitted
+    assert log.gather_element_bytes == pytest.approx(CAND_GATHER_BYTES)
+    assert log.dead_element_bytes == pytest.approx(CAND_DEAD_BYTES)
+
+
+def test_replay_never_gathers_nothing(graph):
+    log = harvest_factor_log(parallel_factor(graph, compaction="never"))
+    cost = replay(log, "never")
+    assert cost.compactions == 0
+    assert cost.gather_bytes == 0
+    assert cost.dead_lane_bytes > 0  # the carried dead lanes are the price
+
+
+def test_replay_consults_only_on_retirement_rounds(graph):
+    log = harvest_factor_log(parallel_factor(graph, compaction="never"))
+    drops = sum(1 for a, b in zip(log.live, log.live[1:]) if b < a)
+    assert replay(log, "eager").consults == drops
+
+
+def test_kernel_notes_mirror_the_decisions(graph):
+    device = Device()
+    result = parallel_factor(graph, device=device, compaction="eager")
+    notes = harvest_kernel_notes(device)
+    assert len(notes) == len(result.compaction_decisions)
+    assert all(note["compaction"] in ("compact", "skip") for note in notes)
+    assert all(note["compaction_policy"] == "eager" for note in notes)
+
+
+def test_replay_rejects_unknown_engines():
+    log = DecisionLog(
+        engine="warp",
+        total=8,
+        live=(8, 4),
+        max_rounds=2,
+        gather_element_bytes=1.0,
+        dead_element_bytes=1.0,
+    )
+    with pytest.raises(ConfigError):
+        replay(log, "eager")

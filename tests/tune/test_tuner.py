@@ -1,0 +1,88 @@
+"""The record → replay → verify-by-measurement tuning loop."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graphs import aniso2
+from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
+from repro.sparse import prepare_graph
+from repro.tune import (
+    DEFAULT_CANDIDATES,
+    TUNING_SCHEMA,
+    TuningCache,
+    fingerprint_graph,
+    tune_graph,
+    tune_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def tuning():
+    return tune_graph(prepare_graph(aniso2(24)), name="aniso2")
+
+
+def test_recommendation_is_a_candidate(tuning):
+    assert tuning.recommended in DEFAULT_CANDIDATES
+    assert set(tuning.modeled_bytes) == set(DEFAULT_CANDIDATES)
+
+
+def test_winner_dominates_static_adaptive(tuning):
+    # the guarantee the budget gate relies on: never worse than adaptive
+    # on either measured axis, whatever the modeled ranking said
+    baseline = tuning.measured_bytes["adaptive"]
+    winner = tuning.measured_bytes[tuning.recommended]
+    assert winner["bytes"] <= baseline["bytes"]
+    assert winner["gather_bytes"] <= baseline["gather_bytes"]
+
+
+def test_adaptive_is_always_verified(tuning):
+    assert "adaptive" in tuning.measured_bytes
+
+
+def test_entry_carries_the_fingerprint(tuning):
+    entry = tuning.entry
+    assert entry.policy == tuning.recommended
+    assert entry.fingerprint == fingerprint_graph(prepare_graph(aniso2(24)), name="aniso2")
+
+
+def test_tune_graph_requires_candidates():
+    with pytest.raises(ConfigError):
+        tune_graph(prepare_graph(aniso2(8)), candidates=())
+
+
+def test_tune_suite_writes_a_versioned_cache(tmp_path):
+    path = tmp_path / "tuning.json"
+    cache, tunings = tune_suite(["slow_frontier"], scale=0.5, path=path)
+    assert [t.name for t in tunings] == ["slow_frontier"]
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == TUNING_SCHEMA
+    assert payload["scale"] == 0.5
+    assert len(payload["entries"]) == 1
+    # and the strict loader accepts its own output
+    assert TuningCache.load(path).entries.keys() == cache.entries.keys()
+
+
+def test_tune_suite_rejects_unknown_workloads():
+    with pytest.raises(ConfigError):
+        tune_suite(["not_a_workload"])
+
+
+def test_tuning_emits_spans_and_metrics(tmp_path):
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        tune_suite(["slow_frontier"], scale=0.5)
+    suite_spans = tracer.find(name_prefix="tune-suite")
+    workload_spans = tracer.find(name_prefix="tune-workload")
+    assert len(suite_spans) == 1
+    assert len(workload_spans) == 1
+    assert workload_spans[0].attributes["workload"] == "slow_frontier"
+    assert "recommended" in workload_spans[0].attributes
+    assert registry.counter("tune.workloads").value == 1
+    recommended = [
+        n for n in registry.counters if n.startswith("tune.recommended.")
+    ]
+    assert len(recommended) == 1
+    assert registry.histogram("tune.saved_bytes").count == 1
