@@ -1,0 +1,148 @@
+"""Regression gate on the batch engine's launch-count collapse.
+
+The batched many-graph engine exists for exactly one number: the kernel
+launches spent per graph.  A batch of 16 graphs packs them block-diagonally
+(:mod:`repro.batch`) and runs Algorithms 1–3 plus the bidirectional scans as
+one set of launches, so its total must collapse far below 16 solo pipelines.
+This gate pins
+
+1. **bit-identity first** — every member of the batch reproduces its solo
+   run exactly (factor neighbors, path ids and positions, permutation,
+   tridiagonal bands); the launch collapse is only a win if the results are
+   the same;
+2. **the acceptance line** — the batch of 16 completes with < 25% of the
+   total kernel launches of the 16 solo runs;
+3. **the budget** — batch/solo launches (exact) and bytes (small tolerance)
+   against ``batch_budget.json``.
+
+Regenerate deliberately with ``REPRO_UPDATE_BUDGET=batch`` (or ``=1`` for
+all budgets) after an intentional cost change, and commit the refreshed JSON
+together with that change.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.batch import extract_linear_forest_batch
+from repro.core import extract_linear_forest
+from repro.device import Device
+from repro.graphs import build_matrix, random_weighted_graph, small_suite
+
+from .conftest import bench_scale, emit, refresh_budget
+
+pytestmark = pytest.mark.budget
+
+BUDGET_PATH = Path(__file__).parent / "batch_budget.json"
+
+#: The gate's acceptance line: a batch of 16 must spend less than this
+#: fraction of 16 solo pipelines' launches.
+LAUNCH_RATIO_LIMIT = 0.25
+
+# Launches are exact (integer, deterministic); bytes get a small headroom so
+# an unrelated accounting tweak does not flake.
+BYTES_TOLERANCE = 1.02
+
+BATCH_SIZE = 16
+
+
+def _workload():
+    """16 deterministic members: the representative suite + random graphs."""
+    members = [build_matrix(name, scale=0.25) for name in small_suite()]
+    rng = np.random.default_rng(2022)
+    while len(members) < BATCH_SIZE:
+        n = int(rng.integers(60, 400))
+        members.append(random_weighted_graph(n, 4 * n, rng))
+    return members[:BATCH_SIZE]
+
+
+def test_batch_budget(results_dir):
+    if bench_scale() != 1.0:
+        pytest.skip("budget is recorded at REPRO_BENCH_SCALE=1.0")
+
+    members = _workload()
+    assert len(members) == BATCH_SIZE
+
+    dev_batch = Device()
+    batch = extract_linear_forest_batch(members, device=dev_batch)
+
+    solo_launches = 0
+    solo_bytes = 0
+    solos = []
+    for a in members:
+        dev = Device()
+        solos.append(extract_linear_forest(a, device=dev))
+        solo_launches += dev.launch_count
+        solo_bytes += dev.total_bytes("")
+
+    # 1. bit-identity first: the collapse only counts between equal results
+    for i, solo in enumerate(solos):
+        m = batch.members[i]
+        assert np.array_equal(
+            m.factor_result.factor.neighbors, solo.factor_result.factor.neighbors
+        ), f"member {i} factor"
+        assert np.array_equal(m.paths.path_id, solo.paths.path_id), f"member {i} path ids"
+        assert np.array_equal(m.paths.position, solo.paths.position), f"member {i} positions"
+        assert np.array_equal(m.perm, solo.perm), f"member {i} permutation"
+        assert np.array_equal(m.tridiagonal.dl, solo.tridiagonal.dl), f"member {i} dl"
+        assert np.array_equal(m.tridiagonal.d, solo.tridiagonal.d), f"member {i} d"
+        assert np.array_equal(m.tridiagonal.du, solo.tridiagonal.du), f"member {i} du"
+
+    measured = {
+        "batch": {
+            "launches": dev_batch.launch_count,
+            "bytes": dev_batch.total_bytes(""),
+        },
+        "solo": {"launches": solo_launches, "bytes": solo_bytes},
+    }
+    ratio = measured["batch"]["launches"] / measured["solo"]["launches"]
+
+    # 2. the acceptance line of the batch engine
+    assert ratio < LAUNCH_RATIO_LIMIT, (
+        f"batch of {BATCH_SIZE} spent {measured['batch']['launches']} launches "
+        f"vs {measured['solo']['launches']} solo "
+        f"({100 * ratio:.1f}% >= {100 * LAUNCH_RATIO_LIMIT:.0f}%)"
+    )
+
+    refresh_budget(BUDGET_PATH, "batch", measured)
+    budget = json.loads(BUDGET_PATH.read_text())["budgets"]
+
+    headers = ["run", "launches", "budget", "MB", "budget MB", "ok"]
+    rows = []
+    failures = []
+    for name, m in measured.items():
+        b = budget.get(name)
+        if b is None:
+            rows.append([name, m["launches"], None, m["bytes"] / 1e6, None, True])
+            continue
+        ok = (
+            m["launches"] <= b["launches"]
+            and m["bytes"] <= b["bytes"] * BYTES_TOLERANCE
+        )
+        rows.append([
+            name, m["launches"], b["launches"],
+            m["bytes"] / 1e6, b["bytes"] / 1e6, ok,
+        ])
+        if not ok:
+            failures.append((name, m, b))
+
+    emit(
+        results_dir,
+        "batch_budget",
+        render_table(
+            headers,
+            rows,
+            title=(
+                f"Batch-of-{BATCH_SIZE} launch budget "
+                f"(batch/solo ratio {100 * ratio:.1f}%)"
+            ),
+        ),
+    )
+    assert not failures, (
+        "batch-engine cost regressed beyond the stored budget "
+        f"({BUDGET_PATH.name}): {failures}; if intentional, regenerate with "
+        "REPRO_UPDATE_BUDGET=batch and commit the refreshed budget"
+    )

@@ -46,7 +46,8 @@ Subpackages
     fitting, the versioned ``tuning.json`` cache behind ``--compaction auto``.
 """
 
-from . import analysis, apps, core, device, graphs, obs, solvers, sort, sparse, tune
+from . import analysis, apps, batch, core, device, graphs, obs, solvers, sort, sparse, tune
+from .batch import BatchResult, extract_linear_forest_batch
 from .core import (
     Factor,
     LinearForestResult,
@@ -77,6 +78,7 @@ from .sparse import CSRMatrix, from_dense, from_edges, prepare_graph
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchResult",
     "CSRMatrix",
     "ConvergenceError",
     "Factor",
@@ -93,11 +95,13 @@ __all__ = [
     "TridiagonalSystem",
     "analysis",
     "apps",
+    "batch",
     "break_cycles",
     "core",
     "coverage",
     "device",
     "extract_linear_forest",
+    "extract_linear_forest_batch",
     "forest_permutation",
     "from_dense",
     "from_edges",

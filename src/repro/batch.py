@@ -1,0 +1,331 @@
+"""Batched many-graph linear-forest extraction.
+
+The paper's central performance claim is that extraction cost is dominated
+by *kernel-launch count*, not arithmetic — and on production traffic of many
+small/medium graphs the per-problem launch overhead becomes the whole bill.
+This module amortizes it: N member graphs are packed block-diagonally into
+one super-graph (:func:`repro.sparse.block_diag`) and the entire pipeline —
+Algorithm 2's proposition rounds, the bidirectional scans of Algorithm 3,
+cycle breaking, permutation and coefficient extraction — runs as *one* set
+of kernel launches over the pack.  A batch of N graphs therefore costs one
+pipeline's launches (≈ 3·M factor launches + ⌈log₂ ΣNᵢ⌉ scan steps + 1
+extraction launch) instead of N pipelines'.
+
+Why this is safe (the full argument lives in ``docs/ALGORITHMS.md``): the
+pack has no edges between members, every per-row kernel is member-local, and
+the scan's path/component ids are vertex ids — globally unique across the
+pack — so no kernel can ever confuse two members.  Two seams are *not*
+member-local and are handled explicitly here:
+
+* **preparation** — symmetry is a global property of a matrix, so an
+  asymmetric member would trigger symmetrization of the *whole* pack and
+  double the symmetric members.  Each member is prepared solo and the
+  prepared graphs are packed (``prepared_graph=`` on the pipeline).
+* **charges** — the charge hash consumes raw vertex ids as entropy; packed
+  ids are shifted, so the batch feeds member-local ids (``charge_ids=``)
+  and every vertex draws exactly the charge sequence it would draw alone.
+
+The splitter then slices the packed results back into per-member
+:class:`~repro.core.pipeline.LinearForestResult`\\ s whose factor neighbors,
+path ids/positions, permutation and tridiagonal bands are **bit-identical**
+to solo runs (property-tested in ``tests/properties/test_batch_properties.py``
+and gated at batch size 16 by ``benchmarks/test_batch_budget.py``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ._validation import INDEX_DTYPE
+from .core.coverage import coverage as coverage_of
+from .core.cycles import BrokenCycles
+from .core.extraction import TridiagonalSystem
+from .core.factor import ParallelFactorConfig, ParallelFactorResult
+from .core.frontier import (
+    AdaptiveCompaction,
+    CompactionPolicy,
+    resolve_compaction,
+    wants_auto,
+)
+from .core.paths import PathInfo
+from .core.pipeline import LinearForestResult, extract_linear_forest
+from .core.structures import NO_PARTNER, Factor
+from .device.device import Device
+from .errors import ConfigError, ShapeError
+from .obs import current_metrics, trace_span
+from .sparse.block_diag import block_diag, split_ranges
+from .sparse.build import prepare_graph
+from .sparse.csr import CSRMatrix
+
+__all__ = ["BatchResult", "extract_linear_forest_batch", "split_packed_result"]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of :func:`extract_linear_forest_batch`.
+
+    ``members[i]`` is the per-graph result, bit-identical to a solo
+    :func:`~repro.core.pipeline.extract_linear_forest` run of ``graphs[i]``
+    in its factor neighbors, path ids/positions, permutation and tridiagonal
+    bands.  Run *metadata* on the member results (iteration counts,
+    proposal/frontier histories, timings) is batch-global: the batch executes
+    one pipeline, so there is no per-member launch history to report —
+    consult ``packed`` for the real accounting.
+    """
+
+    members: tuple[LinearForestResult, ...]
+    packed: LinearForestResult
+    offsets: np.ndarray
+    policy_name: str
+
+    @property
+    def n_members(self) -> int:
+        return len(self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __getitem__(self, i: int) -> LinearForestResult:
+        return self.members[i]
+
+    @property
+    def coverages(self) -> np.ndarray:
+        """Per-member coverage c_π, aligned with the input order."""
+        return np.array([m.coverage for m in self.members])
+
+
+def _validate_members(graphs) -> list[CSRMatrix]:
+    graphs = list(graphs)
+    if not graphs:
+        raise ConfigError("extract_linear_forest_batch requires at least one graph")
+    for i, a in enumerate(graphs):
+        if not isinstance(a, CSRMatrix):
+            raise ConfigError(
+                f"batch member {i} is {type(a).__name__}, expected CSRMatrix"
+            )
+        if a.n_rows != a.n_cols:
+            raise ConfigError(f"batch member {i} is not square: shape {a.shape}")
+    dtypes = sorted({a.dtype.name for a in graphs})
+    if len(dtypes) > 1:
+        by_dtype = {
+            d: next(i for i, a in enumerate(graphs) if a.dtype.name == d)
+            for d in dtypes
+        }
+        where = ", ".join(f"member {i} is {d}" for d, i in by_dtype.items())
+        raise ConfigError(
+            f"batch members mix value dtypes {dtypes} ({where}); packing would "
+            "silently promote the lower precision — cast all members to one "
+            "precision with CSRMatrix.astype before batching"
+        )
+    return graphs
+
+
+def _resolve_batch_policy(compaction, prepared: list[CSRMatrix]) -> CompactionPolicy:
+    """One concrete policy for the whole batch.
+
+    ``"auto"`` is resolved *per member* (each member's fingerprint is looked
+    up in the tuning cache exactly as a solo run would) and the batch adopts
+    the policy with a unique plurality of votes; any tie degrades to
+    :class:`~repro.core.frontier.AdaptiveCompaction` — the same safe default
+    the auto path itself falls back to.
+    """
+    if not wants_auto(compaction):
+        return resolve_compaction(compaction)
+    votes = []
+    for i, graph in enumerate(prepared):
+        with trace_span(
+            "batch-auto-resolve",
+            category="stage",
+            graph_index=i,
+            n_vertices=graph.n_rows,
+        ) as span:
+            policy = resolve_compaction("auto", graph=graph)
+            if span is not None:
+                span.attributes["policy"] = policy.name
+            votes.append(policy)
+    counts = _Counter(p.name for p in votes)
+    top = max(counts.values())
+    winners = [name for name, c in counts.items() if c == top]
+    if len(winners) == 1:
+        return next(p for p in votes if p.name == winners[0])
+    return AdaptiveCompaction()
+
+
+def _split_factor(neighbors: np.ndarray, lo: int, hi: int) -> Factor:
+    member = neighbors[lo:hi].copy()
+    valid = member != NO_PARTNER
+    member[valid] -= lo
+    return Factor(member)
+
+
+def split_packed_result(
+    packed: LinearForestResult,
+    offsets: np.ndarray,
+    originals: "list[CSRMatrix]",
+    prepared: "list[CSRMatrix]",
+) -> tuple[LinearForestResult, ...]:
+    """Slice a packed pipeline result back into per-member results.
+
+    Member ``i`` owns super-vertices ``[offsets[i], offsets[i+1])``.  Every
+    id-valued array (factor neighbors, path ids, permutation, removed cycle
+    edges) is sliced and shifted down by ``offsets[i]``; the tridiagonal
+    bands slice directly because the permutation keeps each member's block
+    contiguous (path ids are vertex ids, so member ``i``'s sort keys all
+    precede member ``i+1``'s — the namespacing argument of
+    ``docs/ALGORITHMS.md``).
+    """
+    results = []
+    fr = packed.factor_result
+    for i, (lo, hi) in enumerate(split_ranges(offsets)):
+        n_i = hi - lo
+        perm_slice = packed.perm[lo:hi]
+        if perm_slice.size and not (
+            int(perm_slice.min()) >= lo and int(perm_slice.max()) < hi
+        ):
+            raise ShapeError(
+                f"packed permutation is not block-contiguous for member {i}; "
+                "the offset table does not match the packed result"
+            )
+        member_factor = _split_factor(fr.factor.neighbors, lo, hi)
+        member_forest = _split_factor(packed.broken.forest.neighbors, lo, hi)
+        in_member = (packed.broken.removed_u >= lo) & (packed.broken.removed_u < hi)
+        broken = BrokenCycles(
+            forest=member_forest,
+            removed_u=packed.broken.removed_u[in_member] - lo,
+            removed_v=packed.broken.removed_v[in_member] - lo,
+            cycle_mask=packed.broken.cycle_mask[lo:hi].copy(),
+        )
+        paths = PathInfo(
+            path_id=packed.paths.path_id[lo:hi] - lo,
+            position=packed.paths.position[lo:hi].copy(),
+        )
+        perm = (perm_slice - lo).astype(INDEX_DTYPE)
+        tri = TridiagonalSystem(
+            dl=packed.tridiagonal.dl[lo:hi].copy(),
+            d=packed.tridiagonal.d[lo:hi].copy(),
+            du=packed.tridiagonal.du[lo:hi].copy(),
+        )
+        with trace_span(
+            "batch-split-member",
+            category="stage",
+            graph_index=i,
+            n_vertices=n_i,
+        ) as span:
+            cov = coverage_of(originals[i], member_forest)
+            if span is not None:
+                span.attributes.update(
+                    coverage=cov,
+                    n_paths=paths.n_paths,
+                    n_cycles=broken.n_cycles,
+                )
+        member_fr = ParallelFactorResult(
+            factor=member_factor,
+            iterations=fr.iterations,
+            m_max=fr.m_max,
+            converged=fr.converged,
+            proposals_per_iteration=list(fr.proposals_per_iteration),
+            frontier_history=list(fr.frontier_history),
+        )
+        results.append(
+            LinearForestResult(
+                graph=prepared[i],
+                factor_result=member_fr,
+                broken=broken,
+                paths=paths,
+                perm=perm,
+                tridiagonal=tri,
+                coverage=cov,
+                timings=packed.timings,
+            )
+        )
+    return tuple(results)
+
+
+def extract_linear_forest_batch(
+    graphs,
+    config: ParallelFactorConfig | None = None,
+    *,
+    device: Device | None = None,
+    merged_scan: bool = True,
+    compaction=None,
+) -> BatchResult:
+    """Run the full pipeline once over a batch of input matrices.
+
+    ``graphs`` is a sequence of square :class:`~repro.sparse.CSRMatrix`
+    members sharing one value dtype (mixed float32/float64 batches are
+    rejected with :class:`~repro.errors.ConfigError` — packing would
+    silently promote the float32 members).  ``config``, ``merged_scan`` and
+    ``compaction`` mean exactly what they mean on
+    :func:`~repro.core.pipeline.extract_linear_forest`; ``"auto"``
+    compaction is resolved per member and settled by plurality vote
+    (ties degrade to adaptive).
+
+    Returns a :class:`BatchResult` whose ``members[i]`` is bit-identical to
+    the solo run of ``graphs[i]`` in every result array; the whole batch
+    costs one pipeline's kernel launches instead of N.
+    """
+    originals = _validate_members(graphs)
+    n_members = len(originals)
+
+    with trace_span(
+        "extract-linear-forest-batch",
+        category="run",
+        n_members=n_members,
+        n_vertices=sum(a.n_rows for a in originals),
+        dtype=str(originals[0].data.dtype),
+    ) as root:
+        prepared = []
+        for i, a in enumerate(originals):
+            with trace_span(
+                "batch-prepare-member",
+                category="stage",
+                graph_index=i,
+                n_vertices=a.n_rows,
+                nnz=a.nnz,
+            ):
+                prepared.append(prepare_graph(a))
+
+        packed_a, offsets = block_diag(originals)
+        packed_prepared, _ = block_diag(prepared)
+        charge_ids = np.concatenate(
+            [np.arange(a.n_rows, dtype=np.uint32) for a in originals]
+        )
+        policy = _resolve_batch_policy(compaction, prepared)
+        if root is not None:
+            root.attributes["compaction"] = policy.name
+
+        packed = extract_linear_forest(
+            packed_a,
+            config,
+            device=device,
+            merged_scan=merged_scan,
+            compaction=policy,
+            prepared_graph=packed_prepared,
+            charge_ids=charge_ids,
+        )
+        members = split_packed_result(packed, offsets, originals, prepared)
+
+        metrics = current_metrics()
+        if metrics is not None:
+            metrics.counter("batch.runs").inc()
+            metrics.counter("batch.members").inc(n_members)
+            for m in members:
+                metrics.histogram("batch.member_coverage").observe(m.coverage)
+        if root is not None:
+            root.attributes.update(
+                coverage_mean=float(np.mean([m.coverage for m in members])),
+                n_cycles=packed.broken.n_cycles,
+            )
+
+    return BatchResult(
+        members=members,
+        packed=packed,
+        offsets=offsets,
+        policy_name=policy.name,
+    )

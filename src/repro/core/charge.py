@@ -66,16 +66,31 @@ def vertex_charges(
     *,
     p: float = 0.5,
     seed: int = 0,
+    ids: np.ndarray | None = None,
 ) -> np.ndarray:
     """Charges for all vertices at iteration ``k``.
 
     Returns a boolean array, ``True`` = positive(+).  ``p`` is the positive
     probability; the paper uses ``p = 0.5`` (the rounded optimum from Auer &
     Bisseling's matching study).
+
+    ``ids`` overrides the hashed vertex identity (default
+    ``arange(n_vertices)``).  The batch engine passes each member graph's
+    *local* ids here so that a vertex packed into a block-diagonal
+    super-graph draws exactly the charge sequence it would draw solo —
+    charges are the only place the pipeline consumes raw vertex ids as
+    entropy rather than as structure.
     """
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"p must be in [0, 1], got {p}")
-    ids = np.arange(n_vertices, dtype=np.uint32)
+    if ids is None:
+        ids = np.arange(n_vertices, dtype=np.uint32)
+    else:
+        ids = np.asarray(ids, dtype=np.uint32)
+        if ids.shape != (n_vertices,):
+            raise ValueError(
+                f"ids must have shape ({n_vertices},), got {ids.shape}"
+            )
     h = charge_hash(ids, k, seed)
     threshold = np.uint64(int(p * float(2**32)))
     return h.astype(np.uint64) < threshold

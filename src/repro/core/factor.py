@@ -203,6 +203,7 @@ def parallel_factor(
     device: Device | None = None,
     coverage_matrix: CSRMatrix | None = None,
     compaction=None,
+    charge_ids: np.ndarray | None = None,
 ) -> ParallelFactorResult:
     """Run Algorithm 2 on a prepared graph.
 
@@ -228,6 +229,11 @@ def parallel_factor(
         graph's fingerprint), or ``None`` to honour ``REPRO_COMPACTION``
         (default eager).  The factor is bit-identical under every policy;
         only traffic differs.
+    charge_ids:
+        Identity array fed to the charge hash instead of the global vertex
+        ids (see :func:`repro.core.charge.vertex_charges`).  The batch
+        engine passes member-local ids so a packed graph charges exactly
+        like its members would solo.
     """
     config = config or ParallelFactorConfig()
     device = device or default_device()
@@ -298,7 +304,8 @@ def parallel_factor(
                 if charging:
                     with device.launch(f"charge[k={k}]", writes=()):
                         charges = vertex_charges(
-                            n_vertices, k, p=config.p, seed=config.seed
+                            n_vertices, k, p=config.p, seed=config.seed,
+                            ids=charge_ids,
                         )
 
                 with device.launch(f"propose[k={k}]") as kl:

@@ -256,15 +256,27 @@ def resolve_compaction(
     themselves.  A missing graph, a missing/corrupt cache or a fingerprint
     miss all degrade to :class:`AdaptiveCompaction` with a
     :class:`~repro.tune.TuningWarning`; the ``"auto"`` path never raises.
+
+    Every :class:`~repro.errors.ConfigError` raised here names where the bad
+    spec came from — the ``REPRO_COMPACTION`` environment variable or an
+    explicit ``compaction=`` spec — because the resolution happens deep
+    inside the engines, far from whoever set the value.
     """
+    source = "explicit compaction= spec"
     if spec is None:
-        spec = os.environ.get(ENV_VAR, "").strip() or "eager"
+        env = os.environ.get(ENV_VAR, "").strip()
+        spec = env or "eager"
+        if env:
+            source = f"{ENV_VAR} environment variable"
     if isinstance(spec, str):
         base, _, arg = spec.partition(":")
         base = base.strip().lower()
         if base == "auto":
             if arg:
-                raise ConfigError(f"compaction policy 'auto' takes no argument, got {spec!r}")
+                raise ConfigError(
+                    f"compaction policy 'auto' takes no argument, got {spec!r} "
+                    f"(from {source})"
+                )
             # deferred import: repro.tune imports this module at load time
             from ..tune import auto_policy
 
@@ -276,23 +288,30 @@ def resolve_compaction(
         elif base == "lazy":
             try:
                 policy = LazyCompaction(float(arg)) if arg else LazyCompaction()
-            except ValueError as exc:
+            except (ValueError, ConfigError) as exc:
+                detail = f": {exc}" if isinstance(exc, ConfigError) else ""
                 raise ConfigError(
-                    f"bad lazy compaction threshold {arg!r} in spec {spec!r}"
+                    f"bad lazy compaction threshold {arg!r} in spec {spec!r} "
+                    f"(from {source}){detail}"
                 ) from exc
         elif base == "adaptive":
             policy = AdaptiveCompaction()
         else:
             raise ConfigError(
-                f"unknown compaction policy {spec!r}; expected one of "
-                f"{POLICY_NAMES} (lazy accepts lazy:<threshold>)"
+                f"unknown compaction policy {spec!r} (from {source}); expected "
+                f"one of {POLICY_NAMES} (lazy accepts lazy:<threshold>)"
             )
         if arg and base != "lazy":
-            raise ConfigError(f"compaction policy {base!r} takes no argument, got {spec!r}")
+            raise ConfigError(
+                f"compaction policy {base!r} takes no argument, got {spec!r} "
+                f"(from {source})"
+            )
         return policy
     if isinstance(spec, CompactionPolicy):
         return spec
-    raise ConfigError(f"cannot resolve a compaction policy from {spec!r}")
+    raise ConfigError(
+        f"cannot resolve a compaction policy from {spec!r} (from {source})"
+    )
 
 
 def record_decision(decision: CompactionDecision, *, engine: str, launch=None) -> None:

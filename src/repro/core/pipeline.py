@@ -84,6 +84,8 @@ def extract_linear_forest(
     device: Device | None = None,
     merged_scan: bool = True,
     compaction=None,
+    prepared_graph: CSRMatrix | None = None,
+    charge_ids: np.ndarray | None = None,
 ) -> LinearForestResult:
     """Run the complete pipeline of the paper on an input matrix ``A``.
 
@@ -105,6 +107,15 @@ def extract_linear_forest(
     ``"auto"`` fingerprints the prepared graph against the
     :mod:`repro.tune` cache and falls back to adaptive on any miss.  Results
     are bit-identical under every policy (see :mod:`repro.core.frontier`).
+
+    ``prepared_graph`` skips the internal :func:`prepare_graph` call and uses
+    the given adjacency directly; it must be the prepared form of ``a``
+    (symmetric, absolute off-diagonal values, empty diagonal).  The batch
+    engine prepares each member *before* packing — preparation is the one
+    step that is not member-local on a packed graph (symmetry is a global
+    property) — and passes the packed prepared graph here.  ``charge_ids``
+    overrides the vertex identities hashed by the charge kernel (see
+    :func:`repro.core.charge.vertex_charges`).
     """
     from .frontier import resolve_compaction
 
@@ -123,7 +134,7 @@ def extract_linear_forest(
         dtype=str(a.data.dtype),
     ) as root:
         with timings.phase(PHASE_FACTOR):
-            graph = prepare_graph(a)
+            graph = prepared_graph if prepared_graph is not None else prepare_graph(a)
             # resolve once the prepared graph exists: the "auto" spec
             # fingerprints it against the tuning cache, and every engine
             # below then shares the one concrete policy instance
@@ -131,7 +142,8 @@ def extract_linear_forest(
             if root is not None:
                 root.attributes["compaction"] = policy.name
             factor_result = parallel_factor(
-                graph, config, device=device, compaction=policy
+                graph, config, device=device, compaction=policy,
+                charge_ids=charge_ids,
             )
 
         with timings.phase(PHASE_SCANS):

@@ -19,6 +19,7 @@ subpackage provides:
 * :mod:`~repro.sparse.io` — Matrix Market I/O.
 """
 
+from .block_diag import block_diag, block_offsets, split_ranges
 from .build import (
     absolute_offdiag,
     add,
@@ -57,6 +58,8 @@ __all__ = [
     "Transversal",
     "absolute_offdiag",
     "add",
+    "block_diag",
+    "block_offsets",
     "from_dense",
     "from_edges",
     "generalized_spmv",
@@ -67,6 +70,7 @@ __all__ = [
     "segment_reduce",
     "segment_reduce_generic",
     "spgemm",
+    "split_ranges",
     "spmv",
     "symmetrize",
     "top_n_merge",

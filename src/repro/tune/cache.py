@@ -18,8 +18,10 @@ ambient).  Strict loading for tools that *want* the errors is
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import tempfile
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -132,11 +134,29 @@ class TuningCache:
         return cls.from_dict(doc)
 
     def save(self, path: "str | os.PathLike") -> None:
+        """Atomically (re)write the cache document at ``path``.
+
+        The document is staged in a temporary file in the same directory and
+        moved into place with :func:`os.replace`, so a crash mid-write (or a
+        concurrent ``repro tune``) can never leave a truncated
+        ``tuning.json`` behind for the strict :meth:`load` to reject —
+        readers see either the old document or the new one, never a partial
+        write.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
 
 
 def default_cache_path() -> Path:

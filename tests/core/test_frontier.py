@@ -151,6 +151,32 @@ class TestResolveCompaction:
         with pytest.raises(ConfigError):
             resolve_compaction(None)
 
+    def test_bad_env_var_error_names_the_environment_variable(self, monkeypatch):
+        # the resolution happens deep inside the engines: without the source
+        # in the message, a stray REPRO_COMPACTION=bogus is nearly
+        # undebuggable from the traceback alone
+        monkeypatch.setenv(ENV_VAR, "bogus")
+        with pytest.raises(ConfigError, match=ENV_VAR):
+            resolve_compaction(None)
+        monkeypatch.setenv(ENV_VAR, "lazy:nope")
+        with pytest.raises(ConfigError, match=ENV_VAR):
+            resolve_compaction(None)
+        monkeypatch.setenv(ENV_VAR, "auto:arg")
+        with pytest.raises(ConfigError, match=ENV_VAR):
+            resolve_compaction(None)
+        monkeypatch.setenv(ENV_VAR, "eager:5")
+        with pytest.raises(ConfigError, match=ENV_VAR):
+            resolve_compaction(None)
+
+    def test_bad_explicit_spec_error_names_the_spec_source(self, monkeypatch):
+        # an explicit spec must NOT be blamed on the environment, even when
+        # the environment also holds a (good or bad) value
+        monkeypatch.setenv(ENV_VAR, "bogus")
+        for bad in ("greedy", "lazy:x", "lazy:0", "eager:5", "auto:arg", 42):
+            with pytest.raises(ConfigError, match=r"explicit compaction= spec") as ei:
+                resolve_compaction(bad)
+            assert ENV_VAR not in str(ei.value)
+
 
 class TestRecordDecision:
     def decision(self, compact):

@@ -1,0 +1,137 @@
+"""Property tests: batching is invisible in the results.
+
+The batch engine (:mod:`repro.batch`) packs N member graphs block-diagonally
+and runs the pipeline once.  The contract held here: a batch of one is
+**bit-identical** to the solo pipeline, every member of a larger batch is
+bit-identical to its own solo run, and shuffling the member order only
+permutes the per-member results — it can never change any of them.  These
+are the properties that make the launch-count collapse of
+``benchmarks/test_batch_budget.py`` a pure optimisation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import extract_linear_forest_batch
+from repro.core import ParallelFactorConfig, extract_linear_forest
+from repro.errors import ConfigError
+from repro.graphs import aniso1, aniso2, random_weighted_graph
+from repro.sparse import from_edges
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+
+def random_member(seed: int, n_min: int = 4, n_max: int = 48):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(n_min, n_max + 1))
+    n_edges = int(rng.integers(n, 4 * n))
+    return random_weighted_graph(n, n_edges, rng)
+
+
+def assert_member_equal(member, solo, label=""):
+    """Bit-identity of every result array of one batch member vs its solo run."""
+    assert np.array_equal(
+        member.factor_result.factor.neighbors, solo.factor_result.factor.neighbors
+    ), f"factor neighbors {label}"
+    assert np.array_equal(member.forest.neighbors, solo.forest.neighbors), label
+    assert np.array_equal(member.paths.path_id, solo.paths.path_id), label
+    assert np.array_equal(member.paths.position, solo.paths.position), label
+    assert np.array_equal(member.perm, solo.perm), label
+    assert np.array_equal(member.tridiagonal.dl, solo.tridiagonal.dl), label
+    assert np.array_equal(member.tridiagonal.d, solo.tridiagonal.d), label
+    assert np.array_equal(member.tridiagonal.du, solo.tridiagonal.du), label
+    assert member.tridiagonal.value_dtype == solo.tridiagonal.value_dtype, label
+    assert np.array_equal(member.broken.removed_u, solo.broken.removed_u), label
+    assert np.array_equal(member.broken.removed_v, solo.broken.removed_v), label
+    assert np.array_equal(member.broken.cycle_mask, solo.broken.cycle_mask), label
+    assert member.coverage == solo.coverage, label
+    assert np.array_equal(member.graph.to_dense(), solo.graph.to_dense()), label
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@SETTINGS
+def test_batch_of_one_is_bit_identical_to_solo(seed):
+    a = random_member(seed)
+    solo = extract_linear_forest(a)
+    batch = extract_linear_forest_batch([a])
+    assert batch.n_members == 1
+    assert_member_equal(batch.members[0], solo)
+
+
+@given(seed=st.integers(0, 2**32 - 1), n_members=st.integers(2, 5))
+@SETTINGS
+def test_every_batch_member_matches_its_solo_run(seed, n_members):
+    members = [random_member(seed + i) for i in range(n_members)]
+    batch = extract_linear_forest_batch(members)
+    for i, a in enumerate(members):
+        assert_member_equal(batch.members[i], extract_linear_forest(a), f"member {i}")
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@SETTINGS
+def test_shuffling_member_order_only_permutes_results(seed):
+    rng = np.random.default_rng(seed)
+    members = [random_member(seed * 7 + i) for i in range(4)]
+    order = rng.permutation(4)
+    forward = extract_linear_forest_batch(members)
+    shuffled = extract_linear_forest_batch([members[i] for i in order])
+    for pos, i in enumerate(order):
+        assert_member_equal(
+            shuffled.members[pos], forward.members[int(i)], f"member {i}->{pos}"
+        )
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@SETTINGS
+def test_an_asymmetric_member_does_not_perturb_symmetric_members(seed):
+    # preparation is the one non-member-local step: symmetry is a global
+    # property, so preparing the *pack* would symmetrize (and double) the
+    # symmetric members whenever any member is asymmetric.  The engine
+    # prepares per member; this property pins that.
+    sym = random_member(seed)
+    rng = np.random.default_rng(seed + 1)
+    n = 12
+    u = rng.integers(0, n, 30)
+    v = rng.integers(0, n, 30)
+    keep = u != v
+    asym = from_edges(
+        n, u[keep], v[keep], rng.uniform(0.1, 1.0, int(keep.sum())), symmetric=False
+    )
+    batch = extract_linear_forest_batch([sym, asym])
+    assert_member_equal(batch.members[0], extract_linear_forest(sym), "symmetric")
+    assert_member_equal(batch.members[1], extract_linear_forest(asym), "asymmetric")
+
+
+def test_non_default_config_batches_bit_identically():
+    config = ParallelFactorConfig(n=2, max_iterations=7, m=3, k_m=1, p=0.3, seed=9)
+    members = [aniso2(7), random_member(123), aniso1(5)]
+    batch = extract_linear_forest_batch(members, config=config)
+    for i, a in enumerate(members):
+        assert_member_equal(
+            batch.members[i], extract_linear_forest(a, config), f"member {i}"
+        )
+
+
+def test_float32_members_batch_bit_identically():
+    members = [aniso2(6).astype(np.float32), random_member(5).astype(np.float32)]
+    batch = extract_linear_forest_batch(members)
+    for i, a in enumerate(members):
+        assert_member_equal(batch.members[i], extract_linear_forest(a), f"member {i}")
+
+
+def test_unmerged_scan_batches_bit_identically():
+    members = [random_member(42), random_member(43)]
+    batch = extract_linear_forest_batch(members, merged_scan=False)
+    for i, a in enumerate(members):
+        assert_member_equal(
+            batch.members[i],
+            extract_linear_forest(a, merged_scan=False),
+            f"member {i}",
+        )
+
+
+def test_mixed_dtype_batch_raises_config_error():
+    with pytest.raises(ConfigError, match="mix value dtypes"):
+        extract_linear_forest_batch([aniso2(4), aniso2(4).astype(np.float32)])

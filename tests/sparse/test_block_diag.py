@@ -1,0 +1,83 @@
+"""Unit tests for the block-diagonal CSR packer behind the batch engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.graphs import aniso2, random_weighted_graph
+from repro.sparse import CSRMatrix, block_diag, block_offsets, from_dense, split_ranges
+
+
+def dense(a):
+    return a.to_dense()
+
+
+class TestBlockDiag:
+    def test_two_members_pack_block_diagonally(self):
+        a = from_dense(np.array([[0.0, 2.0], [2.0, 0.0]]))
+        b = from_dense(np.array([[1.0, 0.0, 3.0], [0.0, 0.0, 4.0], [3.0, 4.0, 0.0]]))
+        packed, offsets = block_diag([a, b])
+        assert packed.shape == (5, 5)
+        assert np.array_equal(offsets, [0, 2, 5])
+        expected = np.zeros((5, 5))
+        expected[:2, :2] = dense(a)
+        expected[2:, 2:] = dense(b)
+        assert np.array_equal(packed.to_dense(), expected)
+
+    def test_pack_is_a_pure_layout_transform(self):
+        rng = np.random.default_rng(3)
+        members = [random_weighted_graph(20, 60, rng) for _ in range(4)]
+        packed, offsets = block_diag(members)
+        for (lo, hi), m in zip(split_ranges(offsets), members):
+            # row segments are the member's, with columns shifted by lo
+            seg = slice(int(packed.indptr[lo]), int(packed.indptr[hi]))
+            assert np.array_equal(packed.indices[seg] - lo, m.indices)
+            assert np.array_equal(packed.data[seg], m.data)
+            assert np.array_equal(
+                packed.indptr[lo : hi + 1] - packed.indptr[lo], m.indptr
+            )
+
+    def test_single_member_roundtrip(self):
+        a = aniso2(8)
+        packed, offsets = block_diag([a])
+        assert np.array_equal(offsets, [0, 64])
+        assert np.array_equal(packed.to_dense(), a.to_dense())
+
+    def test_empty_member_is_allowed(self):
+        empty = CSRMatrix(np.zeros(1, dtype=np.int64), [], [], (0, 0))
+        a = aniso2(4)
+        packed, offsets = block_diag([empty, a, empty])
+        assert np.array_equal(offsets, [0, 0, 16, 16])
+        assert np.array_equal(packed.to_dense(), a.to_dense())
+
+    def test_float32_members_stay_float32(self):
+        a = aniso2(4).astype(np.float32)
+        packed, _ = block_diag([a, a])
+        assert packed.dtype == np.float32
+
+    def test_rejects_no_members(self):
+        with pytest.raises(ShapeError):
+            block_diag([])
+
+    def test_rejects_non_square_member(self):
+        bad = CSRMatrix(np.zeros(3, dtype=np.int64), [], [], (2, 3))
+        with pytest.raises(ShapeError, match="not square"):
+            block_diag([aniso2(4), bad])
+
+    def test_rejects_mixed_dtypes(self):
+        a = aniso2(4)
+        with pytest.raises(ShapeError, match="mix value dtypes"):
+            block_diag([a, a.astype(np.float32)])
+
+    def test_rejects_non_csr_member(self):
+        with pytest.raises(ShapeError, match="expected CSRMatrix"):
+            block_diag([aniso2(4), np.eye(3)])
+
+
+class TestOffsets:
+    def test_block_offsets_are_cumulative_sizes(self):
+        members = [aniso2(2), aniso2(3), aniso2(4)]
+        assert np.array_equal(block_offsets(members), [0, 4, 13, 29])
+
+    def test_split_ranges_inverts_offsets(self):
+        assert split_ranges(np.array([0, 4, 13, 29])) == [(0, 4), (4, 13), (13, 29)]

@@ -1,0 +1,158 @@
+"""Unit tests for the batched many-graph extraction engine."""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchResult, extract_linear_forest_batch, split_packed_result
+from repro.core.frontier import AdaptiveCompaction, LazyCompaction
+from repro.device import Device
+from repro.errors import ConfigError
+from repro.graphs import aniso2, random_weighted_graph
+from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
+from repro.sparse import prepare_graph
+from repro.tune import TuningCache, TuningEntry, fingerprint_graph
+
+
+@pytest.fixture
+def members():
+    rng = np.random.default_rng(11)
+    return [aniso2(8), random_weighted_graph(50, 160, rng), aniso2(5)]
+
+
+class TestValidation:
+    def test_empty_batch_is_rejected(self):
+        with pytest.raises(ConfigError, match="at least one graph"):
+            extract_linear_forest_batch([])
+
+    def test_non_matrix_member_is_rejected(self):
+        with pytest.raises(ConfigError, match="expected CSRMatrix"):
+            extract_linear_forest_batch([aniso2(4), np.eye(3)])
+
+    def test_mixed_dtype_batch_is_rejected_with_the_members_named(self):
+        a64 = aniso2(4)
+        a32 = aniso2(4).astype(np.float32)
+        with pytest.raises(ConfigError) as ei:
+            extract_linear_forest_batch([a64, a32, a64])
+        msg = str(ei.value)
+        assert "mix value dtypes" in msg
+        assert "float32" in msg and "float64" in msg
+        assert "member 1 is float32" in msg
+        assert "member 0 is float64" in msg
+        assert "astype" in msg  # the message must say how to fix it
+
+
+class TestBatchResult:
+    def test_result_surface(self, members):
+        res = extract_linear_forest_batch(members)
+        assert isinstance(res, BatchResult)
+        assert res.n_members == 3
+        assert len(res) == 3
+        assert list(res) == list(res.members)
+        assert res[1] is res.members[1]
+        assert res.coverages.shape == (3,)
+        assert np.array_equal(
+            res.offsets, [0, 64, 114, 139]
+        )  # 8x8 grid, 50, 5x5 grid
+        assert res.packed.graph.n_rows == 139
+
+    def test_one_set_of_launches_for_the_whole_batch(self, members):
+        dev_batch = Device()
+        extract_linear_forest_batch(members, device=dev_batch)
+        solo = 0
+        for a in members:
+            dev = Device()
+            from repro import extract_linear_forest
+
+            extract_linear_forest(a, device=dev)
+            solo += dev.launch_count
+        assert dev_batch.launch_count < solo
+
+    def test_float32_batch_produces_float32_bands(self):
+        members = [aniso2(6).astype(np.float32), aniso2(4).astype(np.float32)]
+        res = extract_linear_forest_batch(members)
+        for m in res.members:
+            assert m.tridiagonal.value_dtype == np.float32
+
+
+class TestSplitter:
+    def test_split_covers_every_vertex_exactly_once(self, members):
+        res = extract_linear_forest_batch(members)
+        assert sum(m.graph.n_rows for m in res.members) == res.packed.graph.n_rows
+        for a, m in zip(members, res.members):
+            assert m.graph.n_rows == a.n_rows
+            assert np.array_equal(np.sort(m.perm), np.arange(a.n_rows))
+
+    def test_split_rejects_a_mismatched_offset_table(self, members):
+        from repro.errors import ShapeError
+
+        res = extract_linear_forest_batch(members)
+        bad_offsets = np.array([0, 50, 114, 139])  # wrong first boundary
+        with pytest.raises(ShapeError, match="block-contiguous"):
+            split_packed_result(
+                res.packed, bad_offsets,
+                members, [prepare_graph(a) for a in members],
+            )
+
+
+class TestAutoPolicyResolution:
+    def _cache(self, tmp_path, entries):
+        cache = TuningCache()
+        for graph, policy in entries:
+            cache.record(
+                TuningEntry(policy=policy, fingerprint=fingerprint_graph(graph))
+            )
+        path = tmp_path / "tuning.json"
+        cache.save(path)
+        return path
+
+    def test_majority_vote_wins(self, tmp_path, monkeypatch):
+        members = [aniso2(8), aniso2(8), aniso2(5)]
+        prepared = [prepare_graph(a) for a in members]
+        path = self._cache(
+            tmp_path,
+            [(prepared[0], "lazy:0.25"), (prepared[2], "never")],
+        )
+        monkeypatch.setenv("REPRO_TUNING_CACHE", str(path))
+        # votes: lazy(0.25) x2 (members 0 and 1 share a fingerprint), never x1
+        res = extract_linear_forest_batch(members, compaction="auto")
+        assert res.policy_name == "lazy(0.25)"
+
+    def test_tie_degrades_to_adaptive(self, tmp_path, monkeypatch):
+        members = [aniso2(8), aniso2(5)]
+        prepared = [prepare_graph(a) for a in members]
+        path = self._cache(
+            tmp_path,
+            [(prepared[0], "lazy:0.25"), (prepared[1], "never")],
+        )
+        monkeypatch.setenv("REPRO_TUNING_CACHE", str(path))
+        res = extract_linear_forest_batch(members, compaction="auto")
+        assert res.policy_name == AdaptiveCompaction().name
+
+    def test_explicit_policy_instance_passes_through(self, members):
+        res = extract_linear_forest_batch(members, compaction=LazyCompaction(0.7))
+        assert res.policy_name == "lazy(0.7)"
+
+
+class TestObservability:
+    def test_per_member_spans_carry_graph_index(self, members):
+        tracer = Tracer("test")
+        with use_tracer(tracer):
+            extract_linear_forest_batch(members)
+        prep = tracer.find(name_prefix="batch-prepare-member")
+        split = tracer.find(name_prefix="batch-split-member")
+        assert [s.attributes["graph_index"] for s in prep] == [0, 1, 2]
+        assert [s.attributes["graph_index"] for s in split] == [0, 1, 2]
+        for s in split:
+            assert "coverage" in s.attributes
+            assert "n_paths" in s.attributes
+        roots = tracer.find(name_prefix="extract-linear-forest-batch")
+        assert len(roots) == 1
+        assert roots[0].attributes["n_members"] == 3
+
+    def test_batch_metrics_are_bumped(self, members):
+        reg = MetricsRegistry()
+        with use_metrics(reg):
+            extract_linear_forest_batch(members)
+        assert reg.counter("batch.runs").value == 1
+        assert reg.counter("batch.members").value == 3
+        assert reg.histogram("batch.member_coverage").count == 3

@@ -8,8 +8,8 @@ whatever the local run happened to measure.  The contract pinned here:
 * ``0`` / empty / unset — refresh nothing;
 * ``1`` / ``all`` — refresh every budget;
 * a comma-separated list of budget names (``scan``, ``proposition``,
-  ``compaction``, ``tune``) — rewrite exactly those JSON files, leaving
-  every other budget file *byte-identical*.
+  ``compaction``, ``tune``, ``batch``) — rewrite exactly those JSON files,
+  leaving every other budget file *byte-identical*.
 
 A missing budget file is always seeded regardless of the knob (first run).
 """
@@ -40,6 +40,8 @@ NEW = {"m1": {"launches": 2, "bytes": 90}}
         ("compaction", False),
         ("tune", False),
         ("tune,proposition", True),
+        ("batch", False),
+        ("batch,proposition", True),
     ],
 )
 def test_budget_refresh_requested_parsing(monkeypatch, spec, expected):
@@ -76,16 +78,31 @@ def test_targeted_refresh_rewrites_only_the_named_budget(tmp_path, monkeypatch):
     prop_path, prop_before = _seed(tmp_path, "proposition")
     comp_path, comp_before = _seed(tmp_path, "compaction")
     tune_path, tune_before = _seed(tmp_path, "tune")
+    batch_path, batch_before = _seed(tmp_path, "batch")
 
     refresh_budget(scan_path, "scan", NEW)
     refresh_budget(prop_path, "proposition", NEW)
     refresh_budget(comp_path, "compaction", NEW)
     refresh_budget(tune_path, "tune", NEW)
+    refresh_budget(batch_path, "batch", NEW)
 
     assert json.loads(scan_path.read_text())["budgets"] == NEW
     assert prop_path.read_bytes() == prop_before  # byte-identical
     assert comp_path.read_bytes() == comp_before
     assert tune_path.read_bytes() == tune_before
+    assert batch_path.read_bytes() == batch_before
+
+
+def test_targeted_batch_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_UPDATE_BUDGET", "batch")
+    batch_path, _ = _seed(tmp_path, "batch")
+    comp_path, comp_before = _seed(tmp_path, "compaction")
+
+    refresh_budget(batch_path, "batch", NEW)
+    refresh_budget(comp_path, "compaction", NEW)
+
+    assert json.loads(batch_path.read_text())["budgets"] == NEW
+    assert comp_path.read_bytes() == comp_before
 
 
 def test_targeted_tune_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
@@ -102,7 +119,7 @@ def test_targeted_tune_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
 
 def test_refresh_all_rewrites_every_budget(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_UPDATE_BUDGET", "1")
-    for name in ("scan", "proposition", "compaction", "tune"):
+    for name in ("scan", "proposition", "compaction", "tune", "batch"):
         path, _ = _seed(tmp_path, name)
         refresh_budget(path, name, NEW, scale=2.0)
         assert json.loads(path.read_text()) == {"scale": 2.0, "budgets": NEW}

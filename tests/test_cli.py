@@ -271,3 +271,55 @@ def test_extract_compaction_auto_hits_a_tuned_cache(
         rc = main(["extract", mtx_path, "--compaction", "auto"])
     assert rc == 0
     assert "linear-forest coverage" in capsys.readouterr().out
+
+
+@pytest.fixture
+def batch_paths(tmp_path):
+    from repro.graphs import poisson2d
+
+    paths = []
+    for name, a in (("aniso2", aniso2(8)), ("poisson", poisson2d(7))):
+        path = tmp_path / f"{name}.mtx"
+        write_matrix_market(a, path, symmetry="symmetric")
+        paths.append(str(path))
+    return paths
+
+
+def test_batch_reports_every_member(batch_paths, capsys):
+    rc = main(["batch", *batch_paths, "-M", "6"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "batch: 2 graphs" in out
+    assert "113 vertices packed" in out  # 64 + 49
+    for path in batch_paths:
+        assert path in out
+    assert "mean coverage:" in out
+
+
+def test_batch_member_lines_match_solo_extract(batch_paths, capsys):
+    main(["batch", *batch_paths])
+    batch_out = capsys.readouterr().out
+    for path in batch_paths:
+        main(["extract", path])
+        solo_out = capsys.readouterr().out
+        solo_cov = solo_out.split("linear-forest coverage:")[1].split()[0]
+        member_line = next(l for l in batch_out.splitlines() if path in l)
+        assert f"coverage={solo_cov}" in member_line
+
+
+def test_batch_obs_flags(batch_paths, tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    report_path = tmp_path / "report.json"
+    rc = main([
+        "batch", *batch_paths,
+        "--trace", str(trace_path), "--metrics-out", str(report_path),
+    ])
+    assert rc == 0
+    import json
+
+    report = json.loads(report_path.read_text())
+    assert report["command"] == "batch"
+    trace = json.loads(trace_path.read_text())
+    names = {ev.get("name") for ev in trace.get("traceEvents", trace)}
+    assert "extract-linear-forest-batch" in names
+    assert "batch-split-member" in names

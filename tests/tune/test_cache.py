@@ -182,3 +182,58 @@ def test_auto_bumps_the_hit_and_miss_counters(graph, cache_path, tmp_path):
             auto_policy(graph, path=tmp_path / "absent.json")
     assert registry.counter("tune.auto.hit").value == 1
     assert registry.counter("tune.auto.miss").value == 1
+
+
+class TestAtomicSave:
+    """A crash (or concurrent tuner) mid-save must never corrupt the cache."""
+
+    def test_interrupted_save_leaves_the_old_cache_intact(
+        self, graph, cache_path, monkeypatch
+    ):
+        before = cache_path.read_bytes()
+
+        def partial_dump(obj, fh, **kwargs):
+            # simulate a crash mid-write: some bytes land, then the process dies
+            fh.write('{"schema": "repro.tune/tun')
+            fh.flush()
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(json, "dump", partial_dump)
+        replacement = TuningCache()
+        with pytest.raises(KeyboardInterrupt):
+            replacement.save(cache_path)
+
+        # the old document survives byte-identically and still loads strictly
+        assert cache_path.read_bytes() == before
+        assert TuningCache.load(cache_path).lookup(fingerprint_graph(graph))
+
+    def test_interrupted_save_leaves_no_temp_file_behind(
+        self, cache_path, monkeypatch
+    ):
+        def boom(obj, fh, **kwargs):
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(json, "dump", boom)
+        with pytest.raises(RuntimeError):
+            TuningCache().save(cache_path)
+        assert list(cache_path.parent.iterdir()) == [cache_path]
+
+    def test_save_overwrites_atomically_via_rename(self, tmp_path, monkeypatch):
+        import os as os_mod
+
+        renames = []
+        real_replace = os_mod.replace
+
+        def spy(src, dst):
+            renames.append((str(src), str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os_mod, "replace", spy)
+        path = tmp_path / "tuning.json"
+        TuningCache().save(path)
+        assert len(renames) == 1
+        src, dst = renames[0]
+        assert dst == str(path)
+        # staged in the SAME directory, so the rename cannot cross filesystems
+        assert os_mod.path.dirname(src) == str(tmp_path)
+        assert TuningCache.load(path).entries == {}
