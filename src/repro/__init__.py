@@ -44,9 +44,12 @@ Subpackages
 ``repro.tune``
     Per-matrix compaction-policy autotuning: decision-log replay, cost-model
     fitting, the versioned ``tuning.json`` cache behind ``--compaction auto``.
+``repro.serve``
+    The ``repro serve`` daemon: a fingerprint-keyed result cache over a
+    line-delimited JSON protocol, with batch coalescing of cold misses.
 """
 
-from . import analysis, apps, batch, core, device, graphs, obs, solvers, sort, sparse, tune
+from . import analysis, apps, batch, core, device, graphs, obs, serve, solvers, sort, sparse, tune
 from .batch import BatchResult, extract_linear_forest_batch
 from .core import (
     Factor,
@@ -112,6 +115,7 @@ __all__ = [
     "obs",
     "parallel_factor",
     "prepare_graph",
+    "serve",
     "solvers",
     "sort",
     "sparse",

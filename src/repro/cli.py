@@ -17,6 +17,9 @@ Matrix Market files):
 * ``tune`` — autotune per-matrix frontier-compaction policies from recorded
   decision logs and write the ``tuning.json`` cache consulted by
   ``--compaction auto`` (see docs/TUNING.md);
+* ``serve`` — run the long-lived result-caching daemon: line-delimited JSON
+  requests on stdin, responses on stdout, repeat requests served from a
+  fingerprint-keyed cache with zero kernel launches (see docs/SERVING.md);
 * ``generate`` — write one of the bundled synthetic suite matrices to a
   Matrix Market file.
 
@@ -35,6 +38,7 @@ Examples::
     python -m repro solve matrix.mtx --preconditioner algtriscal
     python -m repro tune -o tuning.json
     python -m repro extract matrix.mtx --compaction auto
+    python -m repro serve --result-cache results.json --batch-window 0.05
     python -m repro generate aniso2 --scale 0.5 -o aniso2.mtx
 """
 
@@ -337,6 +341,33 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import PROTOCOL, ReproServer, ServeConfig
+
+    config = ServeConfig(
+        cache_max_bytes=int(args.cache_budget_mb * 1024 * 1024),
+        batch_window=args.batch_window,
+        result_cache_path=args.result_cache,
+        compaction=args.compaction,
+        max_workers=args.workers,
+    )
+    server = ReproServer(config)
+    # stdout is the protocol stream; operator chatter goes to stderr
+    print(
+        f"repro serve: {PROTOCOL} over line-delimited JSON on stdin/stdout; "
+        'send {"op": "shutdown"} (or EOF) to stop',
+        file=sys.stderr,
+    )
+    server.serve_forever(sys.stdin, sys.stdout)
+    cache = server.stats()["cache"]
+    print(
+        f"repro serve: stopped ({cache['hits']} hits, {cache['misses']} misses, "
+        f"{cache['entries']} entries cached)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_generate(args) -> int:
     a = build_matrix(args.name, scale=args.scale)
     symmetry = "symmetric" if a.is_symmetric(tol=0.0) else "general"
@@ -420,6 +451,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_args(p)
     _add_obs_args(p)
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the result-caching extraction daemon "
+             "(line-delimited JSON on stdin/stdout)",
+    )
+    p.add_argument(
+        "--result-cache", metavar="PATH", default=None,
+        help="persist the result cache here on shutdown and warm-load it "
+             "on start (atomic rewrite; default: in-memory only)")
+    p.add_argument(
+        "--cache-budget-mb", type=float, default=64.0, metavar="MB",
+        help="LRU byte budget of the result cache in MiB (default 64)")
+    p.add_argument(
+        "--batch-window", type=float, default=0.0, metavar="SECONDS",
+        help="seconds a cold extract miss waits for other cold misses to "
+             "share one set of kernel launches (default 0: no window batching)")
+    p.add_argument(
+        "--workers", type=int, default=4,
+        help="max concurrent request threads (default 4)")
+    _add_compaction_arg(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("generate", help="write a bundled suite matrix")
     p.add_argument("name", choices=sorted(SUITE))

@@ -1,0 +1,664 @@
+"""The ``repro serve`` daemon: a fingerprint-keyed result-caching request loop.
+
+A long-lived process that amortizes extraction across repeat traffic.  The
+protocol is line-delimited JSON (schema tag ``repro.serve/v1``): each
+request line is one JSON object with an ``op`` (``extract``, ``factor``,
+``solve``, ``ping``, ``stats``, ``shutdown``), an optional correlation
+``id`` echoed back verbatim, a ``matrix`` spec and an optional ``config``
+overlay; each response line is one JSON object carrying ``ok``, the result
+payload, whether it was ``cached``, and the per-request
+``repro.obs/run-report/v1`` report built by
+:class:`~repro.serve.session.RequestSession`.
+
+Requests are keyed by content, not identity::
+
+    op : fingerprint_graph(prepare_graph(A)).key : A-digest : cfg=<digest>
+
+The prepared-graph fingerprint (:func:`repro.tune.fingerprint_graph`, v2
+dtype-tagged digest) is the primary key, exactly as the issue's cache
+contract specifies; the original matrix's own
+:func:`~repro.tune.fingerprint.matrix_digest` rides along because two
+originals can *prepare* identically while differing where preparation
+discards information (the diagonal, signs) — and the tridiagonal bands are
+extracted from the original, so serving one original's bands for the other
+would be a silent mis-serve.  The config digest is a SHA-256 over the
+canonicalized (defaults-overlaid, unknown-keys-rejected) request config.
+
+Cache misses run the real pipeline.  Concurrent *identical* misses are
+coalesced leader/follower style — one pipeline run, every follower counts
+as a hit.  Concurrent *distinct* cold ``extract`` misses arriving within
+the configured batch window are packed through
+:func:`repro.batch.extract_linear_forest_batch`, so N cold graphs cost one
+set of kernel launches; the batch splitter's bit-identity guarantee is what
+makes this safe to do silently.  Hits replay the memoized payload with zero
+kernel launches.  Graceful shutdown drains in-flight requests, then
+persists the result cache atomically (temp file + ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..batch import extract_linear_forest_batch
+from ..core import ParallelFactorConfig, coverage, extract_linear_forest, parallel_factor
+from ..errors import ConfigError
+from ..graphs import SUITE, build_matrix
+from ..obs import MetricsRegistry
+from ..solvers import (
+    AlgTriBlockPrecond,
+    AlgTriScalPrecond,
+    IdentityPrecond,
+    JacobiPrecond,
+    TriScalPrecond,
+    bicgstab,
+)
+from ..sparse import CSRMatrix, prepare_graph, read_matrix_market
+from ..tune import fingerprint_graph, matrix_digest
+from .result_cache import ResultCache
+from .session import RequestSession
+
+__all__ = [
+    "PROTOCOL",
+    "ReproServer",
+    "ServeConfig",
+    "canonical_config",
+    "config_digest",
+    "load_matrix",
+    "request_key",
+]
+
+#: Schema tag of the request/response protocol.
+PROTOCOL = "repro.serve/v1"
+
+_PRECONDITIONERS = {
+    "none": IdentityPrecond,
+    "jacobi": JacobiPrecond,
+    "triscal": TriScalPrecond,
+    "algtriscal": AlgTriScalPrecond,
+    "algtriblock": AlgTriBlockPrecond,
+}
+
+#: Canonical config keys per op, with the CLI's defaults.  The canonical
+#: form (defaults overlaid with the request's overrides) is what gets
+#: digested into the cache key, so two requests spelling the same effective
+#: config differently share one entry.
+_CONFIG_DEFAULTS: dict = {
+    "extract": {
+        "iterations": 5, "m": 5, "k_m": 0, "p": 0.5, "seed": 0,
+        "merged_scan": True,
+    },
+    "factor": {
+        "n": 2, "iterations": 5, "m": 5, "k_m": 0, "p": 0.5, "seed": 0,
+    },
+    "solve": {
+        "preconditioner": "algtriscal", "tol": 1e-8, "max_iterations": 2000,
+        "rhs": None,
+        "iterations": 5, "m": 5, "k_m": 0, "p": 0.5, "seed": 0,
+    },
+}
+
+
+# -- request canonicalization ----------------------------------------------
+def canonical_config(op: str, overrides) -> dict:
+    """Overlay request ``config`` onto the op's defaults, strictly.
+
+    Unknown keys are a :class:`~repro.errors.ConfigError` naming the valid
+    set — a typo must fail loudly, not silently key a fresh cache entry.
+    Values are coerced to the default's type so ``5`` and ``5.0`` digest
+    identically where the semantics are identical.
+    """
+    defaults = _CONFIG_DEFAULTS.get(op)
+    if defaults is None:
+        raise ConfigError(f"op {op!r} takes no config")
+    if overrides is None:
+        overrides = {}
+    if not isinstance(overrides, dict):
+        raise ConfigError(
+            f"request config must be a JSON object, got {type(overrides).__name__}"
+        )
+    unknown = sorted(set(overrides) - set(defaults))
+    if unknown:
+        raise ConfigError(
+            f"request config for op {op!r} has unknown keys {unknown} "
+            f"(valid: {sorted(defaults)})"
+        )
+    cfg = dict(defaults)
+    for key, value in overrides.items():
+        default = defaults[key]
+        try:
+            if isinstance(default, bool):
+                if not isinstance(value, bool):
+                    raise TypeError
+            elif isinstance(default, int):
+                value = int(value)
+            elif isinstance(default, float):
+                value = float(value)
+            elif isinstance(default, str):
+                value = str(value)
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"request config {key}={value!r} for op {op!r} is not a valid "
+                f"{type(default).__name__}"
+            ) from None
+        cfg[key] = value
+    if op == "solve":
+        spec = cfg["preconditioner"]
+        if spec not in _PRECONDITIONERS:
+            raise ConfigError(
+                f"unknown preconditioner {spec!r} (valid: {sorted(_PRECONDITIONERS)})"
+            )
+        rhs = cfg["rhs"]
+        if rhs is not None:
+            if not isinstance(rhs, list):
+                raise ConfigError("request config 'rhs' must be a JSON array of numbers")
+            cfg["rhs"] = [float(v) for v in rhs]
+    return cfg
+
+
+def config_digest(cfg: dict) -> str:
+    """Short digest of a canonical config (SHA-256 of its compact JSON)."""
+    blob = json.dumps(cfg, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def request_key(op: str, fingerprint, original_digest: str, cfg: dict) -> str:
+    """The result-cache key: op + prepared fingerprint + input digest + config."""
+    return f"{op}:{fingerprint.key}:in={original_digest}:cfg={config_digest(cfg)}"
+
+
+def load_matrix(spec) -> CSRMatrix:
+    """Materialize a request's ``matrix`` spec.
+
+    Three kinds: ``{"kind": "file", "path": ...}`` reads a Matrix Market
+    file; ``{"kind": "suite", "name": ..., "scale": ...}`` builds a bundled
+    suite matrix; ``{"kind": "csr", "indptr": ..., "indices": ...,
+    "data": ..., "n": ..., "dtype": ...}`` carries the matrix inline.
+    """
+    if not isinstance(spec, dict):
+        raise ConfigError("request 'matrix' must be a JSON object with a 'kind'")
+    kind = spec.get("kind")
+    if kind == "file":
+        path = spec.get("path")
+        if not path:
+            raise ConfigError("matrix kind 'file' requires a 'path'")
+        try:
+            return read_matrix_market(path)
+        except OSError as exc:
+            raise ConfigError(f"could not read matrix file {path}: {exc}") from exc
+    if kind == "suite":
+        name = spec.get("name")
+        if name not in SUITE:
+            raise ConfigError(
+                f"unknown suite matrix {name!r} (valid: {sorted(SUITE)})"
+            )
+        return build_matrix(name, scale=float(spec.get("scale", 1.0)))
+    if kind == "csr":
+        try:
+            n = int(spec["n"])
+            dtype = np.dtype(spec.get("dtype", "float64"))
+            return CSRMatrix(
+                indptr=np.asarray(spec["indptr"], dtype=np.int64),
+                indices=np.asarray(spec["indices"], dtype=np.int64),
+                data=np.asarray(spec["data"], dtype=dtype),
+                shape=(n, n),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed inline csr matrix: {exc}") from exc
+    raise ConfigError(f"unknown matrix kind {kind!r} (valid: file, suite, csr)")
+
+
+# -- result payloads -------------------------------------------------------
+def _extract_payload(result) -> dict:
+    """The memoized body of an ``extract`` response (JSON-safe, lossless).
+
+    Python floats round-trip float32 and float64 values exactly through
+    JSON, so replaying this payload is bit-identical to the cold run.
+    """
+    tri = result.tridiagonal
+    return {
+        "op": "extract",
+        "coverage": float(result.coverage),
+        "n_paths": int(result.paths.n_paths),
+        "n_cycles": int(result.broken.n_cycles),
+        "perm": [int(v) for v in result.perm],
+        "path_id": [int(v) for v in result.paths.path_id],
+        "position": [int(v) for v in result.paths.position],
+        "bands": {
+            "dl": [float(v) for v in tri.dl],
+            "d": [float(v) for v in tri.d],
+            "du": [float(v) for v in tri.du],
+        },
+        "value_dtype": str(tri.d.dtype),
+    }
+
+
+def _factor_payload(a: CSRMatrix, res) -> dict:
+    return {
+        "op": "factor",
+        "coverage": float(coverage(a, res.factor)),
+        "edges": int(res.factor.edge_count),
+        "iterations": int(res.iterations),
+        "m_max": int(res.m_max) if res.m_max is not None else None,
+        "converged": bool(res.converged),
+        "neighbors": [[int(v) for v in row] for row in res.factor.neighbors],
+    }
+
+
+def _config_from(cfg: dict, *, n: int = 2) -> ParallelFactorConfig:
+    return ParallelFactorConfig(
+        n=n, max_iterations=cfg["iterations"], m=cfg["m"], k_m=cfg["k_m"],
+        p=cfg["p"], seed=cfg["seed"],
+    )
+
+
+# -- server configuration --------------------------------------------------
+@dataclass
+class ServeConfig:
+    """Knobs of one :class:`ReproServer`.
+
+    ``batch_window`` is the seconds a cold ``extract`` miss waits for other
+    cold misses to share its kernel launches; 0 disables window batching.
+    ``cache_max_bytes`` is the result cache's LRU byte budget (``None``
+    unbounded).  ``result_cache_path`` persists the cache on shutdown and
+    warm-loads it on boot.  ``max_workers`` bounds concurrent request
+    threads in :meth:`ReproServer.serve_forever`.
+    """
+
+    cache_max_bytes: int | None = 64 * 1024 * 1024
+    batch_window: float = 0.0
+    result_cache_path: "str | Path | None" = None
+    compaction: object = None
+    max_workers: int = 4
+
+    def __post_init__(self):
+        if self.batch_window < 0:
+            raise ConfigError(f"batch window cannot be negative: {self.batch_window}")
+        if self.max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {self.max_workers}")
+
+
+class _Waiter:
+    """One in-flight cold run; followers block on ``event``."""
+
+    __slots__ = ("event", "payload", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.payload = None
+        self.error = None
+
+
+@dataclass
+class _BatchItem:
+    """One cold extract miss parked in the batch window."""
+
+    original: CSRMatrix
+    prepared: CSRMatrix
+    cfg: dict
+    cfg_digest: str
+    event: threading.Event = field(default_factory=threading.Event)
+    payload: dict | None = None
+    error: BaseException | None = None
+    batch_size: int = 1
+
+
+class ReproServer:
+    """The daemon: request handling, caching, coalescing, shutdown.
+
+    Usable purely in-process (``handle_request(dict) -> dict``, what the
+    tests drive) or as a stream daemon (:meth:`serve_forever` over
+    line-delimited JSON, what ``repro serve`` runs).
+    """
+
+    def __init__(self, config: ServeConfig | None = None, *, device=None):
+        self.config = config or ServeConfig()
+        self.device = device
+        self.metrics = MetricsRegistry()
+        path = self.config.result_cache_path
+        if path is not None:
+            self.cache = ResultCache.load_or_empty(
+                path, max_bytes=self.config.cache_max_bytes
+            )
+        else:
+            self.cache = ResultCache(max_bytes=self.config.cache_max_bytes)
+        self._lock = threading.Lock()  # cache + inflight table
+        self._inflight: dict = {}  # key -> _Waiter
+        self._drain = threading.Condition()
+        self._active = 0
+        self._closed = False
+        self._persisted = False
+        self._batch_lock = threading.Lock()
+        self._batch_pending: list = []
+
+    # -- protocol entry points ---------------------------------------------
+    def handle_line(self, line: str) -> str:
+        """One protocol round-trip: request line in, response line out."""
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response = _error_response(
+                None, ConfigError(f"request line is not valid JSON: {exc}")
+            )
+            return json.dumps(response)
+        return json.dumps(self.handle_request(request))
+
+    def handle_request(self, request) -> dict:
+        """Serve one request dict; never raises on request errors."""
+        if not isinstance(request, dict):
+            return _error_response(
+                None, ConfigError("request must be a JSON object")
+            )
+        request_id = request.get("id")
+        op = request.get("op")
+        if op == "shutdown":
+            self.shutdown()
+            return {"id": request_id, "ok": True, "op": "shutdown", "protocol": PROTOCOL}
+        with self._drain:
+            if self._closed:
+                return _error_response(
+                    request_id,
+                    ConfigError("server is shutting down; request rejected"),
+                    op=op,
+                )
+            self._active += 1
+        try:
+            return self._dispatch(request_id, op, request)
+        finally:
+            with self._drain:
+                self._active -= 1
+                self._drain.notify_all()
+
+    def _dispatch(self, request_id, op, request) -> dict:
+        self.metrics.counter("serve.requests").inc()
+        if op == "ping":
+            return {"id": request_id, "ok": True, "op": "ping", "protocol": PROTOCOL}
+        if op == "stats":
+            return {
+                "id": request_id, "ok": True, "op": "stats",
+                "protocol": PROTOCOL, "stats": self.stats(),
+            }
+        if op not in ("extract", "factor", "solve"):
+            return _error_response(
+                request_id,
+                ConfigError(
+                    f"unknown op {op!r} (valid: extract, factor, solve, "
+                    "ping, stats, shutdown)"
+                ),
+            )
+        session = RequestSession(op, request_id=request_id)
+        try:
+            with session.ambient():
+                cfg = canonical_config(op, request.get("config"))
+                with session.span("serve-load-matrix"):
+                    a = load_matrix(request.get("matrix"))
+                with session.span("serve-fingerprint"):
+                    prepared = prepare_graph(a)
+                    fp = fingerprint_graph(prepared)
+                    key = request_key(op, fp, matrix_digest(a), cfg)
+                session.annotate(key=key, n_vertices=a.n_rows, nnz=a.nnz)
+                payload, cached = self._resolve(op, key, a, prepared, cfg, session)
+            report = session.finish()
+            return {
+                "id": request_id, "ok": True, "op": op, "protocol": PROTOCOL,
+                "key": key, "cached": cached, "result": payload, "report": report,
+            }
+        except Exception as exc:  # a daemon survives bad requests
+            self.metrics.counter("serve.errors").inc()
+            report = session.finish(error=f"{type(exc).__name__}: {exc}")
+            response = _error_response(request_id, exc, op=op)
+            response["report"] = report
+            return response
+
+    # -- cache + coalescing ------------------------------------------------
+    def _resolve(self, op, key, a, prepared, cfg, session):
+        """The cache contract: hit replays, miss runs, identical misses share."""
+        with self._lock:
+            payload = self.cache.get(key)
+            if payload is not None:
+                self.metrics.counter("serve.cache.hit").inc()
+                session.record_cache(hit=True)
+                return payload, True
+            waiter = self._inflight.get(key)
+            if waiter is None:
+                waiter = _Waiter()
+                self._inflight[key] = waiter
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            # an identical request is already running the pipeline: wait for
+            # its result instead of launching a second run
+            waiter.event.wait()
+            if waiter.error is not None:
+                raise waiter.error
+            self.metrics.counter("serve.cache.hit").inc()
+            self.metrics.counter("serve.coalesced").inc()
+            session.record_cache(hit=True, coalesced=True)
+            return waiter.payload, True
+        self.metrics.counter("serve.cache.miss").inc()
+        session.record_cache(hit=False)
+        try:
+            with session.span("serve-pipeline"):
+                batch_size = 1
+                if op == "extract" and self.config.batch_window > 0:
+                    payload, batch_size = self._batched_extract(a, prepared, cfg)
+                else:
+                    payload = self._run_solo(op, a, prepared, cfg)
+            if op == "extract":
+                session.record_batch(batch_size)
+                self.metrics.histogram("serve.batch.size").observe(batch_size)
+        except BaseException as exc:
+            with self._lock:
+                self._inflight.pop(key, None)
+            waiter.error = exc
+            waiter.event.set()
+            raise
+        with self._lock:
+            stored = self.cache.put(key, payload)
+            self._inflight.pop(key, None)
+        waiter.payload = payload
+        waiter.event.set()
+        session.annotate(stored=stored)
+        return payload, False
+
+    def _run_solo(self, op, a, prepared, cfg):
+        if op == "extract":
+            result = extract_linear_forest(
+                a, _config_from(cfg), device=self.device,
+                merged_scan=cfg["merged_scan"],
+                compaction=self.config.compaction, prepared_graph=prepared,
+            )
+            return _extract_payload(result)
+        if op == "factor":
+            res = parallel_factor(
+                prepared, _config_from(cfg, n=cfg["n"]), device=self.device,
+                compaction=self.config.compaction,
+            )
+            return _factor_payload(a, res)
+        return self._run_solve(a, cfg)
+
+    def _run_solve(self, a, cfg):
+        n = a.n_rows
+        if cfg["rhs"] is not None:
+            b = np.asarray(cfg["rhs"], dtype=np.float64)
+            if b.shape != (n,):
+                raise ConfigError(
+                    f"rhs has {b.size} entries but the matrix has {n} rows"
+                )
+            x_t = None
+        else:
+            # the paper's test problem: x_t[i] = sin(16*pi*i/N)
+            x_t = np.sin(16.0 * np.pi * np.arange(n) / n)
+            b = a.matvec(x_t)
+        precond = _PRECONDITIONERS[cfg["preconditioner"]](a)
+        res = bicgstab(
+            a, b, preconditioner=precond, tol=cfg["tol"],
+            max_iterations=cfg["max_iterations"], true_solution=x_t,
+        )
+        h = res.history
+        return {
+            "op": "solve",
+            "x": [float(v) for v in res.x],
+            "converged": bool(res.converged),
+            "iterations": int(h.n_iterations),
+            "final_residual": float(h.final_residual),
+            "preconditioner": precond.name,
+            "preconditioner_coverage": float(precond.coverage),
+        }
+
+    # -- window batching of cold extract misses ----------------------------
+    def _batched_extract(self, a, prepared, cfg):
+        """Park a cold miss in the batch window; one leader runs the pack.
+
+        The first miss to arrive becomes the window leader: it sleeps for
+        ``batch_window`` seconds, then swaps out everything that parked in
+        the meantime and runs it as one block-diagonal batch.  Members are
+        grouped by (config digest, value dtype) because the batch engine
+        requires one config and one dtype per pack; each group > 1 goes
+        through :func:`~repro.batch.extract_linear_forest_batch`, singleton
+        groups run solo so their launch accounting matches a plain request.
+        """
+        item = _BatchItem(
+            original=a, prepared=prepared, cfg=cfg, cfg_digest=config_digest(cfg)
+        )
+        with self._batch_lock:
+            self._batch_pending.append(item)
+            leader = len(self._batch_pending) == 1
+        if leader:
+            time.sleep(self.config.batch_window)
+            with self._batch_lock:
+                batch, self._batch_pending = self._batch_pending, []
+            self._run_extract_batch(batch)
+        item.event.wait()
+        if item.error is not None:
+            raise item.error
+        return item.payload, item.batch_size
+
+    def _run_extract_batch(self, batch) -> None:
+        groups: dict = {}
+        for item in batch:
+            groups.setdefault(
+                (item.cfg_digest, item.original.dtype.name), []
+            ).append(item)
+        for group in groups.values():
+            try:
+                self._execute_extract_group(group)
+            except BaseException as exc:
+                for item in group:
+                    if not item.event.is_set():
+                        item.error = exc
+                        item.event.set()
+
+    def _execute_extract_group(self, group) -> None:
+        cfg = group[0].cfg
+        if len(group) == 1:
+            payloads = [
+                self._run_solo("extract", group[0].original, group[0].prepared, cfg)
+            ]
+        else:
+            result = extract_linear_forest_batch(
+                [item.original for item in group], _config_from(cfg),
+                device=self.device, merged_scan=cfg["merged_scan"],
+                compaction=self.config.compaction,
+            )
+            self.metrics.counter("serve.batched_runs").inc()
+            payloads = [_extract_payload(member) for member in result.members]
+        for item, payload in zip(group, payloads):
+            item.payload = payload
+            item.batch_size = len(group)
+            item.event.set()
+
+    # -- lifecycle ---------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            cache_stats = self.cache.stats()
+        return {
+            "protocol": PROTOCOL,
+            "cache": cache_stats,
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def shutdown(self) -> None:
+        """Refuse new requests, drain in-flight ones, persist the cache."""
+        with self._drain:
+            self._closed = True
+            while self._active > 0:
+                self._drain.wait()
+            if self._persisted:
+                return
+            self._persisted = True
+        path = self.config.result_cache_path
+        if path is not None:
+            with self._lock:
+                self.cache.save(path)
+
+    def serve_forever(self, in_stream, out_stream) -> None:
+        """Run the line protocol until ``shutdown`` or end of input.
+
+        Each request line is handled on its own thread (bounded by
+        ``max_workers``) so slow cold misses don't serialize the stream —
+        and so concurrent misses can actually meet inside the batch window.
+        Responses carry the request's ``id`` for correlation because
+        completion order is not arrival order.
+        """
+        out_lock = threading.Lock()
+        slots = threading.Semaphore(self.config.max_workers)
+        threads: list = []
+
+        def emit(response: dict) -> None:
+            with out_lock:
+                out_stream.write(json.dumps(response) + "\n")
+                out_stream.flush()
+
+        def worker(request) -> None:
+            try:
+                emit(self.handle_request(request))
+            finally:
+                slots.release()
+
+        shutdown_request = None
+        for line in in_stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                emit(_error_response(
+                    None, ConfigError(f"request line is not valid JSON: {exc}")
+                ))
+                continue
+            if isinstance(request, dict) and request.get("op") == "shutdown":
+                shutdown_request = request
+                break
+            slots.acquire()
+            thread = threading.Thread(target=worker, args=(request,), daemon=True)
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+        self.shutdown()
+        if shutdown_request is not None:
+            emit({
+                "id": shutdown_request.get("id"), "ok": True,
+                "op": "shutdown", "protocol": PROTOCOL,
+            })
+
+
+def _error_response(request_id, exc, *, op=None) -> dict:
+    response = {
+        "id": request_id,
+        "ok": False,
+        "protocol": PROTOCOL,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+    if op is not None:
+        response["op"] = op
+    return response

@@ -1,0 +1,85 @@
+"""Per-request telemetry for the ``repro serve`` daemon.
+
+Every request — hit or miss — gets its own :class:`RequestSession`: a fresh
+:class:`~repro.obs.tracer.Tracer` (schema ``repro.obs/v1``) rooted in a
+``serve-request`` span and a fresh
+:class:`~repro.obs.metrics.MetricsRegistry` carrying the serve-specific
+instruments (``serve.cache.hit``/``serve.cache.miss`` counters, the
+``serve.batch.size`` histogram).  :meth:`RequestSession.finish` folds both
+into the schema-versioned ``repro.obs/run-report/v1`` dict that the server
+attaches to every response line — the same report shape the CLI's
+``--metrics-out`` writes, so existing tooling can consume it unchanged.
+
+The session's registry is also installed ambiently while the request body
+runs, so instrumented call sites below the serve layer (``tune.auto.hit``,
+``batch.members``, …) land in the same per-request report.
+"""
+
+from __future__ import annotations
+
+from ..obs import MetricsRegistry, Tracer, build_run_report, use_metrics, use_tracer
+
+__all__ = ["RequestSession"]
+
+
+class RequestSession:
+    """One request's observability surfaces, from arrival to response."""
+
+    def __init__(self, op: str, *, request_id=None):
+        self.op = op
+        self.request_id = request_id
+        self.tracer = Tracer(f"serve.{op}")
+        self.metrics = MetricsRegistry()
+        self._root = self.tracer.start_span("serve-request", category="run", op=op)
+        if request_id is not None:
+            self._root.attributes["request_id"] = request_id
+        self._finished = False
+
+    def ambient(self):
+        """Context manager installing this session's tracer + metrics."""
+        from contextlib import ExitStack, contextmanager
+
+        @contextmanager
+        def _ambient():
+            with ExitStack() as stack:
+                stack.enter_context(use_tracer(self.tracer))
+                stack.enter_context(use_metrics(self.metrics))
+                yield self
+
+        return _ambient()
+
+    def annotate(self, **attributes) -> None:
+        """Attach attributes to the request's root span."""
+        for key, value in attributes.items():
+            if value is not None:
+                self._root.attributes[key] = value
+
+    def span(self, name: str, *, category: str = "stage", **attributes):
+        """``with session.span(...)``: a child span of the request."""
+        return self.tracer.span(name, category=category, **attributes)
+
+    def record_cache(self, *, hit: bool, coalesced: bool = False) -> None:
+        """Count the cache outcome (the ``serve.cache.*`` instruments)."""
+        self.metrics.counter("serve.cache.hit" if hit else "serve.cache.miss").inc()
+        if coalesced:
+            self.metrics.counter("serve.coalesced").inc()
+        self.annotate(cache="hit" if hit else "miss")
+        if coalesced:
+            self.annotate(coalesced=True)
+
+    def record_batch(self, size: int) -> None:
+        """Observe how many cold misses shared this request's pipeline run."""
+        self.metrics.histogram("serve.batch.size").observe(size)
+        self.annotate(batch_size=size)
+
+    def finish(self, *, error: str | None = None, inputs: dict | None = None) -> dict:
+        """Close the request span and build its run report (idempotent)."""
+        if not self._finished:
+            self._finished = True
+            self.tracer.end_span(self._root, error=error)
+        return build_run_report(
+            command=f"serve.{self.op}",
+            inputs=inputs,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )

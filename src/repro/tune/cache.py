@@ -22,6 +22,7 @@ import contextlib
 import json
 import os
 import tempfile
+import threading
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -159,10 +160,79 @@ class TuningCache:
             raise
 
 
+@dataclass
+class _DefaultPathState:
+    """Where the relative ``./tuning.json`` default was first resolved."""
+
+    path: Path | None = None
+    cwd: Path | None = None
+    warned: bool = False
+
+
+_DEFAULT_STATE = _DefaultPathState()
+
+
 def default_cache_path() -> Path:
-    """``$REPRO_TUNING_CACHE`` when set, else ``./tuning.json``."""
+    """``$REPRO_TUNING_CACHE`` when set, else ``./tuning.json`` — absolute.
+
+    The relative default is resolved against the working directory **at
+    first use** and pinned for the rest of the process: a long-lived caller
+    (the :mod:`repro.serve` daemon, a notebook that ``os.chdir``\\ s) would
+    otherwise silently start missing its own cache mid-process the moment
+    the working directory moved.  When a later call finds that the current
+    directory would have resolved the default differently, a one-shot
+    :class:`TuningWarning` names the pinned path.  An explicit
+    ``$REPRO_TUNING_CACHE`` is the caller's choice and is simply made
+    absolute against the current directory on every call.
+    """
     env = os.environ.get(ENV_CACHE, "").strip()
-    return Path(env) if env else Path(DEFAULT_FILENAME)
+    if env:
+        return Path(env).absolute()
+    cwd = Path.cwd()
+    state = _DEFAULT_STATE
+    if state.path is None:
+        state.path = (cwd / DEFAULT_FILENAME).absolute()
+        state.cwd = cwd
+    elif not state.warned and (cwd / DEFAULT_FILENAME).absolute() != state.path:
+        state.warned = True
+        warnings.warn(
+            f"the default tuning cache was pinned to {state.path} when first "
+            f"resolved (cwd was {state.cwd}); the working directory is now "
+            f"{cwd}, which would resolve {DEFAULT_FILENAME!r} elsewhere — "
+            f"set ${ENV_CACHE} to address a different cache explicitly",
+            TuningWarning,
+            stacklevel=2,
+        )
+    return state.path
+
+
+#: Parsed-document memo behind :func:`auto_policy`: one strict load per
+#: on-disk version of each cache file instead of one per resolution.
+_PARSED_LOCK = threading.Lock()
+_PARSED: dict = {}  # str(path) -> ((mtime_ns, size), TuningCache)
+
+
+def _load_parsed(path: Path) -> TuningCache:
+    """Load ``path`` through the in-process parse cache.
+
+    The parsed :class:`TuningCache` is reused while the file's
+    ``(mtime_ns, size)`` stat signature is unchanged — under a long-lived
+    daemon the per-request ``"auto"`` resolution otherwise re-reads and
+    re-parses the document from disk every time.  Any on-disk update (a
+    concurrent ``repro tune`` finishing its atomic rename) changes the
+    signature and is picked up on the next resolution.
+    """
+    st = os.stat(path)
+    signature = (st.st_mtime_ns, st.st_size)
+    key = str(path)
+    with _PARSED_LOCK:
+        memo = _PARSED.get(key)
+        if memo is not None and memo[0] == signature:
+            return memo[1]
+    cache = TuningCache.load(path)
+    with _PARSED_LOCK:
+        _PARSED[key] = (signature, cache)
+    return cache
 
 
 def _miss(reason: str) -> CompactionPolicy:
@@ -198,7 +268,7 @@ def auto_policy(
     if not cache_path.exists():
         return _miss(f"no tuning cache at {cache_path}")
     try:
-        cache = TuningCache.load(cache_path)
+        cache = _load_parsed(cache_path)
     except (OSError, ConfigError) as exc:
         return _miss(f"could not use tuning cache {cache_path}: {exc}")
     fingerprint = fingerprint_graph(graph)

@@ -38,7 +38,10 @@ __all__ = [
 
 #: Bumped whenever the key derivation changes; part of every cache key, so a
 #: schema change invalidates old entries instead of mis-resolving them.
-FINGERPRINT_VERSION = 1
+#: v2: the content digest tags each buffer with its dtype and length, so
+#: byte-coincident buffers of different dtypes (or with shifted array
+#: boundaries) can no longer alias one digest.
+FINGERPRINT_VERSION = 2
 
 
 def degree_histogram(graph: CSRMatrix) -> tuple[int, ...]:
@@ -64,11 +67,23 @@ def matrix_digest(graph: CSRMatrix) -> str:
     SHA-256 over the contiguous ``indptr``/``indices``/``data`` buffers,
     truncated to 12 hex characters.  ``prepare_graph`` is deterministic, so
     the same input matrix always digests identically across runs.
+
+    Each buffer is preceded by a ``name:dtype:length;`` tag.  Hashing the
+    raw bytes alone (the v1 derivation) let two matrices whose concatenated
+    buffers happen to coincide byte-for-byte — e.g. a float32 pair re-read
+    as one float64 — share a digest and alias each other's tuning/result
+    cache entries; the tags make every array boundary and element width part
+    of the hash.
     """
     h = hashlib.sha256()
-    h.update(np.ascontiguousarray(graph.indptr).tobytes())
-    h.update(np.ascontiguousarray(graph.indices).tobytes())
-    h.update(np.ascontiguousarray(graph.data).tobytes())
+    for name, arr in (
+        ("indptr", graph.indptr),
+        ("indices", graph.indices),
+        ("data", graph.data),
+    ):
+        a = np.ascontiguousarray(arr)
+        h.update(f"{name}:{a.dtype.name}:{a.size};".encode())
+        h.update(a.tobytes())
     return h.hexdigest()[:12]
 
 

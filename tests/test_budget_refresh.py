@@ -8,8 +8,8 @@ whatever the local run happened to measure.  The contract pinned here:
 * ``0`` / empty / unset — refresh nothing;
 * ``1`` / ``all`` — refresh every budget;
 * a comma-separated list of budget names (``scan``, ``proposition``,
-  ``compaction``, ``tune``, ``batch``) — rewrite exactly those JSON files,
-  leaving every other budget file *byte-identical*.
+  ``compaction``, ``tune``, ``batch``, ``serve``) — rewrite exactly those
+  JSON files, leaving every other budget file *byte-identical*.
 
 A missing budget file is always seeded regardless of the knob (first run).
 """
@@ -42,6 +42,8 @@ NEW = {"m1": {"launches": 2, "bytes": 90}}
         ("tune,proposition", True),
         ("batch", False),
         ("batch,proposition", True),
+        ("serve", False),
+        ("serve,proposition", True),
     ],
 )
 def test_budget_refresh_requested_parsing(monkeypatch, spec, expected):
@@ -79,18 +81,21 @@ def test_targeted_refresh_rewrites_only_the_named_budget(tmp_path, monkeypatch):
     comp_path, comp_before = _seed(tmp_path, "compaction")
     tune_path, tune_before = _seed(tmp_path, "tune")
     batch_path, batch_before = _seed(tmp_path, "batch")
+    serve_path, serve_before = _seed(tmp_path, "serve")
 
     refresh_budget(scan_path, "scan", NEW)
     refresh_budget(prop_path, "proposition", NEW)
     refresh_budget(comp_path, "compaction", NEW)
     refresh_budget(tune_path, "tune", NEW)
     refresh_budget(batch_path, "batch", NEW)
+    refresh_budget(serve_path, "serve", NEW)
 
     assert json.loads(scan_path.read_text())["budgets"] == NEW
     assert prop_path.read_bytes() == prop_before  # byte-identical
     assert comp_path.read_bytes() == comp_before
     assert tune_path.read_bytes() == tune_before
     assert batch_path.read_bytes() == batch_before
+    assert serve_path.read_bytes() == serve_before
 
 
 def test_targeted_batch_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
@@ -103,6 +108,18 @@ def test_targeted_batch_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
 
     assert json.loads(batch_path.read_text())["budgets"] == NEW
     assert comp_path.read_bytes() == comp_before
+
+
+def test_targeted_serve_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_UPDATE_BUDGET", "serve")
+    serve_path, _ = _seed(tmp_path, "serve")
+    batch_path, batch_before = _seed(tmp_path, "batch")
+
+    refresh_budget(serve_path, "serve", NEW)
+    refresh_budget(batch_path, "batch", NEW)
+
+    assert json.loads(serve_path.read_text())["budgets"] == NEW
+    assert batch_path.read_bytes() == batch_before
 
 
 def test_targeted_tune_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
@@ -119,7 +136,7 @@ def test_targeted_tune_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
 
 def test_refresh_all_rewrites_every_budget(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_UPDATE_BUDGET", "1")
-    for name in ("scan", "proposition", "compaction", "tune", "batch"):
+    for name in ("scan", "proposition", "compaction", "tune", "batch", "serve"):
         path, _ = _seed(tmp_path, name)
         refresh_budget(path, name, NEW, scale=2.0)
         assert json.loads(path.read_text()) == {"scale": 2.0, "budgets": NEW}

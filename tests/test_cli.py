@@ -323,3 +323,46 @@ def test_batch_obs_flags(batch_paths, tmp_path, capsys):
     names = {ev.get("name") for ev in trace.get("traceEvents", trace)}
     assert "extract-linear-forest-batch" in names
     assert "batch-split-member" in names
+
+
+def test_serve_round_trips_the_line_protocol(mtx_path, tmp_path, capsys, monkeypatch):
+    import io
+    import json
+    import sys
+
+    lines = [
+        json.dumps({"id": 1, "op": "ping"}),
+        json.dumps({"id": 2, "op": "extract",
+                    "matrix": {"kind": "file", "path": mtx_path}}),
+        json.dumps({"id": 3, "op": "extract",
+                    "matrix": {"kind": "file", "path": mtx_path}}),
+        json.dumps({"id": 4, "op": "shutdown"}),
+    ]
+    cache_path = tmp_path / "results.json"
+    monkeypatch.setattr(sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+    rc = main(["serve", "--result-cache", str(cache_path), "--workers", "1"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    responses = {r.get("id"): r for r in map(json.loads, captured.out.splitlines())}
+    assert responses[1]["op"] == "ping" and responses[1]["ok"]
+    assert responses[2]["ok"] and responses[2]["cached"] is False
+    assert responses[3]["cached"] is True
+    assert responses[3]["result"] == responses[2]["result"]
+    assert responses[4]["op"] == "shutdown"
+    # operator chatter stays off the protocol stream
+    assert "repro serve" in captured.err
+    assert cache_path.exists()
+
+
+def test_serve_stops_on_end_of_input(monkeypatch, capsys):
+    import io
+    import sys
+
+    monkeypatch.setattr(sys, "stdin", io.StringIO(""))
+    assert main(["serve"]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_serve_rejects_bad_flags():
+    with pytest.raises(SystemExit):
+        main(["serve", "--workers"])

@@ -88,10 +88,78 @@ def test_strict_load_rejects_malformed_entries(tmp_path):
 
 
 def test_default_cache_path_honors_the_env(monkeypatch, tmp_path):
+    from repro.tune import cache as cache_mod
+
     monkeypatch.delenv("REPRO_TUNING_CACHE", raising=False)
+    # fresh pin state: an earlier test (or executed docs snippet) may have
+    # pinned the default under its own scratch directory
+    monkeypatch.setattr(cache_mod, "_DEFAULT_STATE", cache_mod._DefaultPathState())
     assert default_cache_path().name == "tuning.json"
     monkeypatch.setenv("REPRO_TUNING_CACHE", str(tmp_path / "other.json"))
     assert default_cache_path() == tmp_path / "other.json"
+
+
+class TestDefaultCachePathPinning:
+    """The relative default resolves absolute once and stays put.
+
+    A daemon (or any caller) that chdirs mid-process must not silently start
+    missing its own ``tuning.json``; a cwd change that would have moved the
+    default warns once (``TuningWarning``) and keeps the pinned path.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _fresh_state(self, monkeypatch):
+        from repro.tune import cache as cache_mod
+
+        monkeypatch.delenv("REPRO_TUNING_CACHE", raising=False)
+        monkeypatch.setattr(cache_mod, "_DEFAULT_STATE", cache_mod._DefaultPathState())
+
+    def test_default_is_absolute_and_survives_a_chdir(self, monkeypatch, tmp_path):
+        first_dir = tmp_path / "first"
+        first_dir.mkdir()
+        monkeypatch.chdir(first_dir)
+        pinned = default_cache_path()
+        assert pinned.is_absolute()
+        assert pinned == first_dir / "tuning.json"
+
+        elsewhere = tmp_path / "elsewhere"
+        elsewhere.mkdir()
+        monkeypatch.chdir(elsewhere)
+        with pytest.warns(TuningWarning, match="pinned"):
+            assert default_cache_path() == pinned
+
+    def test_the_cwd_change_warns_exactly_once(self, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        pinned = default_cache_path()
+        moved = tmp_path / "moved"
+        moved.mkdir()
+        monkeypatch.chdir(moved)
+        with pytest.warns(TuningWarning):
+            default_cache_path()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the second call stays silent
+            assert default_cache_path() == pinned
+
+    def test_unchanged_cwd_never_warns(self, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_cache_path() == default_cache_path()
+
+    def test_relative_env_override_is_absolutized_but_not_pinned(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_TUNING_CACHE", "custom.json")
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        a.mkdir()
+        b.mkdir()
+        monkeypatch.chdir(a)
+        assert default_cache_path() == a / "custom.json"
+        monkeypatch.chdir(b)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # explicit env: caller's choice, no warning
+            assert default_cache_path() == b / "custom.json"
 
 
 # -- the tolerant consult path: every miss degrades, none raises -----------
@@ -182,6 +250,91 @@ def test_auto_bumps_the_hit_and_miss_counters(graph, cache_path, tmp_path):
             auto_policy(graph, path=tmp_path / "absent.json")
     assert registry.counter("tune.auto.hit").value == 1
     assert registry.counter("tune.auto.miss").value == 1
+
+
+class TestParseCache:
+    """``auto_policy`` parses each on-disk cache version once, not per call.
+
+    Under the serve daemon the ``"auto"`` resolution runs per request; a
+    full disk read + JSON parse each time is the bug.  The in-process memo
+    is keyed by ``(path, mtime_ns, size)`` so an on-disk update (the atomic
+    rename of a concurrent ``repro tune``) is still picked up.
+    """
+
+    @pytest.fixture
+    def load_calls(self, monkeypatch):
+        calls = []
+        real_load = TuningCache.load.__func__
+
+        def spy(cls, path):
+            calls.append(str(path))
+            return real_load(cls, path)
+
+        monkeypatch.setattr(TuningCache, "load", classmethod(spy))
+        return calls
+
+    def test_second_resolution_does_not_reopen_the_file(
+        self, graph, cache_path, load_calls
+    ):
+        first = auto_policy(graph, path=cache_path)
+        second = auto_policy(graph, path=cache_path)
+        assert isinstance(first, LazyCompaction)
+        assert isinstance(second, LazyCompaction)
+        assert len(load_calls) == 1  # one parse, two resolutions
+
+    def test_an_on_disk_update_is_picked_up(self, graph, cache_path, load_calls):
+        import os
+
+        from repro.core.frontier import NeverCompaction
+
+        assert isinstance(auto_policy(graph, path=cache_path), LazyCompaction)
+
+        replacement = TuningCache()
+        replacement.record(
+            TuningEntry(policy="never", fingerprint=fingerprint_graph(graph))
+        )
+        replacement.save(cache_path)
+        # guarantee a new stat signature even on coarse-mtime filesystems
+        st = os.stat(cache_path)
+        os.utime(cache_path, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000_000))
+
+        assert isinstance(auto_policy(graph, path=cache_path), NeverCompaction)
+        assert len(load_calls) == 2
+
+    def test_a_corrupt_rewrite_is_not_memoized_as_good(self, graph, cache_path):
+        import os
+
+        auto_policy(graph, path=cache_path)
+        cache_path.write_text("{broken")
+        st = os.stat(cache_path)
+        os.utime(cache_path, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000_000))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _assert_falls_back(auto_policy(graph, path=cache_path), caught)
+
+
+def test_v1_fingerprint_keys_invalidate_not_misresolve(graph, tmp_path):
+    """A tuning.json written under fingerprint v1 must miss, not resolve.
+
+    The digest derivation changed in v2 (dtype/length tags); an old cache's
+    ``v1:…`` keys could only ever alias by accident, so the lookup has to
+    degrade to adaptive with a warning instead of trusting them.
+    """
+    cache = TuningCache()
+    cache.record(TuningEntry(policy="never", fingerprint=fingerprint_graph(graph)))
+    doc = cache.to_dict()
+    doc["entries"] = {
+        key.replace("v2:", "v1:", 1): value for key, value in doc["entries"].items()
+    }
+    assert all(key.startswith("v1:") for key in doc["entries"])
+    path = tmp_path / "tuning.json"
+    path.write_text(json.dumps(doc))
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        policy = auto_policy(graph, path=path)
+    # the v1 entry recommended "never"; the v2 lookup must NOT resolve it
+    _assert_falls_back(policy, caught)
 
 
 class TestAtomicSave:

@@ -61,6 +61,59 @@ def test_degree_histogram_counts_empty_rows():
     assert sum(hist) == 4
 
 
+class TestDtypeTaggedDigest:
+    """The v2 digest: dtype and array-boundary tags keep byte-coincident
+    buffers of different layouts apart (the v1 aliasing regression)."""
+
+    def test_byte_coincident_buffers_of_different_dtypes_do_not_collide(self):
+        from types import SimpleNamespace
+
+        # Two float32 values whose concatenated bytes re-read as ONE float64:
+        # under the v1 derivation (raw indptr+indices+data bytes, no tags)
+        # both graphs hash the exact same byte stream and collide.
+        pair32 = np.array([1.0, 2.0], dtype=np.float32)
+        one64 = np.frombuffer(pair32.tobytes(), dtype=np.float64)
+        indptr = np.array([0, 2], dtype=np.int64)
+        indices = np.array([0, 1], dtype=np.int64)
+        a = SimpleNamespace(indptr=indptr, indices=indices, data=pair32)
+        b = SimpleNamespace(indptr=indptr, indices=indices, data=one64)
+
+        raw_a = indptr.tobytes() + indices.tobytes() + pair32.tobytes()
+        raw_b = indptr.tobytes() + indices.tobytes() + one64.tobytes()
+        assert raw_a == raw_b  # v1 would have hashed identical streams
+        assert matrix_digest(a) != matrix_digest(b)
+
+    def test_boundary_shift_between_arrays_does_not_collide(self):
+        from types import SimpleNamespace
+
+        # Same total byte stream, but the indices/data boundary moved: v1's
+        # untagged concatenation could not tell these apart either.
+        a = SimpleNamespace(
+            indptr=np.array([0, 2], dtype=np.int64),
+            indices=np.array([0, 1], dtype=np.int64),
+            data=np.array([], dtype=np.float64),
+        )
+        b = SimpleNamespace(
+            indptr=np.array([0, 2], dtype=np.int64),
+            indices=np.array([0], dtype=np.int64),
+            data=np.frombuffer(np.array([1], dtype=np.int64).tobytes(), dtype=np.float64),
+        )
+        raw = lambda g: g.indptr.tobytes() + g.indices.tobytes() + g.data.tobytes()  # noqa: E731
+        assert raw(a) == raw(b)
+        assert matrix_digest(a) != matrix_digest(b)
+
+    def test_value_precision_changes_the_digest(self):
+        g64 = _graph()
+        g32 = g64.astype(np.float32)
+        assert matrix_digest(g64) != matrix_digest(g32)
+
+    def test_fingerprint_version_is_bumped(self):
+        # the derivation changed, so old v1 keys must be invalidated by the
+        # version prefix rather than mis-resolved
+        assert FINGERPRINT_VERSION == 2
+        assert fingerprint_graph(_graph()).key.startswith("v2:")
+
+
 def test_digest_tracks_the_weights():
     u, v = np.array([0, 1]), np.array([1, 2])
     a = prepare_graph(from_edges(3, u, v, np.array([1.0, 2.0])))
