@@ -3,6 +3,14 @@
 from .ascii_plot import ascii_line_plot
 from .figures import boxplot_stats, series_to_tsv
 from .forest_stats import ForestStatistics, forest_statistics
+from .obs_report import (
+    diff_metrics,
+    flatten_metrics,
+    load_obs_document,
+    metric_direction,
+    render_diff,
+    render_obs_report,
+)
 from .report import build_report
 from .tables import format_value, render_table, write_tsv
 
@@ -11,8 +19,14 @@ __all__ = [
     "ascii_line_plot",
     "boxplot_stats",
     "build_report",
+    "diff_metrics",
+    "flatten_metrics",
     "forest_statistics",
     "format_value",
+    "load_obs_document",
+    "metric_direction",
+    "render_diff",
+    "render_obs_report",
     "render_table",
     "series_to_tsv",
     "write_tsv",

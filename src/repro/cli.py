@@ -20,6 +20,11 @@ Matrix Market files):
 * ``serve`` — run the long-lived result-caching daemon: line-delimited JSON
   requests on stdin, responses on stdout, repeat requests served from a
   fingerprint-keyed cache with zero kernel launches (see docs/SERVING.md);
+  ``--telemetry-log``/``--prom-out`` stream its lifetime telemetry to disk;
+* ``obs`` — inspect telemetry artifacts offline: ``obs report`` summarizes
+  a telemetry log / stats snapshot / RunReport / bench report, ``obs diff``
+  compares two with direction-aware regression thresholds (nonzero exit on
+  regression), ``obs prom`` renders a snapshot as Prometheus text;
 * ``generate`` — write one of the bundled synthetic suite matrices to a
   Matrix Market file.
 
@@ -350,6 +355,10 @@ def _cmd_serve(args) -> int:
         result_cache_path=args.result_cache,
         compaction=args.compaction,
         max_workers=args.workers,
+        telemetry_log=args.telemetry_log,
+        prom_out=args.prom_out,
+        telemetry_interval=args.telemetry_interval,
+        slow_trace_fraction=args.slow_trace_fraction,
     )
     server = ReproServer(config)
     # stdout is the protocol stream; operator chatter goes to stderr
@@ -365,6 +374,52 @@ def _cmd_serve(args) -> int:
         f"{cache['entries']} entries cached)",
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_obs_report(args) -> int:
+    from .analysis import load_obs_document, render_obs_report
+
+    loaded = load_obs_document(args.file)
+    print(render_obs_report(loaded))
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    from .analysis import diff_metrics, flatten_metrics, load_obs_document, render_diff
+
+    baseline = flatten_metrics(load_obs_document(args.baseline))
+    new = flatten_metrics(load_obs_document(args.new))
+    diff = diff_metrics(baseline, new, threshold=args.threshold)
+    print(f"baseline: {args.baseline}")
+    print(f"new:      {args.new}")
+    print(render_diff(diff, verbose=args.verbose))
+    if diff["regressions"] and not args.warn_only:
+        return 1
+    return 0
+
+
+def _cmd_obs_prom(args) -> int:
+    from .analysis import load_obs_document
+    from .obs import render_prometheus, write_prometheus
+
+    loaded = load_obs_document(args.file)
+    if loaded["kind"] == "stats-snapshot":
+        snapshot = loaded["document"]
+    elif loaded["kind"] == "telemetry-log" and loaded["document"]["snapshots"]:
+        snapshot = loaded["document"]["snapshots"][-1]
+    else:
+        print(
+            f"{args.file}: need a stats snapshot or a telemetry log with at "
+            "least one snapshot line",
+            file=sys.stderr,
+        )
+        return 1
+    if args.output:
+        write_prometheus(snapshot, args.output)
+        print(f"prometheus exposition written to {args.output}")
+    else:
+        print(render_prometheus(snapshot), end="")
     return 0
 
 
@@ -471,8 +526,68 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers", type=int, default=4,
         help="max concurrent request threads (default 4)")
+    p.add_argument(
+        "--telemetry-log", metavar="PATH", default=None,
+        help="append periodic stats snapshots and tail-sampled traces here "
+             "as JSONL (read back with `repro obs report`)")
+    p.add_argument(
+        "--prom-out", metavar="PATH", default=None,
+        help="keep a Prometheus text-exposition file here, rewritten "
+             "atomically every telemetry interval")
+    p.add_argument(
+        "--telemetry-interval", type=float, default=10.0, metavar="SECONDS",
+        help="seconds between periodic telemetry emissions (default 10)")
+    p.add_argument(
+        "--slow-trace-fraction", type=float, default=0.05, metavar="FRACTION",
+        help="tail-sample this fraction of the slowest successful requests' "
+             "traces; errored requests are always retained (default 0.05)")
     _add_compaction_arg(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "obs",
+        help="inspect and compare telemetry artifacts "
+             "(run reports, stats snapshots, telemetry logs, bench reports)",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser(
+        "report",
+        help="human summary of one telemetry artifact (tables + sparklines)",
+    )
+    q.add_argument(
+        "file",
+        help="telemetry .jsonl log, stats snapshot, RunReport, or "
+             "BENCH_observability.json")
+    q.set_defaults(func=_cmd_obs_report)
+
+    q = obs_sub.add_parser(
+        "diff",
+        help="compare two telemetry artifacts; nonzero exit on regression",
+    )
+    q.add_argument("baseline", help="baseline artifact (any obs kind)")
+    q.add_argument("new", help="new artifact of the same kind")
+    q.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRACTION",
+        help="relative change beyond which a direction-aware metric is a "
+             "regression (default 0.25 = 25%%)")
+    q.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 anyway (CI drift watch)")
+    q.add_argument(
+        "--verbose", action="store_true",
+        help="show every compared metric, not just regressions")
+    q.set_defaults(func=_cmd_obs_diff)
+
+    q = obs_sub.add_parser(
+        "prom",
+        help="render a stats snapshot (or a telemetry log's last snapshot) "
+             "as Prometheus text exposition",
+    )
+    q.add_argument("file", help="stats snapshot JSON or telemetry .jsonl log")
+    q.add_argument("-o", "--output", default=None,
+                   help="write here (atomic) instead of stdout")
+    q.set_defaults(func=_cmd_obs_prom)
 
     p = sub.add_parser("generate", help="write a bundled suite matrix")
     p.add_argument("name", choices=sorted(SUITE))

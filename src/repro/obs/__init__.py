@@ -12,12 +12,28 @@ The observability layer every other layer reports into:
   :func:`~repro.obs.metrics.use_metrics`.
 * :func:`~repro.obs.report.build_run_report` — folds device launch logs,
   phase timings, convergence histories, spans and metrics into one
-  schema-versioned RunReport JSON (``repro.obs/run-report/v1``).
+  schema-versioned RunReport JSON (``repro.obs/run-report/v2``).
+* :class:`~repro.obs.agg.Aggregator` — daemon-lifetime aggregation fed per
+  request by the serve layer: per-op latency quantiles, rolling windowed
+  counters and a tail-based trace sampler, snapshotted under
+  ``repro.serve/stats/v2``; exposed by :mod:`repro.obs.expose` as
+  Prometheus text and an append-only JSONL telemetry log.
 
 See ``docs/OBSERVABILITY.md`` for the span hierarchy, metric names, the
 RunReport schema and the Perfetto how-to.
 """
 
+from .agg import (
+    STATS_SCHEMA,
+    Aggregator,
+    RollingCounter,
+    TailSampler,
+)
+from .expose import (
+    TelemetrySchedule,
+    render_prometheus,
+    write_prometheus,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -37,25 +53,34 @@ from .tracer import (
     Span,
     Tracer,
     current_tracer,
+    monotonic_clock,
     trace_span,
     use_tracer,
 )
 
 __all__ = [
+    "Aggregator",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "RUN_REPORT_SCHEMA",
+    "RollingCounter",
     "SCHEMA_VERSION",
+    "STATS_SCHEMA",
     "Span",
+    "TailSampler",
+    "TelemetrySchedule",
     "Tracer",
     "build_run_report",
     "collect_run_metrics",
     "current_metrics",
     "current_tracer",
+    "monotonic_clock",
+    "render_prometheus",
     "trace_span",
     "use_metrics",
     "use_tracer",
+    "write_prometheus",
     "write_run_report",
 ]

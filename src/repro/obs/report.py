@@ -1,7 +1,7 @@
 """Machine-readable run reports — the schema-versioned JSON of a run.
 
 One :func:`build_run_report` call folds every observability source of a run
-into a single dict under the ``repro.obs/run-report/v1`` schema:
+into a single dict under the ``repro.obs/run-report/v2`` schema:
 
 * the per-kernel aggregation of a :class:`~repro.device.device.Device`
   (exactly the numbers ``render_trace`` prints),
@@ -39,8 +39,12 @@ __all__ = [
     "write_run_report",
 ]
 
-#: Schema tag of the report layout (bump on incompatible changes).
-RUN_REPORT_SCHEMA = "repro.obs/run-report/v1"
+#: Schema tag of the report layout (bump on incompatible changes).  v2:
+#: histogram summaries carry reservoir-estimated ``p50``/``p95``/``p99``
+#: alongside count/total/min/max/mean, and serve-layer reports add a
+#: ``serve`` section (request latency on the daemon clock, per-request
+#: launch/byte totals, trace-retention flag).
+RUN_REPORT_SCHEMA = "repro.obs/run-report/v2"
 
 
 def collect_run_metrics(

@@ -38,12 +38,20 @@ __all__ = [
     "Span",
     "Tracer",
     "current_tracer",
+    "monotonic_clock",
     "trace_span",
     "use_tracer",
 ]
 
 #: Version tag stamped into every export (bump on incompatible changes).
 SCHEMA_VERSION = "repro.obs/v1"
+
+#: The one sanctioned monotonic clock of the observability layer.  Code
+#: outside ``src/repro/device/`` and this module must not call
+#: ``time.perf_counter`` directly (``tests/test_no_raw_timers.py``) — the
+#: aggregation/exposition layers take an injectable ``clock`` defaulting to
+#: this, so tests can substitute a deterministic clock.
+monotonic_clock = time.perf_counter
 
 
 def json_safe(value):

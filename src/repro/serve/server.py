@@ -7,8 +7,19 @@ request line is one JSON object with an ``op`` (``extract``, ``factor``,
 ``id`` echoed back verbatim, a ``matrix`` spec and an optional ``config``
 overlay; each response line is one JSON object carrying ``ok``, the result
 payload, whether it was ``cached``, and the per-request
-``repro.obs/run-report/v1`` report built by
-:class:`~repro.serve.session.RequestSession`.
+``repro.obs/run-report/v2`` report built by
+:class:`~repro.serve.session.RequestSession` (its ``serve`` section holds
+the request's latency on the daemon clock, per-request launch/byte totals
+and whether the tail sampler retained the trace).
+
+Beyond the per-request reports, the daemon keeps lifetime telemetry: every
+request is folded into one :class:`~repro.obs.agg.Aggregator` (per-op
+latency quantiles, rolling windowed counters, tail-sampled traces), the
+``stats`` op returns its ``repro.serve/stats/v2`` snapshot, and — when
+configured — a :class:`~repro.obs.expose.TelemetrySchedule` periodically
+appends snapshots to a JSONL telemetry log and atomically rewrites a
+Prometheus text-exposition file (``repro serve --telemetry-log/--prom-out``;
+see ``docs/OBSERVABILITY.md``).
 
 Requests are keyed by content, not identity::
 
@@ -48,9 +59,10 @@ import numpy as np
 
 from ..batch import extract_linear_forest_batch
 from ..core import ParallelFactorConfig, coverage, extract_linear_forest, parallel_factor
+from ..device import Device
 from ..errors import ConfigError
 from ..graphs import SUITE, build_matrix
-from ..obs import MetricsRegistry
+from ..obs import Aggregator, MetricsRegistry, TelemetrySchedule
 from ..solvers import (
     AlgTriBlockPrecond,
     AlgTriScalPrecond,
@@ -269,6 +281,14 @@ class ServeConfig:
     unbounded).  ``result_cache_path`` persists the cache on shutdown and
     warm-loads it on boot.  ``max_workers`` bounds concurrent request
     threads in :meth:`ReproServer.serve_forever`.
+
+    Telemetry knobs: ``telemetry_log`` appends periodic stats-v2 snapshots
+    and retained traces as JSONL; ``prom_out`` keeps a Prometheus text
+    exposition file rewritten atomically; ``telemetry_interval`` is the
+    seconds between periodic emissions; ``slow_trace_fraction`` is the
+    successful-request fraction the tail sampler retains (errors are always
+    retained) and ``trace_capacity`` bounds the in-memory retained ring;
+    ``window_seconds`` is the rolling-counter window width.
     """
 
     cache_max_bytes: int | None = 64 * 1024 * 1024
@@ -276,12 +296,35 @@ class ServeConfig:
     result_cache_path: "str | Path | None" = None
     compaction: object = None
     max_workers: int = 4
+    telemetry_log: "str | Path | None" = None
+    prom_out: "str | Path | None" = None
+    telemetry_interval: float = 10.0
+    slow_trace_fraction: float = 0.05
+    trace_capacity: int = 32
+    window_seconds: float = 60.0
 
     def __post_init__(self):
         if self.batch_window < 0:
             raise ConfigError(f"batch window cannot be negative: {self.batch_window}")
         if self.max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.telemetry_interval <= 0:
+            raise ConfigError(
+                f"telemetry interval must be positive, got {self.telemetry_interval}"
+            )
+        if not 0.0 <= self.slow_trace_fraction <= 1.0:
+            raise ConfigError(
+                f"slow trace fraction must be in [0, 1], got "
+                f"{self.slow_trace_fraction}"
+            )
+        if self.trace_capacity < 0:
+            raise ConfigError(
+                f"trace capacity cannot be negative: {self.trace_capacity}"
+            )
+        if self.window_seconds <= 0:
+            raise ConfigError(
+                f"window seconds must be positive, got {self.window_seconds}"
+            )
 
 
 class _Waiter:
@@ -317,10 +360,29 @@ class ReproServer:
     line-delimited JSON, what ``repro serve`` runs).
     """
 
-    def __init__(self, config: ServeConfig | None = None, *, device=None):
+    def __init__(
+        self, config: ServeConfig | None = None, *, device=None, clock=None
+    ):
         self.config = config or ServeConfig()
         self.device = device
         self.metrics = MetricsRegistry()
+        # daemon-lifetime aggregation: every request is folded in, and the
+        # injectable clock makes latencies (hence quantiles and sampling
+        # decisions) deterministic under test
+        self.agg = Aggregator(
+            clock=clock,
+            window_seconds=self.config.window_seconds,
+            slow_trace_fraction=self.config.slow_trace_fraction,
+            trace_capacity=self.config.trace_capacity,
+        )
+        self.telemetry = TelemetrySchedule(
+            self.stats,
+            self.agg,
+            prom_path=self.config.prom_out,
+            telemetry_path=self.config.telemetry_log,
+            interval=self.config.telemetry_interval,
+            clock=clock,
+        )
         path = self.config.result_cache_path
         if path is not None:
             self.cache = ResultCache.load_or_empty(
@@ -377,21 +439,30 @@ class ReproServer:
 
     def _dispatch(self, request_id, op, request) -> dict:
         self.metrics.counter("serve.requests").inc()
+        t0 = self.agg.clock()
         if op == "ping":
-            return {"id": request_id, "ok": True, "op": "ping", "protocol": PROTOCOL}
+            response = {"id": request_id, "ok": True, "op": "ping", "protocol": PROTOCOL}
+            self._record_simple("ping", t0, request_id)
+            return response
         if op == "stats":
-            return {
+            # the snapshot is taken before this request is folded in, so a
+            # stats response never counts itself
+            response = {
                 "id": request_id, "ok": True, "op": "stats",
                 "protocol": PROTOCOL, "stats": self.stats(),
             }
+            self._record_simple("stats", t0, request_id)
+            return response
         if op not in ("extract", "factor", "solve"):
-            return _error_response(
-                request_id,
-                ConfigError(
-                    f"unknown op {op!r} (valid: extract, factor, solve, "
-                    "ping, stats, shutdown)"
-                ),
+            exc = ConfigError(
+                f"unknown op {op!r} (valid: extract, factor, solve, "
+                "ping, stats, shutdown)"
             )
+            self._record_simple(
+                op if isinstance(op, str) and op else "unknown",
+                t0, request_id, error=f"ConfigError: {exc}",
+            )
+            return _error_response(request_id, exc)
         session = RequestSession(op, request_id=request_id)
         try:
             with session.ambient():
@@ -405,16 +476,62 @@ class ReproServer:
                 session.annotate(key=key, n_vertices=a.n_rows, nnz=a.nnz)
                 payload, cached = self._resolve(op, key, a, prepared, cfg, session)
             report = session.finish()
+            report["serve"] = self._record_session(session, t0)
             return {
                 "id": request_id, "ok": True, "op": op, "protocol": PROTOCOL,
                 "key": key, "cached": cached, "result": payload, "report": report,
             }
         except Exception as exc:  # a daemon survives bad requests
             self.metrics.counter("serve.errors").inc()
-            report = session.finish(error=f"{type(exc).__name__}: {exc}")
+            error_text = f"{type(exc).__name__}: {exc}"
+            report = session.finish(error=error_text)
+            report["serve"] = self._record_session(session, t0, error=error_text)
             response = _error_response(request_id, exc, op=op)
             response["report"] = report
             return response
+
+    # -- aggregate feeding -------------------------------------------------
+    def _record_simple(self, op, t0, request_id, *, error=None) -> None:
+        """Fold a pipeline-less request (ping/stats/unknown) and tick."""
+        self.agg.record_request(
+            op, latency=self.agg.clock() - t0, error=error, request_id=request_id
+        )
+        self.telemetry.tick()
+
+    def _record_session(self, session, t0, *, error=None) -> dict:
+        """Fold one pipeline request into the aggregator.
+
+        Returns the report's ``serve`` section.  The latency recorded here
+        is the same value embedded in the report, so per-op quantiles in
+        the stats snapshot are recomputable from the raw per-request
+        reports.  Launches and bytes come off the session tracer's kernel
+        spans (zero for hits, followers and non-leading batch members, so
+        aggregate totals never double-count).
+        """
+        latency = self.agg.clock() - t0
+        launches, nbytes = session.kernel_totals()
+        with self._lock:
+            evictions = self.cache.stats()["evictions"]
+        retained = self.agg.record_request(
+            session.op,
+            latency=latency,
+            error=error,
+            cached=session.cache_hit,
+            coalesced=session.coalesced,
+            batch_size=session.batch_size,
+            launches=launches,
+            bytes=nbytes,
+            evictions_total=evictions,
+            trace=session.spans_as_dicts(),
+            request_id=session.request_id,
+        )
+        self.telemetry.tick()
+        return {
+            "latency_seconds": latency,
+            "launches": launches,
+            "bytes": nbytes,
+            "trace_retained": retained,
+        }
 
     # -- cache + coalescing ------------------------------------------------
     def _resolve(self, op, key, a, prepared, cfg, session):
@@ -468,17 +585,28 @@ class ReproServer:
         session.annotate(stored=stored)
         return payload, False
 
+    def _run_device(self) -> Device:
+        """The metering device of one cold pipeline run.
+
+        Tests inject a shared recording device at construction; the real
+        daemon gets a fresh per-run one instead — its launches and bytes
+        land on the session tracer's kernel spans (that's where per-request
+        attribution reads them) and the device itself is discarded with the
+        request, so a long-lived daemon never accumulates launch records.
+        """
+        return self.device if self.device is not None else Device("serve-request")
+
     def _run_solo(self, op, a, prepared, cfg):
         if op == "extract":
             result = extract_linear_forest(
-                a, _config_from(cfg), device=self.device,
+                a, _config_from(cfg), device=self._run_device(),
                 merged_scan=cfg["merged_scan"],
                 compaction=self.config.compaction, prepared_graph=prepared,
             )
             return _extract_payload(result)
         if op == "factor":
             res = parallel_factor(
-                prepared, _config_from(cfg, n=cfg["n"]), device=self.device,
+                prepared, _config_from(cfg, n=cfg["n"]), device=self._run_device(),
                 compaction=self.config.compaction,
             )
             return _factor_payload(a, res)
@@ -565,7 +693,7 @@ class ReproServer:
         else:
             result = extract_linear_forest_batch(
                 [item.original for item in group], _config_from(cfg),
-                device=self.device, merged_scan=cfg["merged_scan"],
+                device=self._run_device(), merged_scan=cfg["merged_scan"],
                 compaction=self.config.compaction,
             )
             self.metrics.counter("serve.batched_runs").inc()
@@ -577,16 +705,28 @@ class ReproServer:
 
     # -- lifecycle ---------------------------------------------------------
     def stats(self) -> dict:
+        """The ``repro.serve/stats/v2`` document: aggregate + v1 fields.
+
+        Strict superset of the v1 payload — ``protocol``, ``cache`` and
+        ``metrics`` keep their v1 shapes (``cache`` additionally carries a
+        derived ``hit_ratio``); v2 adds ``schema``, ``uptime_seconds``,
+        per-op counts with latency quantiles (``ops``), the rolling
+        ``window``, lifetime ``totals`` and the tail ``sampler``.
+        """
         with self._lock:
             cache_stats = self.cache.stats()
-        return {
-            "protocol": PROTOCOL,
-            "cache": cache_stats,
-            "metrics": self.metrics.as_dict(),
-        }
+        snap = self.agg.snapshot(cache_stats=cache_stats)
+        snap["protocol"] = PROTOCOL
+        snap["metrics"] = self.metrics.as_dict()
+        return snap
 
     def shutdown(self) -> None:
-        """Refuse new requests, drain in-flight ones, persist the cache."""
+        """Refuse new requests, drain in-flight ones, persist the cache.
+
+        The telemetry schedule gets a final forced emission after the cache
+        persists, so the last snapshot on disk reflects the daemon's whole
+        life.
+        """
         with self._drain:
             self._closed = True
             while self._active > 0:
@@ -598,6 +738,7 @@ class ReproServer:
         if path is not None:
             with self._lock:
                 self.cache.save(path)
+        self.telemetry.close()
 
     def serve_forever(self, in_stream, out_stream) -> None:
         """Run the line protocol until ``shutdown`` or end of input.

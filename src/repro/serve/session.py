@@ -6,13 +6,22 @@ Every request — hit or miss — gets its own :class:`RequestSession`: a fresh
 :class:`~repro.obs.metrics.MetricsRegistry` carrying the serve-specific
 instruments (``serve.cache.hit``/``serve.cache.miss`` counters, the
 ``serve.batch.size`` histogram).  :meth:`RequestSession.finish` folds both
-into the schema-versioned ``repro.obs/run-report/v1`` dict that the server
+into the schema-versioned ``repro.obs/run-report/v2`` dict that the server
 attaches to every response line — the same report shape the CLI's
 ``--metrics-out`` writes, so existing tooling can consume it unchanged.
 
 The session's registry is also installed ambiently while the request body
 runs, so instrumented call sites below the serve layer (``tune.auto.hit``,
 ``batch.members``, …) land in the same per-request report.
+
+The session is also the seam the daemon-lifetime
+:class:`~repro.obs.agg.Aggregator` is fed through: the cache outcome is
+remembered on the session (``cache_hit``/``coalesced``/``batch_size``) and
+:meth:`kernel_totals` reads per-request launch and byte totals off the
+session tracer's kernel spans (``Device.launch`` opens one span per launch
+on the ambient tracer, carrying ``bytes_read``/``bytes_written``), so
+per-request attribution works even though the simulated device is shared
+across worker threads.
 """
 
 from __future__ import annotations
@@ -34,6 +43,13 @@ class RequestSession:
         if request_id is not None:
             self._root.attributes["request_id"] = request_id
         self._finished = False
+        #: Cache outcome, set by :meth:`record_cache` / :meth:`record_batch`
+        #: and read by the server when feeding the daemon-lifetime
+        #: aggregator.  ``cache_hit`` stays ``None`` when the request never
+        #: reached the cache (a load/validation error).
+        self.cache_hit: bool | None = None
+        self.coalesced = False
+        self.batch_size = 0
 
     def ambient(self):
         """Context manager installing this session's tracer + metrics."""
@@ -60,6 +76,8 @@ class RequestSession:
 
     def record_cache(self, *, hit: bool, coalesced: bool = False) -> None:
         """Count the cache outcome (the ``serve.cache.*`` instruments)."""
+        self.cache_hit = hit
+        self.coalesced = coalesced
         self.metrics.counter("serve.cache.hit" if hit else "serve.cache.miss").inc()
         if coalesced:
             self.metrics.counter("serve.coalesced").inc()
@@ -69,8 +87,28 @@ class RequestSession:
 
     def record_batch(self, size: int) -> None:
         """Observe how many cold misses shared this request's pipeline run."""
+        self.batch_size = size
         self.metrics.histogram("serve.batch.size").observe(size)
         self.annotate(batch_size=size)
+
+    def kernel_totals(self) -> tuple[int, int]:
+        """(launches, bytes) of this request, from the tracer's kernel spans.
+
+        A coalesced follower or a batch-window member that did not lead the
+        pack reports 0 — the launches belong to the leader's session, so
+        summing over all requests never double-counts.
+        """
+        launches = 0
+        total = 0
+        for span in self.tracer.find(category="kernel"):
+            launches += 1
+            total += int(span.attributes.get("bytes_read", 0) or 0)
+            total += int(span.attributes.get("bytes_written", 0) or 0)
+        return launches, total
+
+    def spans_as_dicts(self) -> list[dict]:
+        """The full span tree as JSONL rows (the tail sampler's payload)."""
+        return [span.as_dict() for span in self.tracer.spans]
 
     def finish(self, *, error: str | None = None, inputs: dict | None = None) -> dict:
         """Close the request span and build its run report (idempotent)."""

@@ -88,7 +88,9 @@ def bicgstab(
     def record(r: np.ndarray) -> float:
         rel = _norm(r) / b_norm
         history.relative_residuals.append(rel)
-        if metrics is not None:
+        if metrics is not None and not np.isnan(rel):
+            # a NaN residual (total numerical breakdown) stays visible in
+            # the history; the histogram rejects NaN by contract
             metrics.histogram("solver.relative_residual").observe(rel)
         if true_solution is not None:
             history.forward_errors.append(_norm(x - true_solution) / xt_norm)

@@ -1,0 +1,166 @@
+"""Unit tests for the offline telemetry analysis (`repro obs` internals)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    diff_metrics,
+    flatten_metrics,
+    load_obs_document,
+    metric_direction,
+    render_diff,
+    render_obs_report,
+)
+
+SNAPSHOT = {
+    "schema": "repro.serve/stats/v2",
+    "uptime_seconds": 12.5,
+    "ops": {
+        "extract": {
+            "count": 10, "errors": 1,
+            "latency": {"count": 10, "total": 1.0, "min": 0.05, "max": 0.2,
+                        "mean": 0.1, "p50": 0.1, "p95": 0.2, "p99": 0.2},
+        },
+    },
+    "window": {"seconds": 60.0, "requests": 10},
+    "totals": {"requests": 10, "errors": 1, "cache_hits": 6, "cache_misses": 4,
+               "cache_evictions": 0, "coalesced": 0, "batched_members": 0,
+               "launches": 40, "bytes": 1000, "hit_ratio": 0.6},
+    "sampler": {"slow_fraction": 0.05, "capacity": 32, "retained": 1,
+                "retained_errored": 1, "retained_slow": 0, "dropped": 9,
+                "traces": []},
+    "cache": {"entries": 4, "bytes": 100, "max_bytes": 1000, "hits": 6,
+              "misses": 4, "evictions": 0, "hit_ratio": 0.6},
+}
+
+
+class TestMetricDirection:
+    def test_latency_and_traffic_grow_bad(self):
+        assert metric_direction("ops.extract.latency.p95") == -1
+        assert metric_direction("totals.bytes") == -1
+        assert metric_direction("totals.launches") == -1
+        assert metric_direction("totals.errors") == -1
+
+    def test_ratios_and_coverage_grow_good(self):
+        assert metric_direction("totals.hit_ratio") == 1
+        assert metric_direction("runs.aniso2.coverage") == 1
+        # "better" wins over the neutral "hit" substring
+        assert metric_direction("cache.hit_ratio") == 1
+
+    def test_counts_are_neutral(self):
+        assert metric_direction("totals.requests") == 0
+        assert metric_direction("cache.entries") == 0
+
+
+class TestLoadAndFlatten:
+    def test_stats_snapshot(self, tmp_path):
+        path = tmp_path / "stats.json"
+        path.write_text(json.dumps(SNAPSHOT))
+        loaded = load_obs_document(path)
+        assert loaded["kind"] == "stats-snapshot"
+        flat = flatten_metrics(loaded)
+        assert flat["ops.extract.latency.p95"] == 0.2
+        assert flat["totals.hit_ratio"] == 0.6
+        assert flat["cache.entries"] == 4
+
+    def test_telemetry_log(self, tmp_path):
+        path = tmp_path / "tele.jsonl"
+        lines = [
+            {"kind": "snapshot", "at": 1.0, **SNAPSHOT},
+            {"kind": "trace", "op": "extract", "request_id": 1,
+             "latency_seconds": 0.2, "error": "boom", "spans": []},
+            {"kind": "snapshot", "at": 2.0, **SNAPSHOT},
+        ]
+        path.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+        loaded = load_obs_document(path)
+        assert loaded["kind"] == "telemetry-log"
+        flat = flatten_metrics(loaded)
+        assert flat["snapshots.logged"] == 2
+        assert flat["traces.logged"] == 1
+        assert flat["totals.requests"] == 10  # from the last snapshot
+
+    def test_bench_report(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "schema": "repro.obs/bench-report/v1",
+            "scale": 1.0,
+            "runs": [
+                {"matrix": "aniso2", "coverage": 0.66, "n_vertices": 100,
+                 "totals": {"launches": 30, "bytes": 5000, "kernel_seconds": 0.1}},
+                {"matrix": "ring", "coverage": 0.70, "n_vertices": 50,
+                 "totals": {"launches": 10, "bytes": 1000, "kernel_seconds": 0.05}},
+            ],
+        }))
+        flat = flatten_metrics(load_obs_document(path))
+        assert flat["runs.aniso2.bytes"] == 5000
+        assert flat["totals.launches"] == 40
+        assert flat["totals.runs"] == 2
+
+    def test_unknown_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ValueError, match="unrecognized schema"):
+            load_obs_document(path)
+
+    def test_bad_jsonl_line_is_located(self, tmp_path):
+        path = tmp_path / "tele.jsonl"
+        path.write_text('{"kind": "snapshot"}\nnot json\n')
+        with pytest.raises(ValueError, match="tele.jsonl:2"):
+            load_obs_document(path)
+
+
+class TestDiff:
+    def test_identical_has_no_regressions(self):
+        flat = {"totals.bytes": 100.0, "totals.hit_ratio": 0.5}
+        diff = diff_metrics(flat, dict(flat))
+        assert diff["regressions"] == []
+        assert "no regressions" in render_diff(diff)
+
+    def test_latency_growth_is_flagged(self):
+        a = {"ops.extract.latency.p95": 0.10}
+        b = {"ops.extract.latency.p95": 0.16}
+        # +60% growth: under a loose threshold it passes, under 25% it flags
+        assert diff_metrics(a, b, threshold=0.75)["regressions"] == []
+        diff = diff_metrics(a, b, threshold=0.25)
+        assert len(diff["regressions"]) == 1
+        assert "REGRESSION" in render_diff(diff)
+
+    def test_latency_improvement_is_not_flagged(self):
+        diff = diff_metrics(
+            {"ops.extract.latency.p95": 0.2},
+            {"ops.extract.latency.p95": 0.05},
+            threshold=0.25,
+        )
+        assert diff["regressions"] == []
+
+    def test_hit_ratio_drop_is_flagged(self):
+        diff = diff_metrics(
+            {"totals.hit_ratio": 0.8}, {"totals.hit_ratio": 0.4},
+            threshold=0.25,
+        )
+        assert len(diff["regressions"]) == 1
+
+    def test_neutral_metrics_never_flag(self):
+        diff = diff_metrics(
+            {"totals.requests": 10.0}, {"totals.requests": 1000.0},
+            threshold=0.25,
+        )
+        assert diff["regressions"] == []
+
+    def test_disjoint_keys_reported(self):
+        diff = diff_metrics({"a.seconds": 1.0}, {"b.seconds": 2.0})
+        assert diff["rows"] == []
+        assert diff["only_a"] == ["a.seconds"]
+        assert diff["only_b"] == ["b.seconds"]
+        text = render_diff(diff)
+        assert "only in baseline" in text and "only in new" in text
+
+
+def test_render_report_smoke(tmp_path):
+    path = tmp_path / "stats.json"
+    path.write_text(json.dumps(SNAPSHOT))
+    text = render_obs_report(load_obs_document(path))
+    assert "per-op latency" in text
+    assert "extract" in text
+    assert "tail sampler" in text

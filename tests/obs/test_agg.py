@@ -1,0 +1,205 @@
+"""Unit tests for the daemon-lifetime aggregation layer (fake clocks only)."""
+
+import threading
+
+import pytest
+
+from repro.obs import Aggregator, RollingCounter, STATS_SCHEMA, TailSampler
+
+
+class FakeClock:
+    """A scripted monotonic clock: each call advances by ``step`` seconds."""
+
+    def __init__(self, start: float = 0.0, step: float = 0.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRollingCounter:
+    def test_counts_inside_the_window(self):
+        rc = RollingCounter(window_seconds=60.0, buckets=12)
+        rc.inc(0.0)
+        rc.inc(10.0, 2)
+        assert rc.total(10.0) == 3
+
+    def test_old_buckets_age_out(self):
+        rc = RollingCounter(window_seconds=60.0, buckets=12)
+        rc.inc(0.0, 5)
+        assert rc.total(30.0) == 5
+        assert rc.total(61.0) == 0
+
+    def test_stale_slots_are_recycled_not_double_counted(self):
+        rc = RollingCounter(window_seconds=60.0, buckets=12)
+        rc.inc(0.0, 5)
+        # one full window later the same ring slot is reused for a new epoch
+        rc.inc(60.0, 1)
+        assert rc.total(60.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingCounter(window_seconds=0)
+        with pytest.raises(ValueError):
+            RollingCounter(buckets=0)
+
+
+class TestTailSampler:
+    def test_errors_are_always_retained(self):
+        s = TailSampler(slow_fraction=0.0)
+        for _ in range(10):
+            assert s.admit(0.001, errored=True) is True
+        assert s.retained_errored == 10
+        assert s.dropped == 0
+
+    def test_constant_latency_successes_are_dropped(self):
+        # a constant latency never strictly exceeds its own quantile, so
+        # with any slow_fraction < 1 nothing qualifies — deterministically
+        s = TailSampler(slow_fraction=0.05)
+        for _ in range(100):
+            assert s.admit(0.010, errored=False) is False
+        assert s.dropped == 100
+        assert s.retained_slow == 0
+
+    def test_outliers_are_retained(self):
+        s = TailSampler(slow_fraction=0.05)
+        for _ in range(99):
+            s.admit(0.010, errored=False)
+        assert s.admit(0.100, errored=False) is True
+        assert s.retained_slow == 1
+
+    def test_slow_fraction_one_retains_everything(self):
+        s = TailSampler(slow_fraction=1.0)
+        assert s.admit(0.010, errored=False) is True
+        assert s.admit(0.010, errored=False) is True
+        assert s.dropped == 0
+
+    def test_decisions_are_deterministic_across_instances(self):
+        latencies = [0.01 * ((i % 7) + 1) for i in range(500)]
+        a = TailSampler(slow_fraction=0.1)
+        b = TailSampler(slow_fraction=0.1)
+        decisions_a = [a.admit(v, errored=False) for v in latencies]
+        decisions_b = [b.admit(v, errored=False) for v in latencies]
+        assert decisions_a == decisions_b
+
+    def test_retained_ring_is_bounded(self):
+        s = TailSampler(slow_fraction=1.0, capacity=4)
+        for i in range(10):
+            s.admit(0.01, errored=False)
+            s.keep({"request_id": i})
+        assert len(s.retained) == 4
+        assert [r["request_id"] for r in s.retained] == [6, 7, 8, 9]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TailSampler(slow_fraction=1.5)
+        with pytest.raises(ValueError):
+            TailSampler(capacity=-1)
+
+
+class TestAggregator:
+    def test_snapshot_schema_and_uptime(self):
+        clock = FakeClock(start=100.0)
+        agg = Aggregator(clock=clock)
+        clock.advance(5.0)
+        snap = agg.snapshot()
+        assert snap["schema"] == STATS_SCHEMA
+        assert snap["uptime_seconds"] == 5.0
+
+    def test_per_op_counts_errors_and_quantiles(self):
+        agg = Aggregator(clock=FakeClock())
+        for v in (0.1, 0.2, 0.3, 0.4):
+            agg.record_request("extract", latency=v)
+        agg.record_request("solve", latency=1.0, error="ValueError: boom")
+        snap = agg.snapshot()
+        ex = snap["ops"]["extract"]
+        assert ex["count"] == 4 and ex["errors"] == 0
+        assert ex["latency"]["p50"] == 0.2
+        assert ex["latency"]["p99"] == 0.4
+        sv = snap["ops"]["solve"]
+        assert sv["count"] == 1 and sv["errors"] == 1
+
+    def test_hit_ratio_from_cached_flags(self):
+        agg = Aggregator(clock=FakeClock())
+        agg.record_request("extract", latency=0.1, cached=False)
+        agg.record_request("extract", latency=0.1, cached=True)
+        agg.record_request("extract", latency=0.1, cached=True)
+        agg.record_request("ping", latency=0.0)  # cached=None: not a lookup
+        totals = agg.snapshot()["totals"]
+        assert totals["cache_hits"] == 2
+        assert totals["cache_misses"] == 1
+        assert totals["hit_ratio"] == pytest.approx(2 / 3)
+
+    def test_hit_ratio_none_before_any_lookup(self):
+        agg = Aggregator(clock=FakeClock())
+        agg.record_request("ping", latency=0.0)
+        assert agg.snapshot()["totals"]["hit_ratio"] is None
+
+    def test_eviction_totals_are_diffed_into_the_window(self):
+        agg = Aggregator(clock=FakeClock())
+        agg.record_request("extract", latency=0.1, evictions_total=2)
+        agg.record_request("extract", latency=0.1, evictions_total=5)
+        agg.record_request("extract", latency=0.1, evictions_total=5)
+        assert agg.snapshot()["totals"]["cache_evictions"] == 5
+
+    def test_window_counters_age_out_but_totals_do_not(self):
+        clock = FakeClock(start=0.0)
+        agg = Aggregator(clock=clock, window_seconds=60.0)
+        agg.record_request("extract", latency=0.1, launches=4, bytes=100)
+        clock.advance(120.0)
+        snap = agg.snapshot()
+        assert snap["window"]["requests"] == 0
+        assert snap["window"]["launches"] == 0
+        assert snap["totals"]["requests"] == 1
+        assert snap["totals"]["launches"] == 4
+        assert snap["totals"]["bytes"] == 100
+
+    def test_trace_retention_and_drain(self):
+        agg = Aggregator(clock=FakeClock(), slow_trace_fraction=0.0)
+        spans = [{"name": "serve-request"}]
+        kept = agg.record_request(
+            "extract", latency=0.1, error="boom", trace=spans, request_id=7
+        )
+        dropped = agg.record_request("extract", latency=0.1, trace=spans)
+        assert kept is True and dropped is False
+        fresh = agg.drain_traces()
+        assert len(fresh) == 1
+        assert fresh[0]["kind"] == "trace"
+        assert fresh[0]["request_id"] == 7
+        assert agg.drain_traces() == []  # drained once, gone
+        summaries = agg.snapshot()["sampler"]["traces"]
+        assert len(summaries) == 1 and summaries[0]["spans"] == 1
+
+    def test_cache_stats_embedding_adds_hit_ratio(self):
+        agg = Aggregator(clock=FakeClock())
+        snap = agg.snapshot(cache_stats={"hits": 3, "misses": 1, "entries": 2})
+        assert snap["cache"]["hit_ratio"] == 0.75
+        assert snap["cache"]["entries"] == 2
+
+    def test_thread_hammering_keeps_totals_exact(self):
+        agg = Aggregator(clock=FakeClock(step=0.001))
+        n_threads, per_thread = 8, 200
+
+        def hammer() -> None:
+            for i in range(per_thread):
+                agg.record_request(
+                    "extract", latency=0.01, cached=(i % 2 == 0), launches=1
+                )
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = agg.snapshot()
+        total = n_threads * per_thread
+        assert snap["totals"]["requests"] == total
+        assert snap["totals"]["launches"] == total
+        assert snap["ops"]["extract"]["count"] == total
+        assert snap["totals"]["cache_hits"] == total // 2

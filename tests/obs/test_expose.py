@@ -1,0 +1,210 @@
+"""Tests for the Prometheus writer and the telemetry schedule.
+
+Includes a minimal validator of the Prometheus text exposition format
+(version 0.0.4): every line must be a well-formed ``# HELP``/``# TYPE``
+comment or a ``name{labels} value`` sample, samples must follow their
+``# TYPE``, and a metric may be declared only once.  Scraping agents are
+strict about this, so the writer is too.
+"""
+
+import json
+import re
+import threading
+
+import pytest
+
+from repro.obs import Aggregator, TelemetrySchedule, render_prometheus, write_prometheus
+
+from .test_agg import FakeClock
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"'
+_VALUE = r"(?:NaN|[+-]?Inf|[+-]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?)"
+_SAMPLE = re.compile(
+    rf"^({_NAME})(\{{{_LABEL}(?:,{_LABEL})*\}})? {_VALUE}$"
+)
+_HELP = re.compile(rf"^# HELP ({_NAME}) \S.*$")
+_TYPE = re.compile(
+    rf"^# TYPE ({_NAME}) (counter|gauge|summary|histogram|untyped)$"
+)
+
+
+def validate_prometheus_text(text: str) -> None:
+    """Assert ``text`` is well-formed exposition; raises AssertionError."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    declared: set = set()
+    typed: set = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP"):
+            m = _HELP.match(line)
+            assert m, f"line {lineno}: malformed HELP: {line!r}"
+            continue
+        if line.startswith("# TYPE"):
+            m = _TYPE.match(line)
+            assert m, f"line {lineno}: malformed TYPE: {line!r}"
+            name = m.group(1)
+            assert name not in declared, f"line {lineno}: duplicate TYPE for {name}"
+            declared.add(name)
+            typed.add(name)
+            continue
+        assert not line.startswith("#"), f"line {lineno}: unknown comment {line!r}"
+        m = _SAMPLE.match(line)
+        assert m, f"line {lineno}: malformed sample: {line!r}"
+        name = m.group(1)
+        # a summary's _sum/_count samples belong to the base metric
+        base = re.sub(r"_(sum|count)$", "", name)
+        assert name in typed or base in typed, (
+            f"line {lineno}: sample {name} before its # TYPE"
+        )
+
+
+def _busy_aggregator() -> Aggregator:
+    agg = Aggregator(clock=FakeClock(step=0.001), slow_trace_fraction=0.0)
+    agg.record_request("extract", latency=0.02, cached=False, launches=5, bytes=1000)
+    agg.record_request("extract", latency=0.001, cached=True)
+    agg.record_request(
+        "solve", latency=0.5, error="ValueError: boom",
+        trace=[{"name": "serve-request"}], request_id="r1",
+    )
+    return agg
+
+
+def test_rendered_exposition_is_well_formed():
+    snap = _busy_aggregator().snapshot(
+        cache_stats={"entries": 1, "bytes": 10, "max_bytes": 100,
+                     "hits": 1, "misses": 1, "evictions": 0}
+    )
+    text = render_prometheus(snap)
+    validate_prometheus_text(text)
+    assert 'repro_requests_total{op="extract"} 2' in text
+    assert 'repro_request_latency_seconds{op="extract",quantile="0.5"}' in text
+    assert "repro_cache_hit_ratio 0.5" in text
+    assert 'repro_traces_retained_total{reason="error"} 1' in text
+
+
+def test_quantiles_render_nan_when_empty():
+    agg = Aggregator(clock=FakeClock())
+    agg.record_request("fail", latency=0.1, error="boom")
+    # the errored request never feeds the success-latency reservoir, but
+    # the op still has latency stats; hit_ratio with no lookups is NaN
+    text = render_prometheus(agg.snapshot())
+    validate_prometheus_text(text)
+    assert "repro_cache_hit_ratio NaN" in text
+
+
+def test_label_values_are_escaped():
+    agg = Aggregator(clock=FakeClock())
+    agg.record_request('weird"op\nname\\x', latency=0.1)
+    text = render_prometheus(agg.snapshot())
+    validate_prometheus_text(text)
+    assert '\\"' in text and "\\n" in text and "\\\\" in text
+
+
+def test_write_prometheus_is_atomic_and_parseable(tmp_path):
+    path = tmp_path / "sub" / "metrics.prom"
+    snap = _busy_aggregator().snapshot()
+    write_prometheus(snap, path)
+    validate_prometheus_text(path.read_text())
+    # a rewrite replaces, never appends
+    write_prometheus(snap, path)
+    validate_prometheus_text(path.read_text())
+    leftovers = [p for p in path.parent.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []
+
+
+class TestTelemetrySchedule:
+    def test_disabled_without_paths(self):
+        agg = Aggregator(clock=FakeClock())
+        sched = TelemetrySchedule(lambda: {}, agg, clock=FakeClock())
+        assert sched.enabled is False
+        assert sched.tick() is False
+        sched.close()
+        assert sched.snapshots_written == 0
+
+    def test_interval_gating_on_the_injected_clock(self, tmp_path):
+        clock = FakeClock(start=0.0)
+        agg = Aggregator(clock=clock)
+        log = tmp_path / "tele.jsonl"
+        sched = TelemetrySchedule(
+            lambda: {"schema": "s", "n": agg.snapshot()["totals"]["requests"]},
+            agg, telemetry_path=log, interval=10.0, clock=clock,
+        )
+        assert sched.tick() is True  # first tick always emits
+        assert sched.tick() is False  # clock hasn't advanced enough
+        clock.advance(9.0)
+        assert sched.tick() is False
+        clock.advance(2.0)
+        assert sched.tick() is True
+        assert sched.snapshots_written == 2
+        lines = [json.loads(l) for l in log.read_text().splitlines()]
+        assert [l["kind"] for l in lines] == ["snapshot", "snapshot"]
+        assert lines[1]["at"] > lines[0]["at"]
+
+    def test_traces_drain_on_every_tick_snapshot_or_not(self, tmp_path):
+        clock = FakeClock(start=0.0)
+        agg = Aggregator(clock=clock, slow_trace_fraction=0.0)
+        log = tmp_path / "tele.jsonl"
+        sched = TelemetrySchedule(
+            lambda: {"schema": "s"}, agg,
+            telemetry_path=log, interval=1000.0, clock=clock,
+        )
+        sched.tick()  # first snapshot
+        agg.record_request(
+            "solve", latency=0.1, error="boom",
+            trace=[{"name": "serve-request"}], request_id=3,
+        )
+        clock.advance(0.5)
+        assert sched.tick() is False  # not due — but the trace still lands
+        kinds = [json.loads(l)["kind"] for l in log.read_text().splitlines()]
+        assert kinds == ["snapshot", "trace"]
+
+    def test_close_forces_a_final_snapshot_once(self, tmp_path):
+        clock = FakeClock(start=0.0)
+        agg = Aggregator(clock=clock)
+        log = tmp_path / "tele.jsonl"
+        prom = tmp_path / "metrics.prom"
+        sched = TelemetrySchedule(
+            lambda: agg.snapshot(), agg,
+            prom_path=prom, telemetry_path=log, interval=1000.0, clock=clock,
+        )
+        sched.tick()
+        agg.record_request("extract", latency=0.1)
+        sched.close()
+        sched.close()  # idempotent
+        assert sched.tick() is False  # closed schedules never emit again
+        lines = [json.loads(l) for l in log.read_text().splitlines()]
+        assert len([l for l in lines if l["kind"] == "snapshot"]) == 2
+        assert prom.exists()
+
+    def test_rejects_bad_interval(self):
+        agg = Aggregator(clock=FakeClock())
+        with pytest.raises(ValueError):
+            TelemetrySchedule(lambda: {}, agg, interval=0.0)
+
+    def test_concurrent_ticks_do_not_tear_the_log(self, tmp_path):
+        clock = FakeClock(start=0.0, step=0.001)
+        agg = Aggregator(clock=clock, slow_trace_fraction=0.0)
+        log = tmp_path / "tele.jsonl"
+        sched = TelemetrySchedule(
+            lambda: agg.snapshot(), agg,
+            telemetry_path=log, interval=0.0001, clock=clock,
+        )
+
+        def work() -> None:
+            for i in range(50):
+                agg.record_request(
+                    "extract", latency=0.01, error="boom",
+                    trace=[{"name": "s"}], request_id=i,
+                )
+                sched.tick()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sched.close()
+        records = [json.loads(l) for l in log.read_text().splitlines()]
+        assert len([r for r in records if r["kind"] == "trace"]) == 200

@@ -1,8 +1,11 @@
 """Unit tests for counters, gauges, histograms and the ambient registry."""
 
+import threading
+
 import pytest
 
 from repro.obs import (
+    Histogram,
     MetricsRegistry,
     current_metrics,
     use_metrics,
@@ -37,7 +40,110 @@ def test_histogram_streaming_summary():
         h.observe(v)
     assert h.summary() == {
         "count": 3, "total": 1.75, "min": 0.25, "max": 1.0, "mean": 1.75 / 3,
+        "p50": 0.5, "p95": 1.0, "p99": 1.0,
     }
+
+
+def test_histogram_summary_when_empty():
+    h = Histogram("empty")
+    assert h.summary() == {
+        "count": 0, "total": 0.0, "min": None, "max": None, "mean": None,
+        "p50": None, "p95": None, "p99": None,
+    }
+    assert h.quantile(0.5) is None
+
+
+def test_histogram_single_observation_is_every_quantile():
+    h = Histogram("single")
+    h.observe(3.5)
+    s = h.summary()
+    assert s["count"] == 1
+    assert s["min"] == s["max"] == s["mean"] == 3.5
+    assert s["p50"] == s["p95"] == s["p99"] == 3.5
+    assert h.quantile(0.0) == h.quantile(1.0) == 3.5
+
+
+def test_histogram_rejects_nan():
+    h = Histogram("nan")
+    with pytest.raises(ValueError, match="NaN"):
+        h.observe(float("nan"))
+    assert h.count == 0
+    assert h.summary()["p50"] is None
+
+
+def test_histogram_quantile_range_checked():
+    h = Histogram("range")
+    h.observe(1.0)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+
+
+def test_histogram_quantiles_exact_below_reservoir_size():
+    h = Histogram("exact", reservoir_size=100)
+    for v in range(1, 101):
+        h.observe(float(v))
+    # nearest-rank over the full series: p50 -> 50th value, p95 -> 95th
+    assert h.quantile(0.50) == 50.0
+    assert h.quantile(0.95) == 95.0
+    assert h.quantile(0.99) == 99.0
+    assert h.quantile(1.00) == 100.0
+
+
+def test_histogram_reservoir_is_deterministic_for_a_name_and_sequence():
+    sequence = [float((7 * i) % 1000) for i in range(5000)]
+    a = Histogram("determinism", reservoir_size=64)
+    b = Histogram("determinism", reservoir_size=64)
+    for v in sequence:
+        a.observe(v)
+        b.observe(v)
+    assert a.samples() == b.samples()
+    assert a.summary() == b.summary()
+    # an explicit seed overrides the name-derived one
+    c = Histogram("other-name", reservoir_size=64, reservoir_seed=1)
+    d = Histogram("another-name", reservoir_size=64, reservoir_seed=1)
+    for v in sequence:
+        c.observe(v)
+        d.observe(v)
+    assert c.samples() == d.samples()
+
+
+def test_histogram_reservoir_stays_bounded():
+    h = Histogram("bounded", reservoir_size=16)
+    for v in range(1000):
+        h.observe(float(v))
+    assert len(h.samples()) == 16
+    assert h.count == 1000
+
+
+def test_instruments_survive_a_thread_hammering():
+    """All three instruments mutated from many threads stay consistent."""
+    reg = MetricsRegistry()
+    n_threads, per_thread = 8, 500
+
+    def hammer(seed: int) -> None:
+        for i in range(per_thread):
+            reg.counter("hammer.count").inc()
+            reg.counter("hammer.amount").inc(2)
+            reg.gauge("hammer.gauge").set(seed)
+            reg.histogram("hammer.hist").observe(float(i % 10))
+
+    threads = [
+        threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    total = n_threads * per_thread
+    assert reg.counter("hammer.count").value == total
+    assert reg.counter("hammer.amount").value == 2 * total
+    assert reg.gauge("hammer.gauge").value in range(n_threads)
+    h = reg.histogram("hammer.hist")
+    assert h.count == total
+    assert h.total == sum(float(i % 10) for i in range(per_thread)) * n_threads
+    assert len(h.samples()) == min(total, h.reservoir_size)
 
 
 def test_registry_get_or_create_is_stable():

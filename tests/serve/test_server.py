@@ -182,10 +182,12 @@ class TestHandleRequest:
     def test_every_response_carries_a_run_report(self, server, matrix):
         r = server.handle_request({"op": "extract", "matrix": _csr_spec(matrix)})
         report = r["report"]
-        assert report["schema"] == "repro.obs/run-report/v1"
+        assert report["schema"] == "repro.obs/run-report/v2"
         assert report["command"] == "serve.extract"
         assert report["metrics"]["counters"]["serve.cache.miss"] == 1
         assert "serve-request" in report["spans"]["roots"]
+        assert report["serve"]["latency_seconds"] >= 0
+        assert report["serve"]["launches"] > 0
 
     def test_hit_report_counts_the_hit_and_batch_size(self, server, matrix):
         req = {"op": "extract", "matrix": _csr_spec(matrix)}

@@ -1,0 +1,266 @@
+"""Daemon-lifetime telemetry through the serve layer, on an injected clock.
+
+The acceptance property of the aggregation layer: the ``stats`` snapshot's
+per-op quantiles and hit ratio must equal the values recomputed from the
+raw per-request run reports — same latencies (the server embeds the exact
+value it fed the aggregator in ``report["serve"]["latency_seconds"]``),
+same nearest-rank quantile rule, same hit accounting.  A scripted clock
+makes every latency a chosen number, so the comparison is exact, and the
+tail sampler's retention decisions are a pure function of the request
+sequence.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.graphs import aniso2
+from repro.serve import ReproServer, ServeConfig
+
+
+class ScriptedClock:
+    """Monotonic clock whose per-call step is settable between requests."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.step = 0.0
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def _csr_spec(a):
+    return {
+        "kind": "csr",
+        "n": a.n_rows,
+        "indptr": [int(v) for v in a.indptr],
+        "indices": [int(v) for v in a.indices],
+        "data": [float(v) for v in a.data],
+        "dtype": str(a.data.dtype),
+    }
+
+
+def _nearest_rank(values, q):
+    ordered = sorted(values)
+    return ordered[max(1, math.ceil(q * len(ordered))) - 1]
+
+
+@pytest.fixture
+def matrix():
+    return aniso2(16)
+
+
+def _serve_with_clock(config=None):
+    clock = ScriptedClock()
+    return ReproServer(config or ServeConfig(), clock=clock), clock
+
+
+class TestQuantilesMatchRawReports:
+    def test_snapshot_quantiles_recompute_from_per_request_reports(self, matrix):
+        server, clock = _serve_with_clock()
+        spec = _csr_spec(matrix)
+        # 21 requests: one cold miss, twenty hits, each with a scripted
+        # latency (the step between the dispatch's two clock reads).  All
+        # latencies are dyadic rationals so clock arithmetic is exact and
+        # the recomputation can compare floats with ==.
+        latencies_wanted = [0.5] + [(i % 7 + 1) / 64 for i in range(20)]
+        responses = []
+        for i, lat in enumerate(latencies_wanted):
+            clock.step = lat
+            r = server.handle_request({"op": "extract", "matrix": spec, "id": i})
+            assert r["ok"], r
+            responses.append(r)
+        reported = [r["report"]["serve"]["latency_seconds"] for r in responses]
+        assert reported == latencies_wanted
+
+        clock.step = 0.0
+        snap = server.stats()
+        latency = snap["ops"]["extract"]["latency"]
+        assert latency["count"] == len(reported)
+        assert latency["total"] == pytest.approx(sum(reported))
+        # fewer observations than the reservoir: quantiles are exact
+        for key, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            assert latency[key] == _nearest_rank(reported, q), key
+        assert latency["min"] == min(reported)
+        assert latency["max"] == max(reported)
+
+    def test_hit_ratio_recomputes_from_cached_flags(self, matrix):
+        server, clock = _serve_with_clock()
+        spec = _csr_spec(matrix)
+        cached_flags = []
+        for i in range(8):
+            clock.step = 0.01
+            r = server.handle_request({"op": "extract", "matrix": spec, "id": i})
+            cached_flags.append(r["cached"])
+        assert cached_flags == [False] + [True] * 7
+        totals = server.stats()["totals"]
+        hits = sum(1 for c in cached_flags if c)
+        misses = sum(1 for c in cached_flags if not c)
+        assert totals["cache_hits"] == hits
+        assert totals["cache_misses"] == misses
+        assert totals["hit_ratio"] == pytest.approx(hits / (hits + misses))
+        # the store-level ratio agrees (every lookup went through the cache)
+        assert server.stats()["cache"]["hit_ratio"] == pytest.approx(
+            hits / (hits + misses)
+        )
+
+    def test_launch_and_byte_totals_recompute_from_reports(self, matrix):
+        server, clock = _serve_with_clock()
+        clock.step = 0.01
+        spec = _csr_spec(matrix)
+        r_cold = server.handle_request({"op": "extract", "matrix": spec})
+        r_warm = server.handle_request({"op": "extract", "matrix": spec})
+        cold, warm = r_cold["report"]["serve"], r_warm["report"]["serve"]
+        assert cold["launches"] > 0 and cold["bytes"] > 0
+        assert warm["launches"] == 0 and warm["bytes"] == 0  # hits launch nothing
+        totals = server.stats()["totals"]
+        assert totals["launches"] == cold["launches"] + warm["launches"]
+        assert totals["bytes"] == cold["bytes"] + warm["bytes"]
+
+
+class TestStatsV2Shape:
+    def test_v1_compat_subset_is_preserved(self, matrix):
+        """The v1 stats consumers must keep working against a v2 payload."""
+        server, clock = _serve_with_clock()
+        clock.step = 0.01
+        server.handle_request({"op": "extract", "matrix": _csr_spec(matrix)})
+        stats = server.handle_request({"op": "stats"})["stats"]
+        # exactly what v1 exposed: protocol, cache stats, server metrics
+        assert stats["protocol"] == "repro.serve/v1"
+        assert stats["cache"]["entries"] == 1
+        assert stats["cache"]["misses"] == 1
+        assert stats["metrics"]["counters"]["serve.cache.miss"] == 1
+        assert stats["metrics"]["counters"]["serve.requests"] == 2
+
+    def test_v2_additions(self, matrix):
+        server, clock = _serve_with_clock()
+        clock.step = 0.01
+        server.handle_request({"op": "extract", "matrix": _csr_spec(matrix)})
+        server.handle_request({"op": "ping"})
+        stats = server.handle_request({"op": "stats"})["stats"]
+        assert stats["schema"] == "repro.serve/stats/v2"
+        assert stats["uptime_seconds"] > 0
+        assert stats["ops"]["extract"]["count"] == 1
+        assert stats["ops"]["ping"]["count"] == 1
+        assert stats["window"]["requests"] == 2  # nothing has aged out
+        assert stats["totals"]["requests"] == 2
+        assert stats["totals"]["hit_ratio"] == 0.0  # one miss, no hits
+        assert "sampler" in stats
+
+    def test_every_op_is_counted_including_errors(self, matrix):
+        server, clock = _serve_with_clock()
+        clock.step = 0.001
+        server.handle_request({"op": "ping"})
+        server.handle_request({"op": "nope"})
+        server.handle_request({"op": "extract", "matrix": {"kind": "bad"}})
+        stats = server.stats()
+        assert stats["ops"]["ping"]["errors"] == 0
+        assert stats["ops"]["nope"]["errors"] == 1
+        assert stats["ops"]["extract"]["errors"] == 1
+        assert stats["totals"]["errors"] == 2
+
+
+class TestTailSampling:
+    def test_errored_always_retained_constant_successes_never(self, matrix):
+        server, clock = _serve_with_clock(
+            ServeConfig(slow_trace_fraction=0.05)
+        )
+        spec = _csr_spec(matrix)
+        for i in range(10):
+            clock.step = 0.010  # constant: never strictly above its quantile
+            r = server.handle_request({"op": "extract", "matrix": spec, "id": i})
+            assert r["report"]["serve"]["trace_retained"] is False
+        for i in range(3):
+            clock.step = 0.010
+            r = server.handle_request({"op": "extract", "matrix": {"kind": "bad"},
+                                       "id": f"err{i}"})
+            assert r["report"]["serve"]["trace_retained"] is True
+        sampler = server.stats()["sampler"]
+        assert sampler["retained_errored"] == 3
+        assert sampler["retained_slow"] == 0
+        assert sampler["dropped"] == 10
+        assert {t["request_id"] for t in sampler["traces"]} == {
+            "err0", "err1", "err2"
+        }
+
+    def test_slow_outliers_retained_deterministically(self, matrix):
+        # outliers make up 5% of traffic, below the 10% slow fraction, so
+        # the running p90 threshold stays at the base latency and every
+        # outlier strictly exceeds it — retained, deterministically.
+        # (Outliers *more frequent* than the fraction become the quantile
+        # themselves and are dropped by the strictly-greater rule — that's
+        # the constant-latency test above.)
+        server, clock = _serve_with_clock(
+            ServeConfig(slow_trace_fraction=0.10)
+        )
+        spec = _csr_spec(matrix)
+        retained_ids = []
+        for i in range(40):
+            clock.step = 1.0 if i % 20 == 19 else 1 / 64  # dyadic: exact
+            r = server.handle_request({"op": "extract", "matrix": spec, "id": i})
+            if r["report"]["serve"]["trace_retained"]:
+                retained_ids.append(i)
+        assert retained_ids == [19, 39]
+
+    def test_totals_are_unaffected_by_the_sampling_policy(self, matrix):
+        """Same traffic under opposite sampling extremes -> same aggregates."""
+        spec = _csr_spec(matrix)
+        snapshots = []
+        for fraction in (0.0, 1.0):
+            server, clock = _serve_with_clock(
+                ServeConfig(slow_trace_fraction=fraction)
+            )
+            for i in range(12):
+                clock.step = (i % 5 + 1) / 64
+                server.handle_request({"op": "extract", "matrix": spec, "id": i})
+            clock.step = 0.0
+            snapshots.append(server.stats())
+        none_kept, all_kept = snapshots
+        assert none_kept["sampler"]["dropped"] == 12
+        assert all_kept["sampler"]["retained_slow"] == 12
+        assert none_kept["totals"] == all_kept["totals"]
+        assert none_kept["ops"] == all_kept["ops"]
+        assert none_kept["window"] == all_kept["window"]
+
+
+class TestTelemetryOutputs:
+    def test_daemon_writes_log_and_prom_file(self, matrix, tmp_path):
+        log = tmp_path / "tele.jsonl"
+        prom = tmp_path / "metrics.prom"
+        server, clock = _serve_with_clock(ServeConfig(
+            telemetry_log=log, prom_out=prom,
+            telemetry_interval=0.05, slow_trace_fraction=0.0,
+        ))
+        spec = _csr_spec(matrix)
+        clock.step = 0.01
+        server.handle_request({"op": "extract", "matrix": spec})
+        server.handle_request({"op": "extract", "matrix": {"kind": "bad"}})
+        server.handle_request({"op": "extract", "matrix": spec})
+        server.shutdown()
+
+        records = [json.loads(l) for l in log.read_text().splitlines()]
+        kinds = [r["kind"] for r in records]
+        assert kinds.count("trace") == 1  # the errored request's span tree
+        trace = next(r for r in records if r["kind"] == "trace")
+        assert trace["error"] is not None
+        assert any(s.get("name") == "serve-request" for s in trace["spans"])
+        snapshots = [r for r in records if r["kind"] == "snapshot"]
+        assert snapshots, "shutdown must force a final snapshot"
+        final = snapshots[-1]
+        assert final["schema"] == "repro.serve/stats/v2"
+        assert final["totals"]["requests"] == 3
+
+        from ..obs.test_expose import validate_prometheus_text
+
+        validate_prometheus_text(prom.read_text())
+
+    def test_no_output_paths_means_no_files(self, matrix, tmp_path):
+        server, clock = _serve_with_clock()
+        clock.step = 0.01
+        server.handle_request({"op": "extract", "matrix": _csr_spec(matrix)})
+        server.shutdown()
+        assert server.telemetry.enabled is False
+        assert list(tmp_path.iterdir()) == []

@@ -366,3 +366,106 @@ def test_serve_stops_on_end_of_input(monkeypatch, capsys):
 def test_serve_rejects_bad_flags():
     with pytest.raises(SystemExit):
         main(["serve", "--workers"])
+
+
+@pytest.fixture
+def telemetry_artifacts(mtx_path, tmp_path, monkeypatch, capsys):
+    """Run a tiny serve session with telemetry on; return (log, prom) paths."""
+    import io
+    import json
+    import sys
+
+    lines = [
+        json.dumps({"id": 1, "op": "extract",
+                    "matrix": {"kind": "file", "path": mtx_path}}),
+        json.dumps({"id": 2, "op": "extract",
+                    "matrix": {"kind": "file", "path": mtx_path}}),
+        json.dumps({"id": 3, "op": "extract", "matrix": {"kind": "bad"}}),
+        json.dumps({"id": 4, "op": "shutdown"}),
+    ]
+    log = tmp_path / "telemetry.jsonl"
+    prom = tmp_path / "metrics.prom"
+    monkeypatch.setattr(sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+    rc = main([
+        "serve", "--workers", "1",
+        "--telemetry-log", str(log), "--prom-out", str(prom),
+        "--telemetry-interval", "0.001",
+    ])
+    assert rc == 0
+    capsys.readouterr()  # swallow the protocol stream
+    return log, prom
+
+
+def test_serve_telemetry_flags_write_artifacts(telemetry_artifacts):
+    import json
+
+    log, prom = telemetry_artifacts
+    records = [json.loads(l) for l in log.read_text().splitlines()]
+    kinds = {r["kind"] for r in records}
+    assert kinds == {"snapshot", "trace"}  # errored request's trace + snapshots
+    final = [r for r in records if r["kind"] == "snapshot"][-1]
+    assert final["schema"] == "repro.serve/stats/v2"
+    assert final["totals"]["requests"] == 3
+    assert "# TYPE repro_requests_total counter" in prom.read_text()
+
+
+def test_obs_report_on_a_telemetry_log(telemetry_artifacts, capsys):
+    log, _ = telemetry_artifacts
+    assert main(["obs", "report", str(log)]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry-log" in out
+    assert "extract" in out
+
+
+def test_obs_diff_detects_a_latency_regression(telemetry_artifacts, tmp_path,
+                                               capsys):
+    import json
+
+    log, _ = telemetry_artifacts
+    baseline = [json.loads(l) for l in log.read_text().splitlines()
+                if json.loads(l)["kind"] == "snapshot"][-1]
+    base_path = tmp_path / "base.json"
+    base_path.write_text(json.dumps(baseline))
+
+    # identical inputs: no regression, exit 0
+    assert main(["obs", "diff", str(base_path), str(base_path)]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+    # +50% latency across the board: flagged at the default 25% threshold
+    worse = json.loads(json.dumps(baseline))
+    for stats in worse["ops"].values():
+        for key in ("mean", "p50", "p95", "p99", "min", "max", "total"):
+            if stats["latency"].get(key) is not None:
+                stats["latency"][key] *= 1.5
+    worse_path = tmp_path / "worse.json"
+    worse_path.write_text(json.dumps(worse))
+    assert main(["obs", "diff", str(base_path), str(worse_path)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+    # --warn-only reports but never fails
+    assert main(["obs", "diff", str(base_path), str(worse_path),
+                 "--warn-only"]) == 0
+    # a loose threshold tolerates the same growth
+    assert main(["obs", "diff", str(base_path), str(worse_path),
+                 "--threshold", "0.75"]) == 0
+
+
+def test_obs_prom_renders_a_snapshot(telemetry_artifacts, tmp_path, capsys):
+    log, _ = telemetry_artifacts
+    assert main(["obs", "prom", str(log)]) == 0
+    out = capsys.readouterr().out
+    from .obs.test_expose import validate_prometheus_text
+
+    validate_prometheus_text(out if out.endswith("\n") else out + "\n")
+
+    out_path = tmp_path / "rendered.prom"
+    assert main(["obs", "prom", str(log), "-o", str(out_path)]) == 0
+    capsys.readouterr()
+    validate_prometheus_text(out_path.read_text())
+
+
+def test_obs_rejects_unknown_documents(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"schema": "who/knows"}')
+    with pytest.raises(ValueError):
+        main(["obs", "report", str(bogus)])

@@ -102,6 +102,16 @@ def _commands(body: str, lang_console: bool) -> list[str]:
     return out
 
 
+def _nested_subparsers(parser) -> dict:
+    """name -> parser for a parser's own subcommands ({} if it has none)."""
+    if parser._subparsers is None:
+        return {}
+    for action in parser._subparsers._group_actions:
+        if hasattr(action, "choices"):
+            return action.choices
+    return {}
+
+
 def _validate_repro_command(tokens: list[str]) -> None:
     rest = tokens[3:]  # after `python -m repro`
     sub = next((t for t in rest if not t.startswith("-")), None)
@@ -111,9 +121,22 @@ def _validate_repro_command(tokens: list[str]) -> None:
         return
     assert sub in _SUBPARSERS, f"unknown subcommand {sub!r} (has {sorted(_SUBPARSERS)})"
     sp = _SUBPARSERS[sub]
+    qualified = sub
+    # descend into nested subcommands (e.g. `repro obs diff`) so their
+    # flags validate against the right parser
+    rest = rest[rest.index(sub) + 1:]
+    nested = _nested_subparsers(sp)
+    while nested:
+        inner = next((t for t in rest if not t.startswith("-")), None)
+        if inner is None or inner not in nested:
+            break
+        sp = nested[inner]
+        qualified = f"{qualified} {inner}"
+        rest = rest[rest.index(inner) + 1:]
+        nested = _nested_subparsers(sp)
     for flag in (t.split("=")[0] for t in rest if t.startswith("--")):
         assert flag in sp._option_string_actions, (
-            f"`repro {sub}` has no {flag} flag (has "
+            f"`repro {qualified}` has no {flag} flag (has "
             f"{sorted(f for f in sp._option_string_actions if f.startswith('--'))})"
         )
 

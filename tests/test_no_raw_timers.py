@@ -3,8 +3,14 @@
 Raw ``time.perf_counter()`` calls scattered through the library would
 produce timings invisible to the tracer and the run reports; the two
 sanctioned clock owners are the simulated device (``src/repro/device/``)
-and the observability subsystem (``src/repro/obs/``).  Everything else must
-time itself through ``Device.launch``, ``PhaseTimer.measure`` or a span.
+and the tracer module (``src/repro/obs/tracer.py``), which publishes the
+one blessed handle as :data:`repro.obs.tracer.monotonic_clock`.  Everything
+else — including the rest of ``obs/`` (the aggregator, the telemetry
+schedule) and the whole serve layer — must time itself through
+``Device.launch``, ``PhaseTimer.measure``, a span, or an injected
+``clock=`` parameter defaulting to ``monotonic_clock``.  That injection
+seam is what makes latency quantiles, rolling windows and tail-sampling
+decisions deterministic under test.
 
 Benchmarks, tests and examples are exempt — they are harnesses, not
 library code.
@@ -14,22 +20,28 @@ from pathlib import Path
 
 SRC = Path(__file__).parent.parent / "src" / "repro"
 
-ALLOWED = ("device", "obs")
+#: Directories whose files may hold raw timers.
+ALLOWED_DIRS = ("device",)
+#: Individual files that may hold raw timers.
+ALLOWED_FILES = ("obs/tracer.py",)
 
 FORBIDDEN = ("perf_counter", "time.monotonic", "time.process_time")
 
 
-def test_no_raw_timers_outside_device_and_obs():
+def test_no_raw_timers_outside_device_and_tracer():
     offenders = []
     for path in sorted(SRC.rglob("*.py")):
         rel = path.relative_to(SRC)
-        if rel.parts and rel.parts[0] in ALLOWED:
+        if rel.parts and rel.parts[0] in ALLOWED_DIRS:
+            continue
+        if rel.as_posix() in ALLOWED_FILES:
             continue
         text = path.read_text()
         for needle in FORBIDDEN:
             if needle in text:
                 offenders.append(f"{rel}: {needle}")
     assert not offenders, (
-        "raw timer calls outside src/repro/device/ and src/repro/obs/ "
-        f"(route timing through Device.launch / PhaseTimer / spans): {offenders}"
+        "raw timer calls outside src/repro/device/ and obs/tracer.py "
+        "(route timing through Device.launch / PhaseTimer / spans, or "
+        f"inject clock=monotonic_clock): {offenders}"
     )
