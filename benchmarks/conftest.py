@@ -19,9 +19,9 @@ Environment knobs:
 * ``REPRO_UPDATE_BUDGET`` — deliberately refresh the committed launch/traffic
   budget JSONs after an intentional cost change: ``1`` or ``all`` rewrites
   every budget, a comma-separated list of budget names (``scan``,
-  ``proposition``, ``compaction``, ``tune``, ``batch``, ``serve``) rewrites
-  only those files and leaves the rest byte-identical.  See
-  :func:`refresh_budget`.
+  ``proposition``, ``compaction``, ``tune``, ``batch``, ``serve``,
+  ``shard``) rewrites only those files and leaves the rest byte-identical.
+  See :func:`refresh_budget`.
 """
 
 from __future__ import annotations

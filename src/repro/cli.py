@@ -63,8 +63,9 @@ from .core import (
     greedy_factor,
     identity_coverage,
     parallel_factor,
+    resolve_devices,
 )
-from .device import Device
+from .device import Device, DeviceGroup
 from .graphs import SUITE, build_matrix, tuning_workloads
 from .obs import (
     MetricsRegistry,
@@ -141,7 +142,7 @@ class _ObsRun:
 
     tracer: Tracer
     metrics: MetricsRegistry
-    device: Device
+    device: Device | DeviceGroup
 
     def finish(self, args, *, command: str, inputs: dict | None = None, **report_sources) -> None:
         """Write the requested trace/report files and announce them."""
@@ -168,7 +169,9 @@ def _observed(args, stack: ExitStack) -> _ObsRun | None:
     """Install tracer + metrics for the command body when flags ask for it."""
     if not (getattr(args, "trace", None) or getattr(args, "metrics_out", None)):
         return None
-    run = _ObsRun(tracer=Tracer("repro"), metrics=MetricsRegistry(), device=Device())
+    n_devices = resolve_devices(getattr(args, "devices", None))
+    device = DeviceGroup(n_devices) if n_devices is not None else Device()
+    run = _ObsRun(tracer=Tracer("repro"), metrics=MetricsRegistry(), device=device)
     stack.enter_context(use_tracer(run.tracer))
     stack.enter_context(use_metrics(run.metrics))
     return run
@@ -180,9 +183,14 @@ def _cmd_extract(args) -> int:
         obs = _observed(args, stack)
         result = extract_linear_forest(
             a, _config_from(args, 2), device=obs.device if obs else None,
+            devices=None if obs else args.devices,
             compaction=args.compaction,
         )
     print(f"matrix: N={a.n_rows}, nnz={a.nnz}")
+    if obs is not None and isinstance(obs.device, DeviceGroup):
+        ic = obs.device.interconnect
+        print(f"devices: {len(obs.device)}; interconnect: {ic.total_bytes()} bytes "
+              f"over {ic.transfer_count} transfers")
     print(f"c_id (natural order):   {identity_coverage(a):.4f}")
     print(f"linear-forest coverage: {result.coverage:.4f}")
     from .analysis import forest_statistics
@@ -443,6 +451,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("matrix", help="Matrix Market file")
     p.add_argument("--perm-out", help="write the permutation here")
     p.add_argument("--bands-out", help="write the tridiagonal bands here")
+    p.add_argument(
+        "--devices", type=int, default=None, metavar="N",
+        help="shard the pipeline over N simulated devices with halo exchange "
+             "(default: $REPRO_DEVICES, else single-device; results are "
+             "bit-identical for every N — see docs/SHARDING.md)")
     _add_config_args(p)
     _add_compaction_arg(p)
     _add_obs_args(p)

@@ -17,6 +17,9 @@ Layout (paper section in parentheses):
 * :mod:`~repro.core.extraction` — coefficient extraction (§3.3 step 4, §4.3).
 * :mod:`~repro.core.pipeline` — the end-to-end linear-forest extraction with
   the Figure 6 timing breakdown.
+* :mod:`~repro.core.partition` / :mod:`~repro.core.sharded` — 1-D vertex
+  partitioning and the sharded multi-device pipeline with halo exchange
+  (bit-identical to the single-device engines; see ``docs/SHARDING.md``).
 * :mod:`~repro.core.sequential_forest` — the sequential CPU reference used as
   the Figure 5 baseline.
 """
@@ -38,6 +41,7 @@ from .frontier import (
     resolve_compaction,
 )
 from .greedy import greedy_factor
+from .partition import VertexPartition
 from .paths import PathInfo, identify_paths, paths_from_scan
 from .permutation import forest_permutation, is_tridiagonal_under
 from .pipeline import LinearForestResult, extract_linear_forest
@@ -50,6 +54,7 @@ from .scan import (
     ScanResult,
 )
 from .sequential_forest import sequential_linear_forest
+from .sharded import ShardedScan, extract_linear_forest_sharded, resolve_devices
 from .serialization import (
     load_factor,
     load_forest_ordering,
@@ -75,8 +80,10 @@ __all__ = [
     "ParallelFactorConfig",
     "ParallelFactorResult",
     "PathInfo",
+    "ShardedScan",
     "SpanningForest",
     "TridiagonalSystem",
+    "VertexPartition",
     "band_weight_fraction",
     "bandwidth",
     "boruvka_forest",
@@ -86,6 +93,7 @@ __all__ = [
     "coverage",
     "detect_cycles",
     "extract_linear_forest",
+    "extract_linear_forest_sharded",
     "extract_tridiagonal",
     "factor_weight",
     "forest_permutation",
@@ -100,6 +108,7 @@ __all__ = [
     "paths_from_scan",
     "rcm_ordering",
     "resolve_compaction",
+    "resolve_devices",
     "save_factor",
     "save_forest_ordering",
     "sequential_linear_forest",

@@ -1,0 +1,119 @@
+"""1-D vertex-range partitioning for the sharded pipeline.
+
+The sharded engine (:mod:`repro.core.sharded`) distributes the pipeline over
+a :class:`~repro.device.device.DeviceGroup` by splitting the vertex ids into
+``n_shards`` contiguous ranges — the classic 1-D block partition of
+distributed SpMV.  Contiguity is what makes the split cheap *and* exact:
+
+* CSR rows of one shard are one contiguous slice of ``indptr``/``indices``;
+* every per-row kernel of the pipeline (proposition, mutualization, the
+  scan's scatter, band extraction) writes only rows it owns, so per-shard
+  results concatenate into the single-device arrays bit for bit;
+* ownership of any vertex id is one ``searchsorted`` into the range bounds.
+
+Empty shards are legal (``n_vertices < n_shards`` simply leaves the tail
+shards empty) — the engine skips their launches entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .._validation import INDEX_DTYPE
+from ..errors import ShapeError
+
+__all__ = ["VertexPartition"]
+
+
+@dataclass(frozen=True)
+class VertexPartition:
+    """Contiguous vertex ranges ``[bounds[s], bounds[s+1])`` per shard.
+
+    ``bounds`` has length ``n_shards + 1``, starts at 0, ends at
+    ``n_vertices`` and is non-decreasing; equal consecutive bounds denote an
+    empty shard.
+    """
+
+    bounds: np.ndarray
+
+    def __post_init__(self) -> None:
+        bounds = np.ascontiguousarray(self.bounds, dtype=INDEX_DTYPE)
+        if bounds.ndim != 1 or bounds.size < 2:
+            raise ShapeError("partition bounds must be 1-D with >= 2 entries")
+        if int(bounds[0]) != 0:
+            raise ShapeError(f"partition bounds must start at 0, got {bounds[0]}")
+        if bool((np.diff(bounds) < 0).any()):
+            raise ShapeError("partition bounds must be non-decreasing")
+        object.__setattr__(self, "bounds", bounds)
+
+    @classmethod
+    def uniform(cls, n_vertices: int, n_shards: int) -> "VertexPartition":
+        """Split ``[0, n_vertices)`` into ``n_shards`` near-equal ranges.
+
+        Shard ``s`` receives ``[floor(s*n/S), floor((s+1)*n/S))``; sizes
+        differ by at most one, and shards beyond ``n_vertices`` are empty.
+        """
+        if n_vertices < 0:
+            raise ShapeError(f"n_vertices must be >= 0, got {n_vertices}")
+        if n_shards < 1:
+            raise ShapeError(f"n_shards must be >= 1, got {n_shards}")
+        cuts = np.arange(n_shards + 1, dtype=np.int64)
+        return cls(bounds=(cuts * n_vertices) // n_shards)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return int(self.bounds[-1])
+
+    @property
+    def n_shards(self) -> int:
+        return int(self.bounds.size - 1)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Vertex count per shard."""
+        return np.diff(self.bounds)
+
+    def range_of(self, shard: int) -> tuple[int, int]:
+        """Half-open vertex range ``[lo, hi)`` of one shard."""
+        if not 0 <= shard < self.n_shards:
+            raise ShapeError(f"shard must be in [0, {self.n_shards}), got {shard}")
+        return int(self.bounds[shard]), int(self.bounds[shard + 1])
+
+    def is_empty(self, shard: int) -> bool:
+        lo, hi = self.range_of(shard)
+        return lo == hi
+
+    def owner_of(self, ids: np.ndarray) -> np.ndarray:
+        """Shard index owning each vertex id.
+
+        With empty shards several bounds coincide; ``searchsorted(...,
+        side="right") - 1`` resolves the tie to the one non-empty shard that
+        actually contains the id.
+        """
+        ids = np.asarray(ids)
+        if ids.size and (
+            bool((ids < 0).any()) or bool((ids >= self.n_vertices).any())
+        ):
+            raise ShapeError(
+                f"vertex ids must be in [0, {self.n_vertices}) to have an owner"
+            )
+        return np.searchsorted(self.bounds, ids, side="right").astype(INDEX_DTYPE) - 1
+
+    def __iter__(self) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(shard, lo, hi)`` for every shard, empty ones included."""
+        for s in range(self.n_shards):
+            lo, hi = self.range_of(s)
+            yield s, lo, hi
+
+    def __len__(self) -> int:
+        return self.n_shards
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VertexPartition(n_vertices={self.n_vertices}, "
+            f"n_shards={self.n_shards}, sizes={self.sizes.tolist()})"
+        )

@@ -82,6 +82,7 @@ def extract_linear_forest(
     config: ParallelFactorConfig | None = None,
     *,
     device: Device | None = None,
+    devices: int | None = None,
     merged_scan: bool = True,
     compaction=None,
     prepared_graph: CSRMatrix | None = None,
@@ -92,6 +93,15 @@ def extract_linear_forest(
     ``config.n`` must be 2 (linear forests come from [0,2]-factors); the
     remaining parameters default to the paper's default configuration
     (M = 5, m = 5, k_m = 0, p = 0.5).
+
+    ``devices`` (or a :class:`~repro.device.device.DeviceGroup` passed as
+    ``device``) routes the run through the sharded engine
+    (:mod:`repro.core.sharded`) — N simulated GPUs over a uniform 1-D vertex
+    partition with halo exchange on the group's interconnect.  When neither
+    is given, ``REPRO_DEVICES`` selects the ambient device count; an
+    explicit single :class:`~repro.device.device.Device` always pins the
+    classic single-device path.  Results are bit-identical for every device
+    count (see ``docs/SHARDING.md``).
 
     With ``merged_scan`` (the default) the cycle scan carries the position
     accumulator as a fused payload.  When the factor turns out acyclic — the
@@ -117,7 +127,38 @@ def extract_linear_forest(
     overrides the vertex identities hashed by the charge kernel (see
     :func:`repro.core.charge.vertex_charges`).
     """
+    from ..device.device import DeviceGroup
     from .frontier import resolve_compaction
+
+    if isinstance(device, DeviceGroup):
+        from .sharded import extract_linear_forest_sharded
+
+        return extract_linear_forest_sharded(
+            a, config, group=device, devices=devices, merged_scan=merged_scan,
+            compaction=compaction, prepared_graph=prepared_graph,
+            charge_ids=charge_ids,
+        )
+    if devices is not None or device is None:
+        # an explicit single Device pins the classic path even when
+        # REPRO_DEVICES is set; otherwise the env var is the ambient default
+        from .sharded import resolve_devices
+
+        devices = resolve_devices(devices)
+    if devices is not None:
+        if device is not None:
+            from ..errors import ConfigError
+
+            raise ConfigError(
+                "pass a DeviceGroup (or no device) together with devices=; "
+                "a single Device cannot host a sharded run"
+            )
+        from .sharded import extract_linear_forest_sharded
+
+        return extract_linear_forest_sharded(
+            a, config, devices=devices, merged_scan=merged_scan,
+            compaction=compaction, prepared_graph=prepared_graph,
+            charge_ids=charge_ids,
+        )
 
     config = config or ParallelFactorConfig(n=2)
     if config.n != 2:

@@ -9,6 +9,10 @@ the hardware:
   :meth:`Device.launch`, which enforces the "no intra-launch dependencies"
   discipline (callers must read from ping-pong *back* buffers) and meters the
   bytes read/written by the launch.
+* :class:`~repro.device.device.DeviceGroup` — N devices plus an
+  :class:`~repro.device.interconnect.Interconnect` whose byte meter is
+  separate from device traffic; the substrate of the sharded pipeline
+  (:mod:`repro.core.sharded`).
 * :class:`~repro.device.buffers.PingPong` — double buffering, exactly the
   input/output buffer pairs of Section 4.2 of the paper.
 * :class:`~repro.device.costmodel.CostModel` — a roofline model over the
@@ -21,28 +25,36 @@ the hardware:
 from .buffers import PingPong
 from .costmodel import (
     CostModel,
+    NVLINK_BANDWIDTH_GBS,
     PropositionTraffic,
     RTX_2080_TI_BANDWIDTH_GBS,
+    halo_traffic,
     proposition_traffic,
     scan_traffic,
     spmv_traffic,
 )
-from .device import Device, KernelLaunch, KernelRecord, default_device
+from .device import Device, DeviceGroup, KernelLaunch, KernelRecord, default_device
+from .interconnect import Interconnect, TransferRecord
 from .profiler import PhaseTimer, TimingBreakdown
 from .trace import KernelSummary, render_convergence, render_trace, summarize
 
 __all__ = [
     "CostModel",
     "Device",
+    "DeviceGroup",
+    "Interconnect",
     "KernelLaunch",
     "KernelRecord",
     "KernelSummary",
+    "NVLINK_BANDWIDTH_GBS",
     "PhaseTimer",
     "PingPong",
     "PropositionTraffic",
     "RTX_2080_TI_BANDWIDTH_GBS",
     "TimingBreakdown",
+    "TransferRecord",
     "default_device",
+    "halo_traffic",
     "proposition_traffic",
     "render_convergence",
     "render_trace",

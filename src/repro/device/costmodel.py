@@ -26,9 +26,11 @@ from dataclasses import dataclass
 __all__ = [
     "CompactionCost",
     "CostModel",
+    "NVLINK_BANDWIDTH_GBS",
     "PropositionTraffic",
     "RTX_2080_TI_BANDWIDTH_GBS",
     "compaction_cost",
+    "halo_traffic",
     "proposition_traffic",
     "scan_traffic",
     "spmv_traffic",
@@ -36,6 +38,12 @@ __all__ = [
 
 #: Theoretical DRAM bandwidth of the paper's GPU, in GB/s.
 RTX_2080_TI_BANDWIDTH_GBS = 616.0
+
+#: Per-direction bandwidth of one third-generation NVLink *pair*, in GB/s —
+#: the default link speed of the sharded pipeline's interconnect.  DRAM is
+#: an order of magnitude faster, which is exactly why the sharded engine
+#: keeps halo bytes sublinear in device traffic.
+NVLINK_BANDWIDTH_GBS = 50.0
 
 #: Bytes per value (the paper benchmarks in single precision).
 VALUE_BYTES = 4
@@ -213,18 +221,54 @@ def compaction_cost(
     return CompactionCost(gather_bytes=int(gather), dead_lane_bytes=int(carried))
 
 
+def halo_traffic(
+    boundary_vertices: int,
+    *,
+    n: int = 2,
+    charging: bool = True,
+    value_bytes: int = VALUE_BYTES,
+    index_bytes: int = INDEX_BYTES,
+) -> int:
+    """Modeled interconnect bytes of one sharded proposition round.
+
+    For every vertex on the partition boundary the proposing shard pulls the
+    owner's degree (one index) and — on charged rounds — its charge flag;
+    mutualization then pulls the remote proposal row (``n`` indices).  This
+    is the a-priori analogue of the *measured* halo the sharded engine meters
+    on the :class:`~repro.device.interconnect.Interconnect`; the measured
+    number is smaller whenever boundary edges retire early.
+    """
+    if boundary_vertices < 0:
+        raise ValueError("boundary_vertices must be non-negative")
+    per_vertex = index_bytes + (BOOL_BYTES if charging else 0) + n * index_bytes
+    return boundary_vertices * per_vertex
+
+
 @dataclass(frozen=True)
 class CostModel:
-    """Bandwidth roofline: ``seconds = bytes / (bandwidth_gbs * efficiency)``."""
+    """Bandwidth roofline: ``seconds = bytes / (bandwidth_gbs * efficiency)``.
+
+    ``interconnect_gbs`` models the inter-device links of a
+    :class:`~repro.device.device.DeviceGroup`; :meth:`interconnect_seconds`
+    prices halo bytes against it (the autotuner and ``render_trace`` use it
+    for the interconnect rows of a sharded run).
+    """
 
     bandwidth_gbs: float = RTX_2080_TI_BANDWIDTH_GBS
     efficiency: float = 1.0
+    interconnect_gbs: float = NVLINK_BANDWIDTH_GBS
 
     def seconds(self, nbytes: int) -> float:
         """Modeled execution time of a launch moving ``nbytes`` bytes."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         return nbytes / (self.bandwidth_gbs * 1e9 * self.efficiency)
+
+    def interconnect_seconds(self, nbytes: int) -> float:
+        """Modeled transfer time of ``nbytes`` bytes over the interconnect."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / (self.interconnect_gbs * 1e9)
 
     def throughput_gbs(self, nbytes: int, seconds: float) -> float:
         """Achieved throughput of a (measured or modeled) launch."""
@@ -233,4 +277,8 @@ class CostModel:
         return nbytes / seconds / 1e9
 
     def with_efficiency(self, efficiency: float) -> "CostModel":
-        return CostModel(bandwidth_gbs=self.bandwidth_gbs, efficiency=efficiency)
+        return CostModel(
+            bandwidth_gbs=self.bandwidth_gbs,
+            efficiency=efficiency,
+            interconnect_gbs=self.interconnect_gbs,
+        )

@@ -38,8 +38,9 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from ..obs.tracer import Tracer, current_tracer
+from .interconnect import Interconnect
 
-__all__ = ["Device", "KernelLaunch", "KernelRecord", "default_device"]
+__all__ = ["Device", "DeviceGroup", "KernelLaunch", "KernelRecord", "default_device"]
 
 
 def _nbytes(arrays: Iterable[np.ndarray]) -> int:
@@ -290,6 +291,115 @@ class Device:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Device(name={self.name!r}, launches={self.launch_count})"
+
+
+class DeviceGroup:
+    """N simulated devices plus the interconnect between them.
+
+    The sharded pipeline (:mod:`repro.core.sharded`) runs each vertex-range
+    shard on one member device; traffic between shards is metered on
+    :attr:`interconnect` instead.  Members are named ``gpu0 … gpuN-1`` so
+    their launches stay distinguishable in traces
+    (:func:`repro.device.trace.summarize` aggregates per device *and* as a
+    group total).
+
+    The group duck-types the query surface of a single :class:`Device`
+    (``launch_count``, ``records``, ``total_bytes``, ``total_seconds``,
+    ``convergence_history``, ``frontier_fractions``, ``reset``) by
+    aggregating over its members, so run-report builders and renderers
+    accept a group wherever they accept a device.
+    """
+
+    def __init__(
+        self,
+        n_devices: int,
+        *,
+        name: str = "gpu-group",
+        record: bool = True,
+        tracer: Tracer | None = None,
+        device_prefix: str = "gpu",
+    ):
+        if int(n_devices) < 1:
+            raise ValueError(f"a device group needs >= 1 devices, got {n_devices}")
+        self.name = name
+        self.record = record
+        self.devices = [
+            Device(f"{device_prefix}{i}", record=record, tracer=tracer)
+            for i in range(int(n_devices))
+        ]
+        self.interconnect = Interconnect(record=record)
+
+    # -- container protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __getitem__(self, i: int) -> Device:
+        return self.devices[i]
+
+    def __iter__(self) -> Iterator[Device]:
+        return iter(self.devices)
+
+    # -- aggregate queries (Device duck-type) ------------------------------
+    @property
+    def kernels(self) -> list[KernelRecord]:
+        """All members' launch records, in member order."""
+        out: list[KernelRecord] = []
+        for dev in self.devices:
+            out.extend(dev.kernels)
+        return out
+
+    @property
+    def launch_count(self) -> int:
+        return sum(dev.launch_count for dev in self.devices)
+
+    def records(self, name_prefix: str | None = None) -> list[KernelRecord]:
+        out: list[KernelRecord] = []
+        for dev in self.devices:
+            out.extend(dev.records(name_prefix))
+        return out
+
+    def total_bytes(self, name_prefix: str | None = None) -> int:
+        return sum(dev.total_bytes(name_prefix) for dev in self.devices)
+
+    def total_seconds(self, name_prefix: str | None = None) -> float:
+        return sum(dev.total_seconds(name_prefix) for dev in self.devices)
+
+    def convergence_history(self, name_prefix: str | None = None) -> list[int]:
+        out: list[int] = []
+        for dev in self.devices:
+            out.extend(dev.convergence_history(name_prefix))
+        return out
+
+    def frontier_fractions(self, name_prefix: str | None = None) -> list[float]:
+        out: list[float] = []
+        for dev in self.devices:
+            out.extend(dev.frontier_fractions(name_prefix))
+        return out
+
+    def per_device_launches(self) -> dict[str, int]:
+        """Launch count per member device, keyed by device name."""
+        return {dev.name: dev.launch_count for dev in self.devices}
+
+    def per_device_bytes(self) -> dict[str, int]:
+        """Total metered bytes per member device, keyed by device name."""
+        return {dev.name: dev.total_bytes() for dev in self.devices}
+
+    def reset(self) -> None:
+        for dev in self.devices:
+            dev.reset()
+        self.interconnect.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = (
+            f"{self.devices[0].name}..{self.devices[-1].name}"
+            if len(self.devices) > 1
+            else self.devices[0].name
+        )
+        return (
+            f"DeviceGroup(name={self.name!r}, devices=[{names}], "
+            f"launches={self.launch_count}, "
+            f"interconnect_bytes={self.interconnect.total_bytes()})"
+        )
 
 
 @dataclass

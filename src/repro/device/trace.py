@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from ..analysis.tables import render_table
 from .costmodel import CostModel
-from .device import Device, KernelRecord
+from .device import Device, DeviceGroup, KernelRecord
 
 __all__ = ["KernelSummary", "render_convergence", "render_trace", "summarize"]
 
@@ -71,10 +71,13 @@ def _kernel_records(source) -> list[KernelRecord]:
     """Normalize a launch-stream source to a list of :class:`KernelRecord`.
 
     ``source`` may be a :class:`Device` (its launch log is returned as-is),
-    a :class:`~repro.obs.tracer.Tracer` (its ``kernel`` spans are converted
+    a :class:`DeviceGroup` (all member devices' logs concatenated), a
+    :class:`~repro.obs.tracer.Tracer` (its ``kernel`` spans are converted
     — the attributes written by :meth:`Device.launch` carry the same
     fields), or any iterable of records.
     """
+    if isinstance(source, DeviceGroup):
+        return list(source.kernels)
     if isinstance(source, Device):
         return list(source.kernels)
     if hasattr(source, "spans"):
@@ -107,15 +110,31 @@ def _source_name(source) -> str:
     return getattr(source, "name", "kernel records")
 
 
-def summarize(source) -> list[KernelSummary]:
-    """Aggregate a launch stream (device, tracer, or records) by base name.
+def summarize(source, *, per_device: bool = False) -> list[KernelSummary]:
+    """Aggregate a launch stream (device, group, tracer, or records) by base name.
 
     Occupancy is aggregated only over launches that report *both* lane
     counts: a launch carrying ``active_lanes`` without ``total_lanes``
     would otherwise inflate the numerator while missing from the
     denominator and skew the "active %".  When no launch of a kernel
     reports both, the raw active sum is kept (fraction stays ``None``).
+
+    For a :class:`DeviceGroup`, the default aggregates across all member
+    devices (group totals — what the run reports consume, with no
+    double-counting).  ``per_device=True`` instead prefixes each member's
+    summaries with its device name (``gpu0:propose``) and appends the group
+    totals prefixed ``all:``; for any other source the flag is a no-op.
     """
+    if per_device and isinstance(source, DeviceGroup):
+        from dataclasses import replace
+
+        out = []
+        for dev in source.devices:
+            out.extend(
+                replace(s, name=f"{dev.name}:{s.name}") for s in summarize(dev)
+            )
+        out.extend(replace(s, name=f"all:{s.name}") for s in summarize(source))
+        return out
     acc: dict[str, list[KernelRecord]] = {}
     for rec in _kernel_records(source):
         acc.setdefault(_base_name(rec), []).append(rec)
@@ -147,10 +166,17 @@ def summarize(source) -> list[KernelSummary]:
 
 
 def render_trace(source, *, cost: CostModel | None = None) -> str:
-    """Render the aggregated launch stream as an aligned text table."""
+    """Render the aggregated launch stream as an aligned text table.
+
+    A :class:`DeviceGroup` renders per-device rows (``gpu0:propose``) plus
+    the ``all:`` group totals, followed by one ``interconnect:<tag>`` row
+    per halo tag — transfer counts, bytes, and the modeled link time under
+    ``cost.interconnect_seconds`` (interconnect rows have no kernel time or
+    occupancy).
+    """
     cost = cost or CostModel()
     rows = []
-    for s in summarize(source):
+    for s in summarize(source, per_device=True):
         fraction = s.active_fraction
         rows.append(
             [
@@ -163,6 +189,22 @@ def render_trace(source, *, cost: CostModel | None = None) -> str:
                 None if fraction is None else 100.0 * fraction,
             ]
         )
+    if isinstance(source, DeviceGroup):
+        by_tag = source.interconnect.bytes_by_tag()
+        for tag in sorted(by_tag):
+            nbytes = by_tag[tag]
+            transfers = len(source.interconnect.records(tag))
+            rows.append(
+                [
+                    f"interconnect:{tag}",
+                    transfers,
+                    None,
+                    nbytes,
+                    None,
+                    cost.interconnect_seconds(nbytes) * 1e3,
+                    None,
+                ]
+            )
     return render_table(
         ["kernel", "launches", "time (ms)", "bytes", "GB/s", "modeled (ms)", "active %"],
         rows,

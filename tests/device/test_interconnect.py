@@ -1,0 +1,168 @@
+"""DeviceGroup + Interconnect: naming, aggregation, and trace rendering.
+
+Regression tests for the multi-device substrate of the sharded pipeline:
+grouped devices get distinguishable names (``gpu0 … gpuN-1``), the group
+duck-types the query surface of a single device by aggregation, the
+interconnect meters transfers separately from device traffic, and
+``summarize``/``render_trace`` expose per-device rows alongside group
+totals and the halo tags.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    CostModel,
+    Device,
+    DeviceGroup,
+    Interconnect,
+    render_trace,
+    summarize,
+)
+from repro.obs import MetricsRegistry, use_metrics
+
+
+# -- DeviceGroup -----------------------------------------------------------
+
+
+def test_group_devices_have_distinguishable_names():
+    group = DeviceGroup(4)
+    assert [dev.name for dev in group] == ["gpu0", "gpu1", "gpu2", "gpu3"]
+    assert len({dev.name for dev in group}) == 4
+
+
+def test_group_requires_at_least_one_device():
+    with pytest.raises(ValueError):
+        DeviceGroup(0)
+
+
+def _launch(dev, name, nbytes):
+    data = np.zeros(nbytes, dtype=np.uint8)
+    with dev.launch(name) as kl:
+        kl.writes(data)
+
+
+def test_group_aggregates_member_queries():
+    group = DeviceGroup(3)
+    _launch(group[0], "alpha", 10)
+    _launch(group[0], "alpha", 10)
+    _launch(group[1], "beta", 7)
+    assert group.launch_count == 3
+    assert group.total_bytes() == 27
+    assert group.total_bytes("alpha") == 20
+    assert len(group.records("beta")) == 1
+    assert group.per_device_launches() == {"gpu0": 2, "gpu1": 1, "gpu2": 0}
+    assert group.per_device_bytes() == {"gpu0": 20, "gpu1": 7, "gpu2": 0}
+
+
+def test_group_reset_clears_devices_and_interconnect():
+    group = DeviceGroup(2)
+    _launch(group[0], "alpha", 4)
+    group.interconnect.transfer(16, src="gpu0", dst="gpu1")
+    group.reset()
+    assert group.launch_count == 0
+    assert group.interconnect.transfer_count == 0
+
+
+def test_group_repr_names_the_device_range():
+    r = repr(DeviceGroup(3))
+    assert "gpu0..gpu2" in r
+
+
+# -- Interconnect ----------------------------------------------------------
+
+
+def test_transfer_records_tags_and_pairs():
+    ic = Interconnect()
+    ic.transfer(100, src="gpu0", dst="gpu1", tag="halo.degree")
+    ic.transfer(50, src="gpu1", dst="gpu0", tag="halo.scan")
+    ic.transfer(25, src="gpu0", dst="gpu1", tag="halo.scan")
+    assert ic.transfer_count == 3
+    assert ic.total_bytes() == 175
+    assert ic.total_bytes("halo.scan") == 75
+    assert ic.bytes_by_tag() == {"halo.degree": 100, "halo.scan": 75}
+    assert ic.bytes_by_pair() == {("gpu0", "gpu1"): 125, ("gpu1", "gpu0"): 50}
+
+
+def test_zero_byte_transfers_are_dropped():
+    ic = Interconnect()
+    ic.transfer(0, src="gpu0", dst="gpu1")
+    assert ic.transfer_count == 0
+    assert ic.total_bytes() == 0
+
+
+def test_negative_and_self_transfers_are_rejected():
+    ic = Interconnect()
+    with pytest.raises(ValueError):
+        ic.transfer(-1, src="gpu0", dst="gpu1")
+    with pytest.raises(ValueError):
+        ic.transfer(8, src="gpu0", dst="gpu0")
+
+
+def test_unrecorded_interconnect_is_a_no_op():
+    ic = Interconnect(record=False)
+    ic.transfer(100, src="gpu0", dst="gpu1")
+    assert ic.transfer_count == 0
+
+
+def test_transfers_feed_ambient_metrics():
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        ic = Interconnect()
+        ic.transfer(64, src="gpu0", dst="gpu1", tag="halo.props")
+    assert registry.counters["interconnect.bytes"].value == 64
+    assert registry.counters["interconnect.transfers"].value == 1
+    assert registry.counters["interconnect.bytes[halo.props]"].value == 64
+
+
+# -- summarize / render_trace ----------------------------------------------
+
+
+def _grouped_run():
+    group = DeviceGroup(2)
+    _launch(group[0], "propose[k=0]", 12)
+    _launch(group[1], "propose[k=0]", 8)
+    _launch(group[1], "mutualize[k=0]", 4)
+    group.interconnect.transfer(32, src="gpu0", dst="gpu1", tag="halo.degree")
+    return group
+
+
+def test_summarize_group_defaults_to_totals():
+    group = _grouped_run()
+    totals = {s.name: s for s in summarize(group)}
+    assert totals["propose"].launches == 2
+    assert totals["propose"].bytes_total == 20
+    assert all(":" not in name for name in totals)
+
+
+def test_summarize_per_device_prefixes_and_totals():
+    group = _grouped_run()
+    names = {s.name: s for s in summarize(group, per_device=True)}
+    assert names["gpu0:propose"].bytes_total == 12
+    assert names["gpu1:propose"].bytes_total == 8
+    assert names["all:propose"].bytes_total == 20
+    assert "gpu1:mutualize" in names and "gpu0:mutualize" not in names
+
+
+def test_render_trace_shows_devices_and_interconnect_rows():
+    group = _grouped_run()
+    table = render_trace(group)
+    assert "gpu0:propose" in table
+    assert "gpu1:propose" in table
+    assert "all:propose" in table
+    assert "interconnect:halo.degree" in table
+
+
+def test_interconnect_row_uses_the_link_bandwidth_model():
+    group = _grouped_run()
+    cost = CostModel(interconnect_gbs=1e-6)  # absurdly slow link
+    table = render_trace(group, cost=cost)
+    # 32 bytes over a 1e-6 GB/s link = 32 ms; the row must reflect the
+    # interconnect model, not the DRAM roofline
+    assert "32.000" in table
+
+
+def test_summarize_per_device_is_a_no_op_for_single_devices():
+    dev = Device("solo")
+    _launch(dev, "alpha", 5)
+    assert [s.name for s in summarize(dev, per_device=True)] == ["alpha"]

@@ -8,8 +8,9 @@ whatever the local run happened to measure.  The contract pinned here:
 * ``0`` / empty / unset — refresh nothing;
 * ``1`` / ``all`` — refresh every budget;
 * a comma-separated list of budget names (``scan``, ``proposition``,
-  ``compaction``, ``tune``, ``batch``, ``serve``) — rewrite exactly those
-  JSON files, leaving every other budget file *byte-identical*.
+  ``compaction``, ``tune``, ``batch``, ``serve``, ``shard``) — rewrite
+  exactly those JSON files, leaving every other budget file
+  *byte-identical*.
 
 A missing budget file is always seeded regardless of the knob (first run).
 """
@@ -44,6 +45,8 @@ NEW = {"m1": {"launches": 2, "bytes": 90}}
         ("batch,proposition", True),
         ("serve", False),
         ("serve,proposition", True),
+        ("shard", False),
+        ("shard,proposition", True),
     ],
 )
 def test_budget_refresh_requested_parsing(monkeypatch, spec, expected):
@@ -82,6 +85,7 @@ def test_targeted_refresh_rewrites_only_the_named_budget(tmp_path, monkeypatch):
     tune_path, tune_before = _seed(tmp_path, "tune")
     batch_path, batch_before = _seed(tmp_path, "batch")
     serve_path, serve_before = _seed(tmp_path, "serve")
+    shard_path, shard_before = _seed(tmp_path, "shard")
 
     refresh_budget(scan_path, "scan", NEW)
     refresh_budget(prop_path, "proposition", NEW)
@@ -89,6 +93,7 @@ def test_targeted_refresh_rewrites_only_the_named_budget(tmp_path, monkeypatch):
     refresh_budget(tune_path, "tune", NEW)
     refresh_budget(batch_path, "batch", NEW)
     refresh_budget(serve_path, "serve", NEW)
+    refresh_budget(shard_path, "shard", NEW)
 
     assert json.loads(scan_path.read_text())["budgets"] == NEW
     assert prop_path.read_bytes() == prop_before  # byte-identical
@@ -96,6 +101,7 @@ def test_targeted_refresh_rewrites_only_the_named_budget(tmp_path, monkeypatch):
     assert tune_path.read_bytes() == tune_before
     assert batch_path.read_bytes() == batch_before
     assert serve_path.read_bytes() == serve_before
+    assert shard_path.read_bytes() == shard_before
 
 
 def test_targeted_batch_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
@@ -134,9 +140,21 @@ def test_targeted_tune_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
     assert comp_path.read_bytes() == comp_before
 
 
+def test_targeted_shard_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_UPDATE_BUDGET", "shard")
+    shard_path, _ = _seed(tmp_path, "shard")
+    scan_path, scan_before = _seed(tmp_path, "scan")
+
+    refresh_budget(shard_path, "shard", NEW)
+    refresh_budget(scan_path, "scan", NEW)
+
+    assert json.loads(shard_path.read_text())["budgets"] == NEW
+    assert scan_path.read_bytes() == scan_before
+
+
 def test_refresh_all_rewrites_every_budget(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_UPDATE_BUDGET", "1")
-    for name in ("scan", "proposition", "compaction", "tune", "batch", "serve"):
+    for name in ("scan", "proposition", "compaction", "tune", "batch", "serve", "shard"):
         path, _ = _seed(tmp_path, name)
         refresh_budget(path, name, NEW, scale=2.0)
         assert json.loads(path.read_text()) == {"scale": 2.0, "budgets": NEW}
