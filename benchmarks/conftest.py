@@ -20,7 +20,8 @@ Environment knobs:
   budget JSONs after an intentional cost change: ``1`` or ``all`` rewrites
   every budget, a comma-separated list of budget names (``scan``,
   ``proposition``, ``compaction``, ``tune``, ``batch``, ``serve``,
-  ``shard``) rewrites only those files and leaves the rest byte-identical.
+  ``shard``, ``delta``) rewrites only those files and leaves the rest
+  byte-identical.
   See :func:`refresh_budget`.
 """
 

@@ -1,0 +1,183 @@
+"""Regression gate on the delta engine's incremental-update economics.
+
+The delta engine exists for one claim: when a small edit batch touches a
+localized patch of a big graph, :func:`repro.delta.apply_edits` must refresh
+the extraction for a **small fraction** of a from-scratch run — while
+producing bit-identical results.  This gate pins, on two ANISO2 grid sizes
+(the bytes ratio must *shrink* as the graph grows — that is the
+sublinearity claim):
+
+1. **bit-identity first** — the incremental result equals a from-scratch
+   extraction of the edited matrix exactly (the savings only count between
+   equal results);
+2. **the acceptance line** — for a 1% edit batch (one edit per 100
+   vertices, clustered the way real local updates are), the incremental
+   run spends < 20% of the from-scratch launches *and* bytes;
+3. **the budget** — launches (exact) and bytes (small tolerance) against
+   ``delta_budget.json``.
+
+Regenerate deliberately with ``REPRO_UPDATE_BUDGET=delta`` (or ``=1`` for
+all budgets) after an intentional cost change, and commit the refreshed
+JSON together with that change.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import extract_linear_forest
+from repro.delta import EditBatch, apply_edits
+from repro.device import Device
+from repro.graphs import aniso2
+
+from .conftest import bench_scale, emit, refresh_budget
+
+pytestmark = pytest.mark.budget
+
+BUDGET_PATH = Path(__file__).parent / "delta_budget.json"
+
+#: The ROADMAP's acceptance line: a 1% edit batch must cost less than this
+#: fraction of the from-scratch launches and bytes.
+RATIO_LIMIT = 0.20
+
+# Launches are exact (integer, deterministic); bytes get a small headroom so
+# an unrelated accounting tweak does not flake.
+BYTES_TOLERANCE = 1.02
+
+#: (grid side, edit-window side): the window holds the clustered edits, and
+#: is sized so the invalidation ball (radius ``2R + 1 = 19`` around the
+#: window, ``R = invalidation_radius``) stays a small patch of the grid.
+SCENARIOS = ((96, 11), (128, 13))
+
+
+def one_percent_edits(g: int, win: int) -> EditBatch:
+    """One edit per 100 vertices, clustered in a ``win`` x ``win`` window at
+    the grid's center — deterministic, mixed deletes and reweights."""
+    n = g * g
+    rng = np.random.default_rng(2022)
+    r0 = c0 = g // 2 - win // 2
+    window = np.array(
+        [(r0 + dr) * g + (c0 + dc) for dr in range(win) for dc in range(win)]
+    )
+    dicts, seen = [], set()
+    while len(dicts) < n // 100:
+        u, v = (int(x) for x in rng.choice(window, size=2, replace=False))
+        if (min(u, v), max(u, v)) in seen:
+            continue
+        seen.add((min(u, v), max(u, v)))
+        if rng.random() < 0.25:
+            dicts.append({"u": u, "v": v, "delete": True})
+        else:
+            dicts.append({"u": u, "v": v, "w": float(rng.uniform(0.1, 4.0))})
+    return EditBatch.from_dicts(dicts)
+
+
+def test_delta_budget(results_dir):
+    if bench_scale() != 1.0:
+        pytest.skip("budget is recorded at REPRO_BENCH_SCALE=1.0")
+
+    measured = {}
+    ratios = {}
+    for g, win in SCENARIOS:
+        a = aniso2(g)
+        edits = one_percent_edits(g, win)
+
+        scratch_device = Device("scratch")
+        previous = extract_linear_forest(a, device=scratch_device)
+        delta_device = Device("delta")
+        updated = apply_edits(previous, edits, a, device=delta_device)
+
+        # 1. bit-identity first: the savings only count between equal results
+        assert updated.stats.fallback is None, (
+            f"g={g}: fallback {updated.stats.fallback!r} would mask the "
+            "delta path"
+        )
+        fresh_device = Device("fresh")
+        fresh = extract_linear_forest(updated.matrix, device=fresh_device)
+        new = updated.result
+        assert np.array_equal(
+            new.factor_result.factor.neighbors,
+            fresh.factor_result.factor.neighbors,
+        ), f"g={g}: factor differs"
+        assert np.array_equal(new.forest.neighbors, fresh.forest.neighbors), g
+        assert np.array_equal(new.paths.path_id, fresh.paths.path_id), g
+        assert np.array_equal(new.paths.position, fresh.paths.position), g
+        assert np.array_equal(new.perm, fresh.perm), g
+        assert np.array_equal(new.tridiagonal.dl, fresh.tridiagonal.dl), g
+        assert np.array_equal(new.tridiagonal.d, fresh.tridiagonal.d), g
+        assert np.array_equal(new.tridiagonal.du, fresh.tridiagonal.du), g
+        assert new.coverage == fresh.coverage, g
+
+        # 2. the acceptance line: < 20% of the from-scratch cost
+        launch_ratio = delta_device.launch_count / scratch_device.launch_count
+        bytes_ratio = delta_device.total_bytes() / scratch_device.total_bytes()
+        assert launch_ratio < RATIO_LIMIT, (
+            f"g={g}: {delta_device.launch_count} delta launches vs "
+            f"{scratch_device.launch_count} from scratch "
+            f"({100 * launch_ratio:.1f}% >= {100 * RATIO_LIMIT:.0f}%)"
+        )
+        assert bytes_ratio < RATIO_LIMIT, (
+            f"g={g}: {delta_device.total_bytes()} delta bytes vs "
+            f"{scratch_device.total_bytes()} from scratch "
+            f"({100 * bytes_ratio:.1f}% >= {100 * RATIO_LIMIT:.0f}%)"
+        )
+
+        measured[f"delta_g{g}"] = {
+            "launches": delta_device.launch_count,
+            "bytes": delta_device.total_bytes(),
+        }
+        measured[f"scratch_g{g}"] = {
+            "launches": scratch_device.launch_count,
+            "bytes": scratch_device.total_bytes(),
+        }
+        ratios[g] = (launch_ratio, bytes_ratio)
+
+    # the sublinearity claim: the bytes ratio shrinks as the graph grows
+    small, big = (g for g, _ in SCENARIOS)
+    assert ratios[big][1] < ratios[small][1], (
+        f"delta bytes ratio did not shrink with graph size: {ratios}"
+    )
+
+    refresh_budget(BUDGET_PATH, "delta", measured)
+    budget = json.loads(BUDGET_PATH.read_text())["budgets"]
+
+    headers = ["run", "launches", "budget", "MB", "budget MB", "ok"]
+    rows = []
+    failures = []
+    for name, m in measured.items():
+        b = budget.get(name)
+        if b is None:
+            rows.append([name, m["launches"], None, m["bytes"] / 1e6, None, True])
+            continue
+        ok = (
+            m["launches"] <= b["launches"]
+            and m["bytes"] <= b["bytes"] * BYTES_TOLERANCE
+        )
+        rows.append([
+            name, m["launches"], b["launches"],
+            m["bytes"] / 1e6, b["bytes"] / 1e6, ok,
+        ])
+        if not ok:
+            failures.append((name, m, b))
+
+    ratio_note = ", ".join(
+        f"g={g}: {100 * lr:.1f}% launches / {100 * br:.1f}% bytes"
+        for g, (lr, br) in ratios.items()
+    )
+    emit(
+        results_dir,
+        "delta_budget",
+        render_table(
+            headers,
+            rows,
+            title=f"Delta 1%-edit-batch budget vs from-scratch ({ratio_note})",
+        ),
+    )
+    assert not failures, (
+        "delta-engine cost regressed beyond the stored budget "
+        f"({BUDGET_PATH.name}): {failures}; if intentional, regenerate with "
+        "REPRO_UPDATE_BUDGET=delta and commit the refreshed budget"
+    )

@@ -47,12 +47,20 @@ Subpackages
 ``repro.serve``
     The ``repro serve`` daemon: a fingerprint-keyed result cache over a
     line-delimited JSON protocol, with batch coalescing of cold misses.
+``repro.delta``
+    Incremental extraction for dynamic graphs: apply an edit batch to a
+    previous result, recomputing only the change-invalidated frontier —
+    bit-identical to a from-scratch run on the edited matrix.
 """
 
-from . import analysis, apps, batch, core, device, graphs, obs, serve, solvers, sort, sparse, tune
+from . import analysis, apps, batch, core, delta, device, graphs, obs, serve, solvers, sort, sparse, tune
 from .batch import BatchResult, extract_linear_forest_batch
 from .core import (
+    DeltaResult,
+    DeltaStats,
+    EditBatch,
     Factor,
+    apply_edits,
     LinearForestResult,
     ParallelFactorConfig,
     ParallelFactorResult,
@@ -84,6 +92,9 @@ __all__ = [
     "BatchResult",
     "CSRMatrix",
     "ConvergenceError",
+    "DeltaResult",
+    "DeltaStats",
+    "EditBatch",
     "Factor",
     "FactorError",
     "FormatError",
@@ -97,11 +108,13 @@ __all__ = [
     "SolverError",
     "TridiagonalSystem",
     "analysis",
+    "apply_edits",
     "apps",
     "batch",
     "break_cycles",
     "core",
     "coverage",
+    "delta",
     "device",
     "extract_linear_forest",
     "extract_linear_forest_batch",

@@ -13,6 +13,10 @@ Matrix Market files):
 * ``solve`` — solve ``A x = b`` with BiCGStab under one of the four
   preconditioners of the paper (right-hand side from the paper's test
   problem when none is given);
+* ``delta`` — incremental extraction for a dynamic graph: run the pipeline
+  once, apply an edit batch (JSON list of inserts/deletes/reweights) through
+  the delta engine, and report how much warm state survived versus a full
+  re-run (bit-identical results; see docs/INCREMENTAL.md);
 * ``transversal`` — maximum product transversal (MC64-style);
 * ``tune`` — autotune per-matrix frontier-compaction policies from recorded
   decision logs and write the ``tuning.json`` cache consulted by
@@ -39,6 +43,7 @@ Examples::
     python -m repro extract matrix.mtx --perm-out perm.txt
     python -m repro extract matrix.mtx --trace trace.json --metrics-out report.json
     python -m repro batch a.mtx b.mtx c.mtx --compaction auto
+    python -m repro delta matrix.mtx --edits edits.json --verify
     python -m repro factor matrix.mtx -n 3 --greedy
     python -m repro solve matrix.mtx --preconditioner algtriscal
     python -m repro tune -o tuning.json
@@ -243,6 +248,85 @@ def _cmd_batch(args) -> int:
             factor_result=result.packed.factor_result,
         )
     return 0
+
+
+def _cmd_delta(args) -> int:
+    import json
+
+    from .delta import EditBatch, apply_edits
+
+    a = read_matrix_market(args.matrix)
+    with open(args.edits) as fh:
+        edits = EditBatch.from_dicts(json.load(fh))
+    config = _config_from(args, 2)
+    with ExitStack() as stack:
+        obs = _observed(args, stack)
+        base_device = Device("from-scratch", record=True)
+        previous = extract_linear_forest(
+            a, config, device=base_device, compaction=args.compaction,
+        )
+        delta_device = Device("delta", record=True)
+        updated = apply_edits(
+            previous, edits, a, config,
+            device=delta_device, compaction=args.compaction,
+        )
+    stats = updated.stats
+    print(f"matrix: N={a.n_rows}, nnz={a.nnz}; "
+          f"edits: {len(edits)} touching {stats.touched_vertices} vertices")
+    print(f"coverage: {previous.coverage:.4f} -> {updated.result.coverage:.4f}")
+    if stats.fallback == "empty":
+        print("empty edit batch: previous result reused verbatim (zero launches)")
+    elif stats.fallback is not None:
+        print(f"fallback: {stats.fallback} (full re-run on the edited matrix)")
+    else:
+        print(f"recomputed region: {stats.region_vertices}/{stats.total_vertices} "
+              f"vertices ({100.0 * (1.0 - stats.reused_fraction):.1f}%), "
+              f"{stats.affected_components} paths respliced")
+
+    def _ratio(part: int, whole: int) -> str:
+        return f"{100.0 * part / whole:.1f}%" if whole else "n/a"
+
+    print(f"launches: {delta_device.launch_count} incremental vs "
+          f"{base_device.launch_count} from scratch "
+          f"({_ratio(delta_device.launch_count, base_device.launch_count)})")
+    print(f"bytes:    {delta_device.total_bytes():,} incremental vs "
+          f"{base_device.total_bytes():,} from scratch "
+          f"({_ratio(delta_device.total_bytes(), base_device.total_bytes())})")
+    if args.matrix_out:
+        symmetry = "symmetric" if updated.matrix.is_symmetric(tol=0.0) else "general"
+        write_matrix_market(updated.matrix, args.matrix_out, symmetry=symmetry)
+        print(f"edited matrix written to {args.matrix_out}")
+    exit_code = 0
+    if args.verify:
+        fresh = extract_linear_forest(
+            updated.matrix, config, compaction=args.compaction,
+        )
+        new = updated.result
+        identical = (
+            np.array_equal(fresh.factor_result.factor.neighbors,
+                           new.factor_result.factor.neighbors)
+            and np.array_equal(fresh.forest.neighbors, new.forest.neighbors)
+            and np.array_equal(fresh.paths.path_id, new.paths.path_id)
+            and np.array_equal(fresh.paths.position, new.paths.position)
+            and np.array_equal(fresh.perm, new.perm)
+            and np.array_equal(fresh.tridiagonal.dl, new.tridiagonal.dl)
+            and np.array_equal(fresh.tridiagonal.d, new.tridiagonal.d)
+            and np.array_equal(fresh.tridiagonal.du, new.tridiagonal.du)
+            and fresh.coverage == new.coverage
+        )
+        if identical:
+            print("verify: bit-identical to a from-scratch run on the edited matrix")
+        else:
+            print("verify: MISMATCH against the from-scratch run", file=sys.stderr)
+            exit_code = 1
+    if obs is not None:
+        obs.finish(
+            args, command="delta",
+            inputs={"matrix": args.matrix, "edits": args.edits},
+            device=delta_device, timings=updated.result.timings,
+            factor_result=updated.result.factor_result,
+        )
+    return exit_code
 
 
 def _cmd_factor(args) -> int:
@@ -470,6 +554,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compaction_arg(p)
     _add_obs_args(p)
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "delta",
+        help="apply an edit batch incrementally to a previous extraction",
+    )
+    p.add_argument("matrix", help="Matrix Market file (the pre-edit graph)")
+    p.add_argument(
+        "--edits", required=True, metavar="FILE",
+        help='JSON file: a list of {"u": int, "v": int, "w": float} inserts/'
+             'reweights and {"u": int, "v": int, "delete": true} deletes')
+    p.add_argument(
+        "--verify", action="store_true",
+        help="re-run from scratch on the edited matrix and check the "
+             "incremental result is bit-identical (nonzero exit on mismatch)")
+    p.add_argument(
+        "--matrix-out", metavar="OUT",
+        help="write the edited matrix here as Matrix Market")
+    _add_config_args(p)
+    _add_compaction_arg(p)
+    _add_obs_args(p)
+    p.set_defaults(func=_cmd_delta)
 
     p = sub.add_parser("factor", help="compute a [0,n]-factor")
     p.add_argument("matrix", help="Matrix Market file")

@@ -20,6 +20,9 @@ Layout (paper section in parentheses):
 * :mod:`~repro.core.partition` / :mod:`~repro.core.sharded` — 1-D vertex
   partitioning and the sharded multi-device pipeline with halo exchange
   (bit-identical to the single-device engines; see ``docs/SHARDING.md``).
+* :mod:`~repro.core.delta` — incremental extraction for dynamic graphs:
+  edit batches, invalidation frontier, frontier-local recompute and splice
+  (bit-identical to a from-scratch run; see ``docs/INCREMENTAL.md``).
 * :mod:`~repro.core.sequential_forest` — the sequential CPU reference used as
   the Figure 5 baseline.
 """
@@ -29,6 +32,15 @@ from .charge import vertex_charges
 from .coloring import color_graph, is_valid_coloring
 from .coverage import coverage, factor_weight, graph_weight, identity_coverage
 from .cycles import break_cycles, detect_cycles
+from .delta import (
+    DeltaFallbackWarning,
+    DeltaResult,
+    DeltaStats,
+    EditBatch,
+    apply_edits,
+    apply_edits_to_matrix,
+    invalidation_radius,
+)
 from .extraction import TridiagonalSystem, extract_tridiagonal
 from .factor import ParallelFactorConfig, ParallelFactorResult, parallel_factor
 from .frontier import (
@@ -69,7 +81,11 @@ __all__ = [
     "BidirectionalScan",
     "CompactionDecision",
     "CompactionPolicy",
+    "DeltaFallbackWarning",
+    "DeltaResult",
+    "DeltaStats",
     "EagerCompaction",
+    "EditBatch",
     "Factor",
     "FusedOperator",
     "LazyCompaction",
@@ -84,6 +100,8 @@ __all__ = [
     "SpanningForest",
     "TridiagonalSystem",
     "VertexPartition",
+    "apply_edits",
+    "apply_edits_to_matrix",
     "band_weight_fraction",
     "bandwidth",
     "boruvka_forest",
@@ -101,6 +119,7 @@ __all__ = [
     "greedy_factor",
     "identify_paths",
     "identity_coverage",
+    "invalidation_radius",
     "is_tridiagonal_under",
     "load_factor",
     "load_forest_ordering",

@@ -1,0 +1,47 @@
+"""repro.delta — incremental extraction for dynamic graphs.
+
+The public face of the delta engine (:mod:`repro.core.delta`): when the
+weighted graph evolves by an edit batch (edge inserts / deletes / reweights),
+:func:`apply_edits` updates a previous extraction by recomputing only the
+change-invalidated frontier and splicing the affected paths — bit-identical
+to a from-scratch run on the edited matrix, at a fraction of the launches and
+bytes.  See ``docs/INCREMENTAL.md`` for the update protocol (edit-batch
+format, the invalidation-radius argument, the CLI ``repro delta`` subcommand
+and the serve ``update`` op).
+
+Typical use::
+
+    from repro import extract_linear_forest
+    from repro.delta import EditBatch, apply_edits
+
+    previous = extract_linear_forest(a)
+    edits = EditBatch.from_dicts([
+        {"u": 3, "v": 7, "w": 0.25},          # insert or reweight
+        {"u": 10, "v": 11, "delete": True},   # delete
+    ])
+    updated = apply_edits(previous, edits, a)
+    updated.result.coverage                    # the refreshed extraction
+    updated.stats.reused_fraction              # how much warm state survived
+    # chain further updates:
+    again = apply_edits(updated.result, more_edits, updated.matrix)
+"""
+
+from .core.delta import (
+    DeltaFallbackWarning,
+    DeltaResult,
+    DeltaStats,
+    EditBatch,
+    apply_edits,
+    apply_edits_to_matrix,
+    invalidation_radius,
+)
+
+__all__ = [
+    "DeltaFallbackWarning",
+    "DeltaResult",
+    "DeltaStats",
+    "EditBatch",
+    "apply_edits",
+    "apply_edits_to_matrix",
+    "invalidation_radius",
+]

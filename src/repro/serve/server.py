@@ -3,10 +3,10 @@
 A long-lived process that amortizes extraction across repeat traffic.  The
 protocol is line-delimited JSON (schema tag ``repro.serve/v1``): each
 request line is one JSON object with an ``op`` (``extract``, ``factor``,
-``solve``, ``ping``, ``stats``, ``shutdown``), an optional correlation
-``id`` echoed back verbatim, a ``matrix`` spec and an optional ``config``
-overlay; each response line is one JSON object carrying ``ok``, the result
-payload, whether it was ``cached``, and the per-request
+``solve``, ``update``, ``ping``, ``stats``, ``shutdown``), an optional
+correlation ``id`` echoed back verbatim, a ``matrix`` spec and an optional
+``config`` overlay; each response line is one JSON object carrying ``ok``,
+the result payload, whether it was ``cached``, and the per-request
 ``repro.obs/run-report/v2`` report built by
 :class:`~repro.serve.session.RequestSession` (its ``serve`` section holds
 the request's latency on the daemon clock, per-request launch/byte totals
@@ -44,6 +44,21 @@ set of kernel launches; the batch splitter's bit-identity guarantee is what
 makes this safe to do silently.  Hits replay the memoized payload with zero
 kernel launches.  Graceful shutdown drains in-flight requests, then
 persists the result cache atomically (temp file + ``os.replace``).
+
+The ``update`` op patches a cached extraction in place when the client's
+graph evolves: the request carries the *pre-edit* matrix plus an ``edits``
+list (the :meth:`repro.delta.EditBatch.from_dicts` format), the daemon
+computes the edited matrix's fingerprint and caches the refreshed payload
+under the **extract** key of the edited matrix — so a later plain
+``extract`` of the edited graph is a hit.  When the pre-edit extraction is
+still in the daemon's warm-seed store (a small LRU of recent in-memory
+``LinearForestResult`` objects; the JSON result cache alone cannot seed the
+delta engine), the refresh runs through :func:`repro.delta.apply_edits` —
+bit-identical to a from-scratch run at a fraction of the launches, metered
+as ``delta.*`` counters in the per-request report — otherwise it falls back
+to a full extraction of the edited matrix (``serve.delta.cold``).  The
+response is the extract-shaped payload plus a top-level ``delta`` dict
+(``warm``, and the engine's stats when warm); see ``docs/INCREMENTAL.md``.
 """
 
 from __future__ import annotations
@@ -52,6 +67,7 @@ import hashlib
 import json
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -59,6 +75,7 @@ import numpy as np
 
 from ..batch import extract_linear_forest_batch
 from ..core import ParallelFactorConfig, coverage, extract_linear_forest, parallel_factor
+from ..core.delta import EditBatch, apply_edits, apply_edits_to_matrix
 from ..device import Device
 from ..errors import ConfigError
 from ..graphs import SUITE, build_matrix
@@ -115,6 +132,10 @@ _CONFIG_DEFAULTS: dict = {
         "iterations": 5, "m": 5, "k_m": 0, "p": 0.5, "seed": 0,
     },
 }
+# an update refreshes an extract entry, so it shares extract's canonical
+# config (and therefore its config digest — the edited matrix's extract key
+# must match what a plain extract request would compute)
+_CONFIG_DEFAULTS["update"] = _CONFIG_DEFAULTS["extract"]
 
 
 # -- request canonicalization ----------------------------------------------
@@ -282,6 +303,11 @@ class ServeConfig:
     warm-loads it on boot.  ``max_workers`` bounds concurrent request
     threads in :meth:`ReproServer.serve_forever`.
 
+    ``warm_results`` bounds the warm-seed store: the number of recent
+    in-memory extraction results kept around so an ``update`` request can
+    run the delta engine instead of a full re-extraction (0 disables warm
+    updates; every update then re-runs from scratch).
+
     Telemetry knobs: ``telemetry_log`` appends periodic stats-v2 snapshots
     and retained traces as JSONL; ``prom_out`` keeps a Prometheus text
     exposition file rewritten atomically; ``telemetry_interval`` is the
@@ -296,6 +322,7 @@ class ServeConfig:
     result_cache_path: "str | Path | None" = None
     compaction: object = None
     max_workers: int = 4
+    warm_results: int = 8
     telemetry_log: "str | Path | None" = None
     prom_out: "str | Path | None" = None
     telemetry_interval: float = 10.0
@@ -308,6 +335,10 @@ class ServeConfig:
             raise ConfigError(f"batch window cannot be negative: {self.batch_window}")
         if self.max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.warm_results < 0:
+            raise ConfigError(
+                f"warm_results cannot be negative: {self.warm_results}"
+            )
         if self.telemetry_interval <= 0:
             raise ConfigError(
                 f"telemetry interval must be positive, got {self.telemetry_interval}"
@@ -398,6 +429,11 @@ class ReproServer:
         self._persisted = False
         self._batch_lock = threading.Lock()
         self._batch_pending: list = []
+        # warm-seed store for the update op: digest-of-(matrix, config) ->
+        # (matrix, LinearForestResult).  The JSON result cache only holds
+        # payloads, which cannot seed the delta engine; this small LRU keeps
+        # the most recent full results in memory so updates run warm.
+        self._warm: OrderedDict = OrderedDict()
 
     # -- protocol entry points ---------------------------------------------
     def handle_line(self, line: str) -> str:
@@ -453,9 +489,11 @@ class ReproServer:
             }
             self._record_simple("stats", t0, request_id)
             return response
+        if op == "update":
+            return self._dispatch_update(request_id, request, t0)
         if op not in ("extract", "factor", "solve"):
             exc = ConfigError(
-                f"unknown op {op!r} (valid: extract, factor, solve, "
+                f"unknown op {op!r} (valid: extract, factor, solve, update, "
                 "ping, stats, shutdown)"
             )
             self._record_simple(
@@ -489,6 +527,118 @@ class ReproServer:
             response = _error_response(request_id, exc, op=op)
             response["report"] = report
             return response
+
+    def _dispatch_update(self, request_id, request, t0) -> dict:
+        """The ``update`` op: patch a cached extraction for an edited graph.
+
+        Keyed as the *extract* entry of the edited matrix, so a later plain
+        ``extract`` of it hits the patched entry, and a repeat of the same
+        update hits it too (``cached: true``).  ``delta`` in the response
+        describes how the refresh ran: ``null`` on a cache hit, ``{"warm":
+        false}`` when the pre-edit result had aged out of the warm-seed
+        store (full re-extraction), ``{"warm": true, "stats": ...}`` when
+        the delta engine ran.
+        """
+        session = RequestSession("update", request_id=request_id)
+        try:
+            with session.ambient():
+                cfg = canonical_config("update", request.get("config"))
+                edits = EditBatch.from_dicts(request.get("edits"))
+                with session.span("serve-load-matrix"):
+                    a = load_matrix(request.get("matrix"))
+                with session.span("serve-fingerprint"):
+                    a_new = apply_edits_to_matrix(a, edits)
+                    prepared_new = prepare_graph(a_new)
+                    fp = fingerprint_graph(prepared_new)
+                    key = request_key("extract", fp, matrix_digest(a_new), cfg)
+                session.annotate(
+                    key=key, n_vertices=a.n_rows, nnz=a.nnz, n_edits=len(edits)
+                )
+                payload, cached, delta = self._resolve_update(
+                    key, a, a_new, prepared_new, edits, cfg, session
+                )
+            report = session.finish()
+            report["serve"] = self._record_session(session, t0)
+            return {
+                "id": request_id, "ok": True, "op": "update",
+                "protocol": PROTOCOL, "key": key, "cached": cached,
+                "result": payload, "delta": delta, "report": report,
+            }
+        except Exception as exc:  # a daemon survives bad requests
+            self.metrics.counter("serve.errors").inc()
+            error_text = f"{type(exc).__name__}: {exc}"
+            report = session.finish(error=error_text)
+            report["serve"] = self._record_session(session, t0, error=error_text)
+            response = _error_response(request_id, exc, op="update")
+            response["report"] = report
+            return response
+
+    def _resolve_update(self, key, a, a_new, prepared_new, edits, cfg, session):
+        """Serve one update: cache hit replays, otherwise refresh and store.
+
+        Concurrent identical updates are not coalesced — a warm refresh is
+        already a few launches — but the payload they race to ``put`` is
+        bit-identical, so the last write is indistinguishable from the
+        first.
+        """
+        with self._lock:
+            payload = self.cache.get(key)
+        if payload is not None:
+            self.metrics.counter("serve.cache.hit").inc()
+            session.record_cache(hit=True)
+            return payload, True, None
+        self.metrics.counter("serve.cache.miss").inc()
+        session.record_cache(hit=False)
+        with session.span("serve-pipeline"):
+            warm = self._warm_get(self._warm_key(a, cfg))
+            if warm is None:
+                # the pre-edit result is gone: extract the edited matrix
+                # from scratch (still seeds the warm store for next time)
+                self.metrics.counter("serve.delta.cold").inc()
+                session.annotate(delta="cold")
+                result = extract_linear_forest(
+                    a_new, _config_from(cfg), device=self._run_device(),
+                    merged_scan=cfg["merged_scan"],
+                    compaction=self.config.compaction,
+                    prepared_graph=prepared_new,
+                )
+                delta = {"warm": False, "stats": None}
+            else:
+                self.metrics.counter("serve.delta.warm").inc()
+                session.annotate(delta="warm")
+                updated = apply_edits(
+                    warm, edits, a, _config_from(cfg),
+                    device=self._run_device(),
+                    compaction=self.config.compaction,
+                )
+                result = updated.result
+                delta = {"warm": True, "stats": updated.stats.to_dict()}
+            self._warm_put(self._warm_key(a_new, cfg), result)
+        payload = _extract_payload(result)
+        with self._lock:
+            stored = self.cache.put(key, payload)
+        session.annotate(stored=stored)
+        return payload, False, delta
+
+    # -- warm-seed store ---------------------------------------------------
+    def _warm_key(self, a, cfg) -> str:
+        return f"{matrix_digest(a)}:cfg={config_digest(cfg)}"
+
+    def _warm_get(self, wkey):
+        with self._lock:
+            hit = self._warm.get(wkey)
+            if hit is not None:
+                self._warm.move_to_end(wkey)
+            return hit
+
+    def _warm_put(self, wkey, result) -> None:
+        if self.config.warm_results <= 0:
+            return
+        with self._lock:
+            self._warm[wkey] = result
+            self._warm.move_to_end(wkey)
+            while len(self._warm) > self.config.warm_results:
+                self._warm.popitem(last=False)
 
     # -- aggregate feeding -------------------------------------------------
     def _record_simple(self, op, t0, request_id, *, error=None) -> None:
@@ -603,6 +753,8 @@ class ReproServer:
                 merged_scan=cfg["merged_scan"],
                 compaction=self.config.compaction, prepared_graph=prepared,
             )
+            # keep the full result around so a later update runs warm
+            self._warm_put(self._warm_key(a, cfg), result)
             return _extract_payload(result)
         if op == "factor":
             res = parallel_factor(

@@ -1,0 +1,230 @@
+"""Property tests: incremental extraction is invisible in the results.
+
+The contract held here is the ROADMAP's delta gate: for every dtype and
+compaction policy, :func:`repro.delta.apply_edits` on a previous result is
+**bit-identical** — every array, factor slot order included — to a
+from-scratch :func:`~repro.core.pipeline.extract_linear_forest` on the
+edited matrix.  Grid graphs with clustered edits exercise the true
+frontier-local path (the invalidation ball stays small); random
+Erdős–Rényi graphs have tiny diameter, so their edits mostly exceed the
+region cutoff and exercise the fallback — both must produce the same bits.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import extract_linear_forest
+from repro.delta import EditBatch, apply_edits, apply_edits_to_matrix
+from repro.device import Device
+from repro.graphs import aniso2, random_weighted_graph
+
+SETTINGS = settings(max_examples=12, deadline=None)
+
+DTYPES = (np.float32, np.float64)
+POLICIES = ("eager", "never", "adaptive")
+
+
+def random_graph(seed: int, n_min: int = 4, n_max: int = 48):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(n_min, n_max + 1))
+    n_edges = int(rng.integers(n, 4 * n))
+    return random_weighted_graph(n, n_edges, rng)
+
+
+def random_edits(a, seed: int, n_edits: int | None = None) -> EditBatch:
+    """A random mix of deletes, reweights and inserts against ``a``."""
+    rng = np.random.default_rng(seed)
+    n = a.n_rows
+    row = np.repeat(np.arange(n), np.diff(a.indptr))
+    off = row != a.indices
+    existing = np.stack([row[off], a.indices[off]], axis=1)
+    if n_edits is None:
+        n_edits = int(rng.integers(1, 7))
+    dicts = []
+    for _ in range(n_edits):
+        kind = int(rng.integers(0, 3))
+        if kind < 2 and len(existing):
+            u, v = (int(x) for x in existing[rng.integers(0, len(existing))])
+        else:
+            u, v = (int(x) for x in rng.choice(n, size=2, replace=False))
+        if kind == 0 and len(existing):
+            dicts.append({"u": u, "v": v, "delete": True})
+        else:
+            w = float(rng.uniform(-4.0, 4.0)) or 1.0
+            dicts.append({"u": u, "v": v, "w": w})
+    return EditBatch.from_dicts(dicts)
+
+
+def clustered_edits(g: int, seed: int) -> EditBatch:
+    """Edits confined to a random 3x3 window of a g x g grid — the small
+    invalidation ball the delta engine is built for."""
+    rng = np.random.default_rng(seed)
+    r0 = int(rng.integers(0, g - 3))
+    c0 = int(rng.integers(0, g - 3))
+    window = np.array(
+        [(r0 + dr) * g + (c0 + dc) for dr in range(3) for dc in range(3)]
+    )
+    dicts = []
+    for _ in range(int(rng.integers(1, 6))):
+        u, v = (int(x) for x in rng.choice(window, size=2, replace=False))
+        if rng.random() < 0.3:
+            dicts.append({"u": u, "v": v, "delete": True})
+        else:
+            dicts.append({"u": u, "v": v, "w": float(rng.uniform(0.1, 4.0))})
+    return EditBatch.from_dicts(dicts)
+
+
+def assert_same_extraction(incremental, fresh, label=""):
+    """Bit-identity of every result array (factor histories excluded: the
+    delta engine's are region-local by design)."""
+    assert np.array_equal(
+        incremental.factor_result.factor.neighbors,
+        fresh.factor_result.factor.neighbors,
+    ), f"factor neighbors {label}"
+    assert np.array_equal(incremental.forest.neighbors, fresh.forest.neighbors), label
+    assert np.array_equal(incremental.paths.path_id, fresh.paths.path_id), label
+    assert np.array_equal(incremental.paths.position, fresh.paths.position), label
+    assert np.array_equal(incremental.perm, fresh.perm), label
+    assert np.array_equal(incremental.tridiagonal.dl, fresh.tridiagonal.dl), label
+    assert np.array_equal(incremental.tridiagonal.d, fresh.tridiagonal.d), label
+    assert np.array_equal(incremental.tridiagonal.du, fresh.tridiagonal.du), label
+    assert incremental.tridiagonal.value_dtype == fresh.tridiagonal.value_dtype, label
+    assert np.array_equal(incremental.broken.removed_u, fresh.broken.removed_u), label
+    assert np.array_equal(incremental.broken.removed_v, fresh.broken.removed_v), label
+    assert np.array_equal(incremental.broken.cycle_mask, fresh.broken.cycle_mask), label
+    assert incremental.coverage == fresh.coverage, label
+
+
+def run_both(a, edits, policy="eager"):
+    """(incremental result, from-scratch result) on pinned solo devices."""
+    previous = extract_linear_forest(
+        a, device=Device(record=False), compaction=policy
+    )
+    updated = apply_edits(
+        previous, edits, a, device=Device(record=False), compaction=policy
+    )
+    fresh = extract_linear_forest(
+        updated.matrix, device=Device(record=False), compaction=policy
+    )
+    return updated, fresh
+
+
+@pytest.mark.parametrize("dtype", DTYPES, ids=["float32", "float64"])
+@pytest.mark.parametrize("policy", POLICIES)
+def test_grid_edits_bit_identical_on_the_delta_path(dtype, policy):
+    """The full ISSUE matrix: dtypes x compaction policies, true delta path."""
+    a = aniso2(64).astype(dtype)
+    edits = clustered_edits(64, seed=7)
+    updated, fresh = run_both(a, edits, policy)
+    assert updated.stats.fallback is None, "fallback would mask the delta path"
+    assert_same_extraction(updated.result, fresh, f"policy={policy}")
+    assert updated.result.tridiagonal.d.dtype == np.dtype(dtype)
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@SETTINGS
+def test_random_clustered_grid_edits_bit_identical(seed):
+    # a 64-grid keeps every 3x3 window's invalidation ball (radius 2R+1 = 19)
+    # under ~41% of the vertices, so no window placement can trip the
+    # max_region_fraction cutoff — every example takes the true delta path
+    a = aniso2(64)
+    edits = clustered_edits(64, seed)
+    updated, fresh = run_both(a, edits)
+    assert updated.stats.fallback is None
+    assert_same_extraction(updated.result, fresh, f"seed={seed}")
+    # the locality bar: a 3x3 edit window must not invalidate most of the grid
+    assert updated.stats.reused_fraction > 0.5, updated.stats
+
+
+def test_center_window_on_a_small_grid_takes_the_region_fallback():
+    # on a 32-grid a *central* 3x3 window's radius-19 ball blankets the grid,
+    # far past the 50% region cutoff — the engine must fall back rather than
+    # pay for a region that big, and the bits must still match
+    a = aniso2(32)
+    edits = clustered_edits(32, seed=1)
+    updated, fresh = run_both(a, edits)
+    assert updated.stats.fallback == "region"
+    assert_same_extraction(updated.result, fresh, "center window")
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@SETTINGS
+def test_random_graph_edits_bit_identical(seed):
+    """Small-diameter random graphs mostly take the region fallback — the
+    bits must be identical either way."""
+    a = random_graph(seed)
+    edits = random_edits(a, seed ^ 0x5EED)
+    updated, fresh = run_both(a, edits)
+    assert_same_extraction(updated.result, fresh, f"seed={seed}")
+
+
+@pytest.mark.parametrize("dtype", DTYPES, ids=["float32", "float64"])
+@pytest.mark.parametrize("policy", POLICIES)
+def test_random_graph_matrix_bit_identical(dtype, policy):
+    a = random_graph(4321).astype(dtype)
+    edits = random_edits(a, 99)
+    updated, fresh = run_both(a, edits, policy)
+    assert_same_extraction(updated.result, fresh, f"{dtype} {policy}")
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@SETTINGS
+def test_chained_edit_batches_bit_identical(seed):
+    """Applying two batches incrementally == one from-scratch run on the
+    doubly-edited matrix (the DeltaResult chains through its own matrix).
+    ``max_region_fraction=1.0`` disables the region fallback so every
+    example chains through the true delta path."""
+    a = aniso2(32)
+    first = clustered_edits(32, seed)
+    second = clustered_edits(32, seed ^ 0xC4A1)
+    previous = extract_linear_forest(a, device=Device(record=False))
+    step1 = apply_edits(
+        previous, first, a, device=Device(record=False), max_region_fraction=1.0
+    )
+    step2 = apply_edits(
+        step1.result, second, step1.matrix,
+        device=Device(record=False), max_region_fraction=1.0,
+    )
+    assert step1.stats.fallback is None and step2.stats.fallback is None
+    final = apply_edits_to_matrix(apply_edits_to_matrix(a, first), second)
+    fresh = extract_linear_forest(final, device=Device(record=False))
+    assert_same_extraction(step2.result, fresh, f"seed={seed}")
+
+
+def test_vertex_on_the_core_boundary_regression():
+    # pins the bug that set invalidation_radius = M instead of 2M - 1: with
+    # the one-hop-per-round radius, chaining seed=1958's batches left vertex
+    # 640 — at hop distance exactly M from the touched set — with a stale
+    # factor row ([609, -1] where a from-scratch run confirms [609, 608]).
+    # One proposition round moves information two hops (a confirmation
+    # depends on the neighbour's proposal, which reads the neighbour's own
+    # neighbourhood), so the true propagation bound is 2M - 1.
+    a = aniso2(32)
+    first = clustered_edits(32, seed=1958)
+    second = clustered_edits(32, seed=1958 ^ 0xC4A1)
+    previous = extract_linear_forest(a, device=Device(record=False))
+    step1 = apply_edits(
+        previous, first, a, device=Device(record=False), max_region_fraction=1.0
+    )
+    step2 = apply_edits(
+        step1.result, second, step1.matrix,
+        device=Device(record=False), max_region_fraction=1.0,
+    )
+    assert step1.stats.fallback is None and step2.stats.fallback is None
+    final = apply_edits_to_matrix(apply_edits_to_matrix(a, first), second)
+    fresh = extract_linear_forest(final, device=Device(record=False))
+    assert_same_extraction(step2.result, fresh, "core-boundary regression")
+
+
+def test_edited_matrix_equals_direct_edit():
+    """DeltaResult.matrix is exactly apply_edits_to_matrix's output."""
+    a = aniso2(16)
+    edits = clustered_edits(16, seed=3)
+    previous = extract_linear_forest(a, device=Device(record=False))
+    updated = apply_edits(previous, edits, a, device=Device(record=False))
+    direct = apply_edits_to_matrix(a, edits)
+    assert np.array_equal(updated.matrix.indptr, direct.indptr)
+    assert np.array_equal(updated.matrix.indices, direct.indices)
+    assert np.array_equal(updated.matrix.data, direct.data)

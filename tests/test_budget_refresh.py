@@ -8,8 +8,8 @@ whatever the local run happened to measure.  The contract pinned here:
 * ``0`` / empty / unset — refresh nothing;
 * ``1`` / ``all`` — refresh every budget;
 * a comma-separated list of budget names (``scan``, ``proposition``,
-  ``compaction``, ``tune``, ``batch``, ``serve``, ``shard``) — rewrite
-  exactly those JSON files, leaving every other budget file
+  ``compaction``, ``tune``, ``batch``, ``serve``, ``shard``, ``delta``) —
+  rewrite exactly those JSON files, leaving every other budget file
   *byte-identical*.
 
 A missing budget file is always seeded regardless of the knob (first run).
@@ -47,6 +47,8 @@ NEW = {"m1": {"launches": 2, "bytes": 90}}
         ("serve,proposition", True),
         ("shard", False),
         ("shard,proposition", True),
+        ("delta", False),
+        ("delta,proposition", True),
     ],
 )
 def test_budget_refresh_requested_parsing(monkeypatch, spec, expected):
@@ -86,6 +88,7 @@ def test_targeted_refresh_rewrites_only_the_named_budget(tmp_path, monkeypatch):
     batch_path, batch_before = _seed(tmp_path, "batch")
     serve_path, serve_before = _seed(tmp_path, "serve")
     shard_path, shard_before = _seed(tmp_path, "shard")
+    delta_path, delta_before = _seed(tmp_path, "delta")
 
     refresh_budget(scan_path, "scan", NEW)
     refresh_budget(prop_path, "proposition", NEW)
@@ -94,6 +97,7 @@ def test_targeted_refresh_rewrites_only_the_named_budget(tmp_path, monkeypatch):
     refresh_budget(batch_path, "batch", NEW)
     refresh_budget(serve_path, "serve", NEW)
     refresh_budget(shard_path, "shard", NEW)
+    refresh_budget(delta_path, "delta", NEW)
 
     assert json.loads(scan_path.read_text())["budgets"] == NEW
     assert prop_path.read_bytes() == prop_before  # byte-identical
@@ -102,6 +106,7 @@ def test_targeted_refresh_rewrites_only_the_named_budget(tmp_path, monkeypatch):
     assert batch_path.read_bytes() == batch_before
     assert serve_path.read_bytes() == serve_before
     assert shard_path.read_bytes() == shard_before
+    assert delta_path.read_bytes() == delta_before
 
 
 def test_targeted_batch_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
@@ -152,9 +157,21 @@ def test_targeted_shard_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
     assert scan_path.read_bytes() == scan_before
 
 
+def test_targeted_delta_refresh_leaves_the_others_alone(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_UPDATE_BUDGET", "delta")
+    delta_path, _ = _seed(tmp_path, "delta")
+    serve_path, serve_before = _seed(tmp_path, "serve")
+
+    refresh_budget(delta_path, "delta", NEW)
+    refresh_budget(serve_path, "serve", NEW)
+
+    assert json.loads(delta_path.read_text())["budgets"] == NEW
+    assert serve_path.read_bytes() == serve_before
+
+
 def test_refresh_all_rewrites_every_budget(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_UPDATE_BUDGET", "1")
-    for name in ("scan", "proposition", "compaction", "tune", "batch", "serve", "shard"):
+    for name in ("scan", "proposition", "compaction", "tune", "batch", "serve", "shard", "delta"):
         path, _ = _seed(tmp_path, name)
         refresh_budget(path, name, NEW, scale=2.0)
         assert json.loads(path.read_text()) == {"scale": 2.0, "budgets": NEW}

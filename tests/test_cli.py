@@ -469,3 +469,89 @@ def test_obs_rejects_unknown_documents(tmp_path):
     bogus.write_text('{"schema": "who/knows"}')
     with pytest.raises(ValueError):
         main(["obs", "report", str(bogus)])
+
+
+# --- delta --------------------------------------------------------------
+
+
+@pytest.fixture
+def grid_mtx_path(tmp_path):
+    # A 64x64 grid: large enough that the invalidation ball (radius 19) of
+    # a corner edit stays under the region-fraction cutoff, so the true
+    # delta path (not the fallback) is exercised.
+    path = tmp_path / "grid.mtx"
+    write_matrix_market(aniso2(64), path, symmetry="symmetric")
+    return str(path)
+
+
+@pytest.fixture
+def edits_path(tmp_path):
+    import json
+
+    path = tmp_path / "edits.json"
+    path.write_text(json.dumps([
+        {"u": 3, "v": 7, "w": 0.25},
+        {"u": 10, "v": 11, "delete": True},
+        {"u": 0, "v": 1, "w": -2.5},
+    ]))
+    return str(path)
+
+
+def test_delta_verify_bit_identical(grid_mtx_path, edits_path, tmp_path, capsys):
+    out_mtx = tmp_path / "edited.mtx"
+    rc = main([
+        "delta", grid_mtx_path, "--edits", edits_path, "--verify",
+        "--matrix-out", str(out_mtx),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "recomputed region:" in out
+    assert "bit-identical" in out
+    assert "launches:" in out and "bytes:" in out
+    edited = read_matrix_market(str(out_mtx))
+    assert edited.n_rows == 4096
+    # the deleted pair is gone, the inserted pair is present
+    row10 = edited.indices[edited.indptr[10]:edited.indptr[11]]
+    assert 11 not in row10
+    row3 = edited.indices[edited.indptr[3]:edited.indptr[4]]
+    assert 7 in row3
+
+
+def test_delta_empty_batch(grid_mtx_path, tmp_path, capsys):
+    empty = tmp_path / "empty.json"
+    empty.write_text("[]")
+    rc = main(["delta", grid_mtx_path, "--edits", str(empty), "--verify"])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "empty edit batch" in out
+    assert "launches: 0 incremental" in out
+
+
+def test_delta_obs_flags(grid_mtx_path, edits_path, tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    report_path = tmp_path / "report.json"
+    rc = main([
+        "delta", grid_mtx_path, "--edits", edits_path,
+        "--trace", str(trace_path), "--metrics-out", str(report_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert f"trace written to {trace_path}" in out
+    doc = json.loads(trace_path.read_text())
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "apply-edits" in names
+    report = json.loads(report_path.read_text())
+    assert report["command"] == "delta"
+    assert report["inputs"]["edits"] == edits_path
+    assert report["metrics"]["counters"]["delta.edits"] == 3
+
+
+def test_delta_rejects_malformed_edits(grid_mtx_path, tmp_path):
+    from repro.errors import ConfigError
+
+    bad = tmp_path / "bad.json"
+    bad.write_text('[{"u": 1, "v": 2, "weight": 0.5}]')
+    with pytest.raises(ConfigError, match="unknown keys"):
+        main(["delta", grid_mtx_path, "--edits", str(bad)])

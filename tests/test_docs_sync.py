@@ -167,6 +167,18 @@ _REF = re.compile(r"`([A-Za-z0-9_./-]+\.(?:md|py))`")
 _CHECKED_PREFIXES = ("docs/", "examples/", "tests/", "benchmarks/", "src/")
 
 
+def test_every_doc_is_reachable_from_the_readme_index():
+    # docs/ is discovered through README.md: a page nobody links to is a
+    # page nobody reads, so every docs/*.md must appear there by path
+    readme = (REPO / "README.md").read_text()
+    unlisted = [
+        p.name
+        for p in sorted((REPO / "docs").glob("*.md"))
+        if f"docs/{p.name}" not in readme
+    ]
+    assert not unlisted, f"docs not indexed in README.md: {unlisted}"
+
+
 @pytest.mark.parametrize(
     "path", DOC_PATHS, ids=[str(p.relative_to(REPO)) for p in DOC_PATHS]
 )
